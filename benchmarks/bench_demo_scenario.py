@@ -1,0 +1,92 @@
+"""E6 — Section 4 / Figures 3–4: the end-to-end demo scenario.
+
+The demo storyline: repair a soccer table containing a manually added error,
+explain the repaired cell of interest, act on the top-ranked constraint,
+re-repair and observe the improvement.  The benchmark scripts scenario A of
+``examples/demo_scenario.py``:
+
+* the constraint set contains a wrong DC ("one city per league");
+* the initial repair sets the cell of interest to the wrong value;
+* T-REx ranks the wrong DC first (Shapley value 1, all others 0);
+* removing it and re-repairing restores the correct value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro import CellRef, RepairSession, SimpleRuleRepair, Table, TRexConfig, parse_dcs
+
+
+def _demo_table() -> Table:
+    rows = [
+        ["Arsenal", "London", "England", "Premier League", 2019, 1],
+        ["Chelsea", "London", "England", "Premier League", 2019, 2],
+        ["Tottenham Hotspur", "London", "England", "Premier League", 2019, 3],
+        ["FC Barcelona", "Barcelona", "Spain", "La Liga", 2019, 1],
+        ["FC Barcelona", "Barcelona", "Spain", "La Liga", 2018, 1],
+        ["Real Madrid", "Madrid", "Spain", "La Liga", 2019, 2],
+        ["Real Madrid", "Madrid", "Spain", "La Liga", 2018, 2],
+        ["Atletico Madrid", "Madrid", "Spain", "La Liga", 2019, 4],
+        ["Sevilla FC", "Seville", "Spain", "La Liga", 2019, 3],
+    ]
+    return Table(["Team", "City", "Country", "League", "Year", "Place"], rows, name="standings")
+
+
+def _run_scenario():
+    clean = _demo_table()
+    constraints = parse_dcs(
+        [
+            "not(t1.Team == t2.Team and t1.City != t2.City)",
+            "not(t1.City == t2.City and t1.Country != t2.Country)",
+            "not(t1.League == t2.League and t1.Country != t2.Country)",
+            "not(t1.League == t2.League and t1.City != t2.City)",   # C4: the wrong DC
+        ]
+    )
+    cell_of_interest = CellRef(4, "City")
+    truth = clean[cell_of_interest]
+    dirty = clean.with_values({cell_of_interest: None})
+
+    session = RepairSession(
+        SimpleRuleRepair(),
+        constraints,
+        dirty,
+        cell_of_interest=cell_of_interest,
+        expected_value=truth,
+        config=TRexConfig(seed=13, cell_samples=40, replacement_policy="null"),
+    )
+    session.run_repair()
+    wrong_value = session.steps[-1].cell_of_interest_value
+    before_correct = session.cell_of_interest_is_correct()
+    explanation = session.explain(constraints_only=True)
+    top_constraint = explanation.constraint_ranking.items()[0]
+    session.remove_constraint(top_constraint)
+    fixed_value = session.steps[-1].cell_of_interest_value
+    after_correct = session.cell_of_interest_is_correct()
+    return session, explanation, top_constraint, before_correct, after_correct, wrong_value, fixed_value, truth
+
+
+def test_demo_scenario_constraint_debugging(benchmark):
+    (session, explanation, top_constraint, before, after,
+     wrong_value, fixed_value, truth) = benchmark.pedantic(_run_scenario, rounds=1, iterations=1)
+
+    rows = [
+        [entry.rank, entry.item, f"{entry.score:+.3f}"]
+        for entry in explanation.constraint_ranking
+    ]
+    print_table("Demo scenario — constraint ranking for the wrong repair", ["rank", "DC", "shapley"], rows)
+    print(f"repair before intervention: {wrong_value!r} (truth {truth!r}) — correct: {before}")
+    print(f"repair after removing {top_constraint}: {fixed_value!r} — correct: {after}")
+
+    # the wrong constraint (league -> single city) dominates the bad repair ...
+    assert top_constraint == "C4"
+    assert explanation.constraint_shapley.values["C4"] == pytest.approx(1.0)
+    assert before is False and wrong_value == "Madrid"
+    # ... and removing it restores the correct repair, as the demo narrates
+    assert after is True and fixed_value == truth == "Barcelona"
+    assert [step.action for step in session.history()] == ["repair", "explain", "remove-constraint"]
+
+    benchmark.extra_info["top_constraint"] = top_constraint
+    benchmark.extra_info["repair_correct_before"] = bool(before)
+    benchmark.extra_info["repair_correct_after"] = bool(after)

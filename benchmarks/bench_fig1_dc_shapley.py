@@ -1,0 +1,70 @@
+"""E1 / E3 — Figure 1 & Example 2.3: exact Shapley values of the DCs.
+
+Paper-reported values (Figure 1, for the repair of ``t5[Country]``):
+
+    C1 = 1/6,  C2 = 1/6,  C3 = 2/3,  C4 = 0
+
+The benchmark times the exact computation (the method the paper uses for
+constraints), checks the values against the paper, and additionally reports
+the permutation-sampling estimate as a cross-check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro import BinaryRepairOracle, CellRef, ConstraintShapleyExplainer
+from repro.dataset.examples import FIGURE1_SHAPLEY_VALUES
+
+CELL = CellRef(4, "Country")
+
+
+def _exact_values(setup):
+    oracle = BinaryRepairOracle(setup["algorithm"], setup["constraints"], setup["dirty"], CELL)
+    explainer = ConstraintShapleyExplainer(oracle)
+    return explainer.explain(), oracle
+
+
+def test_fig1_dc_shapley_exact(benchmark, la_liga_setup):
+    result, oracle = benchmark(_exact_values, la_liga_setup)
+
+    rows = []
+    for name in sorted(FIGURE1_SHAPLEY_VALUES):
+        paper = FIGURE1_SHAPLEY_VALUES[name]
+        measured = result[name]
+        rows.append([name, f"{paper:.4f}", f"{measured:.4f}", f"{abs(paper - measured):.2e}"])
+        assert measured == pytest.approx(paper, abs=1e-9)
+    print_table(
+        "Figure 1 — Shapley value of each DC for the repair of t5[Country]",
+        ["constraint", "paper", "measured", "abs err"],
+        rows,
+    )
+    print(f"black-box repair runs: {oracle.repair_runs} (2^4 subsets, memoised)")
+
+    benchmark.extra_info["repair_runs"] = oracle.repair_runs
+    benchmark.extra_info["values"] = {k: round(v, 6) for k, v in result.values.items()}
+
+
+def test_fig1_dc_shapley_sampled_cross_check(benchmark, la_liga_setup):
+    """Permutation sampling reproduces the same ranking (used for large DC sets)."""
+
+    def run():
+        oracle = BinaryRepairOracle(
+            la_liga_setup["algorithm"], la_liga_setup["constraints"], la_liga_setup["dirty"], CELL
+        )
+        return ConstraintShapleyExplainer(oracle).explain_sampled(n_permutations=300, rng=7)
+
+    result = benchmark(run)
+    rows = [
+        [name, f"{FIGURE1_SHAPLEY_VALUES[name]:.4f}", f"{result[name]:.4f}"]
+        for name in sorted(FIGURE1_SHAPLEY_VALUES)
+    ]
+    print_table(
+        "Figure 1 cross-check — permutation-sampling estimate (300 permutations)",
+        ["constraint", "paper", "estimate"],
+        rows,
+    )
+    assert result.ranking()[0][0] == "C3"
+    for name, paper in FIGURE1_SHAPLEY_VALUES.items():
+        assert result[name] == pytest.approx(paper, abs=0.1)

@@ -1,0 +1,57 @@
+"""E11 (extension) — the {C1, C2} synergy as a Shapley interaction index.
+
+Example 2.3 of the paper narrates that C1 and C2 only matter *together*
+("for the subsets where one of these is present without its partner, the
+repair is due to C3") and that their joint credit is half of C3's.  Plain
+Shapley values encode the split credit; the pairwise Shapley interaction
+index makes the synergy itself measurable.  This benchmark computes all
+pairwise interactions and the Banzhaf values for the running example and
+checks the qualitative structure the paper describes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro import BinaryRepairOracle, CellRef, ConstraintShapleyExplainer
+
+CELL = CellRef(4, "Country")
+
+
+def _compute(setup):
+    oracle = BinaryRepairOracle(setup["algorithm"], setup["constraints"], setup["dirty"], CELL)
+    explainer = ConstraintShapleyExplainer(oracle)
+    return explainer.explain_interactions(), explainer.explain_banzhaf(), oracle
+
+
+def test_constraint_interaction_indices(benchmark, la_liga_setup):
+    interactions, banzhaf, oracle = benchmark(_compute, la_liga_setup)
+
+    rows = [
+        ["{" + ", ".join(sorted(pair)) + "}", f"{value:+.4f}"]
+        for pair, value in sorted(interactions.items(), key=lambda kv: -kv[1])
+    ]
+    print_table(
+        "E11 — pairwise Shapley interaction indices for the repair of t5[Country]",
+        ["constraint pair", "interaction"],
+        rows,
+    )
+    print_table(
+        "E11 — Banzhaf values (robustness check of the Figure 1 ranking)",
+        ["constraint", "banzhaf"],
+        [[name, f"{value:.4f}"] for name, value in banzhaf.ranking()],
+    )
+
+    # C1 and C2 are complements (the pair is the alternative repair path)
+    assert interactions[frozenset({"C1", "C2"})] > 0
+    # each of them is a substitute of C3 (C3 alone already achieves the repair)
+    assert interactions[frozenset({"C1", "C3"})] < 0
+    assert interactions[frozenset({"C2", "C3"})] < 0
+    # C4 interacts with nothing
+    for other in ("C1", "C2", "C3"):
+        assert interactions[frozenset({"C4", other})] == pytest.approx(0.0)
+    # the Banzhaf ranking agrees with the Shapley ranking of Figure 1
+    assert [name for name, _ in banzhaf.ranking()] == ["C3", "C1", "C2", "C4"]
+
+    benchmark.extra_info["c1_c2_interaction"] = round(interactions[frozenset({"C1", "C2"})], 4)

@@ -1,0 +1,73 @@
+"""E8 (extension) — cost of cell Shapley vs. table size and sample budget.
+
+The number of cells grows with the table, and each explained cell costs
+``2·m`` black-box repairs.  This benchmark measures the wall-clock time and
+query count of explaining one repaired cell as the table grows, and the
+trade-off between the sampling budget ``m`` and the estimate's standard
+error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro import BinaryRepairOracle, CellShapleyExplainer, SimpleRuleRepair, SoccerLeagueGenerator
+from repro.dataset.errors import inject_errors
+from repro.shapley.cells import relevant_cells
+
+
+def _setup(n_rows: int):
+    dataset = SoccerLeagueGenerator(seed=47).generate(n_rows)
+    constraints = dataset.constraints()
+    dirty, report = inject_errors(
+        dataset.table, rate=0.0, n_errors=1, error_types=["domain"],
+        attributes=["Country"], seed=47,
+    )
+    cell = report.cells()[0]
+    oracle = BinaryRepairOracle(SimpleRuleRepair(), constraints, dirty, cell)
+    return oracle, constraints, dirty, cell
+
+
+@pytest.mark.parametrize("n_rows", [6, 12, 25, 50])
+def test_scaling_cell_shapley_with_table_size(benchmark, n_rows):
+    oracle, constraints, dirty, cell = _setup(n_rows)
+    explainer = CellShapleyExplainer(oracle, policy="null", rng=3)
+    # explain a fixed, small probe set so the per-query repair cost (which grows
+    # with the table) is what the benchmark isolates
+    probes = relevant_cells(dirty, constraints, cell)[:5]
+
+    def run():
+        oracle.reset_counters()
+        return explainer.explain(cells=probes, n_samples=30)
+
+    result = benchmark(run)
+    print_table(
+        f"E8 — cell Shapley on a {n_rows}-row table (5 probe cells, m=30)",
+        ["rows", "cells in table", "repair runs", "mean |value|"],
+        [[n_rows, dirty.n_cells, oracle.repair_runs,
+          f"{sum(abs(v) for v in result.values.values()) / len(result.values):.3f}"]],
+    )
+    assert len(result.values) == len(probes)
+    benchmark.extra_info["n_rows"] = n_rows
+    benchmark.extra_info["repair_runs"] = oracle.repair_runs
+
+
+@pytest.mark.parametrize("n_samples", [50, 200])
+def test_scaling_cell_shapley_with_budget(benchmark, n_samples):
+    oracle, constraints, dirty, cell = _setup(12)
+    explainer = CellShapleyExplainer(oracle, policy="null", rng=11)
+    probes = relevant_cells(dirty, constraints, cell)[:3]
+
+    def run():
+        return explainer.explain(cells=probes, n_samples=n_samples)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean_stderr = sum(result.standard_errors.values()) / len(result.standard_errors)
+    print_table(
+        f"E8 — error vs budget (m={n_samples})",
+        ["m", "mean std err"],
+        [[n_samples, f"{mean_stderr:.4f}"]],
+    )
+    benchmark.extra_info["mean_stderr"] = round(mean_stderr, 5)
+    assert mean_stderr < 0.2

@@ -1,0 +1,135 @@
+"""E7 (extension) — cost of constraint Shapley vs. the number of DCs.
+
+The paper computes constraint Shapley values exactly because "the number of
+DCs is usually small" (Section 2.3).  This benchmark quantifies that choice:
+it measures the number of black-box repair invocations and the wall-clock
+time of the exact method as the constraint set grows, against the
+permutation-sampling estimator at a fixed budget — showing the exponential
+vs. linear query count and where the crossover lies.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import print_table
+from repro import (
+    BinaryRepairOracle,
+    CellRef,
+    ConstraintShapleyExplainer,
+    SimpleRuleRepair,
+    SoccerLeagueGenerator,
+    parse_dc,
+)
+from repro.dataset.errors import inject_errors
+
+PERMUTATION_BUDGET = 40
+
+
+def _setup(n_constraints: int):
+    """A soccer table with one injected error and ``n_constraints`` DCs.
+
+    The first four constraints are the paper's C1–C4; further constraints are
+    harmless FD-style DCs on other attribute pairs (they never fire, so the
+    Shapley values of the first four are unchanged while the player set grows).
+    """
+    dataset = SoccerLeagueGenerator(seed=31).generate(30)
+    constraints = list(dataset.constraints())
+    extra_texts = [
+        "not(t1.Team == t2.Team and t1.League != t2.League)",
+        "not(t1.Team == t2.Team and t1.Country != t2.Country)",
+        "not(t1.City == t2.City and t1.League != t2.League)",
+        "not(t1.League == t2.League and t1.Year != t1.Year)",
+        "not(t1.Team == t2.Team and t1.Year == t2.Year and t1.Place != t2.Place)",
+        "not(t1.Country == t2.Country and t1.League != t2.League)",
+    ]
+    for index, text in enumerate(extra_texts):
+        constraints.append(parse_dc(text, name=f"X{index + 1}"))
+    constraints = constraints[:n_constraints]
+
+    dirty, report = inject_errors(
+        dataset.table, rate=0.0, n_errors=1, error_types=["domain"],
+        attributes=["Country"], seed=31,
+    )
+    cell = report.cells()[0]
+    algorithm = SimpleRuleRepair()
+    oracle = BinaryRepairOracle(algorithm, constraints, dirty, cell)
+    return oracle
+
+
+@pytest.mark.parametrize("n_constraints", [2, 4, 6, 8, 10])
+def test_scaling_exact_dc_shapley(benchmark, n_constraints):
+    oracle = _setup(n_constraints)
+    explainer = ConstraintShapleyExplainer(oracle)
+
+    def run():
+        oracle.reset_counters()
+        return explainer.explain()
+
+    result = benchmark(run)
+    print_table(
+        f"E7 — exact constraint Shapley with {n_constraints} DCs",
+        ["n_dcs", "distinct repair runs", "oracle calls", "sum of values"],
+        [[n_constraints, oracle.repair_runs, oracle.calls, f"{result.total():.3f}"]],
+    )
+    # with memoisation the distinct repair runs are bounded by 2^n
+    assert oracle.repair_runs <= 2 ** n_constraints
+    benchmark.extra_info["n_constraints"] = n_constraints
+    benchmark.extra_info["repair_runs"] = oracle.repair_runs
+
+
+@pytest.mark.parametrize("n_constraints", [6, 10])
+def test_scaling_sampled_dc_shapley(benchmark, n_constraints):
+    oracle = _setup(n_constraints)
+    explainer = ConstraintShapleyExplainer(oracle)
+    exact_reference = explainer.explain()
+
+    def run():
+        oracle.reset_counters()
+        return explainer.explain_sampled(n_permutations=PERMUTATION_BUDGET, rng=3)
+
+    estimate = benchmark(run)
+    error = max(abs(estimate[name] - exact_reference[name]) for name in exact_reference.values)
+    print_table(
+        f"E7 — permutation estimate with {n_constraints} DCs ({PERMUTATION_BUDGET} permutations)",
+        ["n_dcs", "repair runs", "max abs error vs exact"],
+        [[n_constraints, oracle.repair_runs, f"{error:.3f}"]],
+    )
+    assert error <= 0.25
+    # sampling touches at most (n+1) * permutations coalitions — linear in n
+    assert oracle.calls <= (n_constraints + 1) * PERMUTATION_BUDGET
+    benchmark.extra_info["max_abs_error"] = round(error, 4)
+
+
+def test_scaling_summary_table():
+    """Reference (non-timed) summary of the exact-vs-sampled query counts."""
+    rows = []
+    for n_constraints in (2, 4, 6, 8, 10):
+        oracle = _setup(n_constraints)
+        explainer = ConstraintShapleyExplainer(oracle)
+        start = time.perf_counter()
+        explainer.explain()
+        exact_seconds = time.perf_counter() - start
+        exact_runs = oracle.repair_runs
+
+        # a fresh oracle so the sampled run cannot reuse the exact run's cache
+        sampled_oracle = _setup(n_constraints)
+        sampled_explainer = ConstraintShapleyExplainer(sampled_oracle)
+        sampled_oracle.reset_counters()
+        start = time.perf_counter()
+        sampled_explainer.explain_sampled(n_permutations=PERMUTATION_BUDGET, rng=3)
+        sampled_seconds = time.perf_counter() - start
+        sampled_runs = sampled_oracle.repair_runs
+        rows.append(
+            [n_constraints, exact_runs, f"{exact_seconds * 1e3:.1f}",
+             sampled_runs, f"{sampled_seconds * 1e3:.1f}"]
+        )
+    print_table(
+        "E7 summary — exact vs permutation-sampled constraint Shapley",
+        ["n_dcs", "exact repair runs", "exact ms", "sampled repair runs", "sampled ms"],
+        rows,
+    )
+    # exact query count grows exponentially; it must overtake the sampled count by 10 DCs
+    assert rows[-1][1] > rows[-1][3]

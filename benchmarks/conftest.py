@@ -1,0 +1,51 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one artefact of the paper (a figure, a
+worked example or the demo scenario — see the experiment index in DESIGN.md)
+and prints the rows it measured next to the values the paper reports, so a
+reviewer can diff them directly from the pytest output (run with ``-s`` or
+read the captured stdout in the benchmark report).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import (  # noqa: E402
+    TRexConfig,
+    la_liga_constraints,
+    la_liga_dirty_table,
+    paper_algorithm_1,
+)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a small fixed-width results table to stdout."""
+    rendered_rows = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rendered_rows)) if rendered_rows else len(header[i])
+        for i in range(len(header))
+    ]
+    print(f"\n{title}")
+    print("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    print("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rendered_rows:
+        print("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+
+
+@pytest.fixture
+def la_liga_setup():
+    """The running example: dirty table, constraints, Algorithm 1, config."""
+    return {
+        "dirty": la_liga_dirty_table(),
+        "constraints": la_liga_constraints(),
+        "algorithm": paper_algorithm_1(),
+        "config": TRexConfig(seed=7, replacement_policy="null"),
+    }

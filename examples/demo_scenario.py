@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""The paper's Section 4 demo scenario, scripted end to end.
+
+Demo storyline (quoting the paper):
+
+1. start from a soccer database with manually added errors and an initial set
+   of DCs — one of which is *wrong* for this data;
+2. repair with the HoloClean-style engine and pick a repaired cell of
+   interest;
+3. invoke T-REx: the wrong constraint is ranked highest for the bad repair;
+4. remove / fix the highest-ranked DC and re-repair — the cell of interest is
+   now repaired correctly;
+5. repeat the exercise for cell explanations: a dirty *cell* elsewhere causes
+   a wrong repair; T-REx ranks it highly, the user fixes it and re-repairs.
+
+Run with::
+
+    python examples/demo_scenario.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (
+    CellRef,
+    RepairSession,
+    SoccerLeagueGenerator,
+    TRexConfig,
+    parse_dc,
+    paper_algorithm_1,
+)
+
+
+def demo_standings_table():
+    """A small handcrafted standings table used by scenario A.
+
+    London hosts three Premier-League clubs and the La Liga clubs are spread
+    over three cities, so any constraint forcing "one city per league" is
+    plainly wrong for this data — which is exactly the kind of constraint a
+    user might write by mistake and then debug with T-REx.
+    """
+    from repro import Table
+
+    rows = [
+        ["Arsenal", "London", "England", "Premier League", 2019, 1],
+        ["Chelsea", "London", "England", "Premier League", 2019, 2],
+        ["Tottenham Hotspur", "London", "England", "Premier League", 2019, 3],
+        ["FC Barcelona", "Barcelona", "Spain", "La Liga", 2019, 1],
+        ["FC Barcelona", "Barcelona", "Spain", "La Liga", 2018, 1],
+        ["Real Madrid", "Madrid", "Spain", "La Liga", 2019, 2],
+        ["Real Madrid", "Madrid", "Spain", "La Liga", 2018, 2],
+        ["Atletico Madrid", "Madrid", "Spain", "La Liga", 2019, 4],
+        ["Sevilla FC", "Seville", "Spain", "La Liga", 2019, 3],
+    ]
+    return Table(["Team", "City", "Country", "League", "Year", "Place"], rows, name="standings")
+
+
+def scenario_bad_constraint() -> None:
+    """Steps 1–4: a misleading DC causes a wrong repair; T-REx pinpoints it."""
+    print("=" * 70)
+    print("Scenario A: debugging the constraint set")
+    print("=" * 70)
+
+    from repro import SimpleRuleRepair, parse_dcs
+
+    clean = demo_standings_table()
+    constraints = parse_dcs(
+        [
+            "not(t1.Team == t2.Team and t1.City != t2.City)",      # C1: Team -> City
+            "not(t1.City == t2.City and t1.Country != t2.Country)",  # C2: City -> Country
+            "not(t1.League == t2.League and t1.Country != t2.Country)",  # C3: League -> Country
+            "not(t1.League == t2.League and t1.City != t2.City)",  # C4: the WRONG one
+        ]
+    )
+
+    # manual error, as in the demo: one FC Barcelona row loses its City
+    cell_of_interest = CellRef(4, "City")
+    truth = clean[cell_of_interest]
+    dirty = clean.with_values({cell_of_interest: None})
+
+    session = RepairSession(
+        SimpleRuleRepair(),          # FD-style rules derived per constraint
+        constraints,
+        dirty,
+        cell_of_interest=cell_of_interest,
+        expected_value=truth,
+        config=TRexConfig(seed=13, cell_samples=60, replacement_policy="null"),
+    )
+    step = session.run_repair()
+    print(f"Initial repair: {cell_of_interest} -> {step.cell_of_interest_value!r} "
+          f"(expected {truth!r}) — correct: {session.cell_of_interest_is_correct()}")
+
+    explanation = session.explain(constraints_only=True)
+    print("Constraint ranking for the (possibly wrong) repair:")
+    for entry in explanation.constraint_ranking:
+        print(f"  {entry.rank}. {entry.item}: {entry.score:+.3f}")
+
+    top = explanation.constraint_ranking.items()[0]
+    print(f"\nRemoving the top-ranked constraint {top} and re-repairing ...")
+    step = session.remove_constraint(top)
+    print(f"After removal: {cell_of_interest} -> {step.cell_of_interest_value!r} "
+          f"— correct: {session.cell_of_interest_is_correct()}")
+    print()
+    print(session.summary())
+
+
+def scenario_bad_cell() -> None:
+    """Step 5: appropriate DCs, but a dirty cell elsewhere corrupts the repair."""
+    print()
+    print("=" * 70)
+    print("Scenario B: debugging the data itself")
+    print("=" * 70)
+
+    dataset = SoccerLeagueGenerator(seed=55).generate(24)
+    clean = dataset.table
+    constraints = dataset.constraints()
+
+    # find a city that appears exactly twice so a single poisoned sibling row
+    # flips the conditional majority for the Country repair
+    cell_of_interest = None
+    poison_cell = None
+    for row in range(clean.n_rows):
+        city = clean.value(row, "City")
+        siblings = [r for r in range(clean.n_rows)
+                    if clean.value(r, "City") == city and r != row]
+        if len(siblings) == 1:
+            cell_of_interest = CellRef(row, "Country")
+            poison_cell = CellRef(siblings[0], "Country")
+            break
+    if cell_of_interest is None:
+        print("No suitable city found for this seed; nothing to demonstrate.")
+        return
+
+    truth = clean[cell_of_interest]
+    dirty = clean.with_values(
+        {
+            cell_of_interest: "Unknown",          # the error we want repaired
+            poison_cell: "Atlantis",              # the cell that misleads the repair
+            CellRef(cell_of_interest.row, "League"): "Regional",  # hide the League signal
+        }
+    )
+
+    session = RepairSession(
+        paper_algorithm_1(),
+        constraints,
+        dirty,
+        cell_of_interest=cell_of_interest,
+        expected_value=truth,
+        config=TRexConfig(seed=21, cell_samples=80, replacement_policy="null"),
+    )
+    step = session.run_repair()
+    print(f"Initial repair: {cell_of_interest} -> {step.cell_of_interest_value!r} "
+          f"(expected {truth!r}) — correct: {session.cell_of_interest_is_correct()}")
+
+    explanation = session.explain()
+    print("Most influential cells for this repair:")
+    for entry in list(explanation.cell_ranking)[:6]:
+        print(f"  {entry.rank}. {entry.item}: {entry.score:+.3f}  (value {dirty[entry.item]!r})")
+
+    print(f"\nFixing the misleading cell {poison_cell} and re-repairing ...")
+    step = session.edit_cell(poison_cell, clean[poison_cell])
+    print(f"After the fix: {cell_of_interest} -> {step.cell_of_interest_value!r} "
+          f"— correct: {session.cell_of_interest_is_correct()}")
+    print()
+    print(session.summary())
+
+
+if __name__ == "__main__":
+    scenario_bad_constraint()
+    scenario_bad_cell()

@@ -1,0 +1,16 @@
+"""Setuptools shim.
+
+The pyproject.toml metadata is authoritative; this file exists so that
+legacy (non-PEP-517) editable installs work in offline environments where
+the ``wheel`` package is unavailable.
+"""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

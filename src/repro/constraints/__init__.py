@@ -1,0 +1,45 @@
+"""Denial constraints (DCs) and violation detection.
+
+A denial constraint over a pair of tuples has the form
+
+    ∀ t1, t2 . ¬( p_1 ∧ p_2 ∧ ... ∧ p_k )
+
+where each predicate ``p_i`` compares an attribute of ``t1``/``t2`` with an
+attribute of the other tuple or with a constant using one of
+``=, ≠, <, ≤, >, ≥``.  This subpackage provides the constraint language
+(S3 in DESIGN.md), the violation detection engine (S4), functional
+dependencies as syntactic sugar, and a small discovery module (S5).
+"""
+
+from repro.constraints.predicates import Operator, Predicate
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.parser import parse_dc, parse_dcs, format_dc
+from repro.constraints.violations import (
+    Violation,
+    ViolationSet,
+    find_violations,
+    find_all_violations,
+    violating_rows,
+    cells_in_violations,
+)
+from repro.constraints.fd import FunctionalDependency, ConditionalFunctionalDependency
+from repro.constraints.discovery import discover_fds, discover_dcs
+
+__all__ = [
+    "Operator",
+    "Predicate",
+    "DenialConstraint",
+    "parse_dc",
+    "parse_dcs",
+    "format_dc",
+    "Violation",
+    "ViolationSet",
+    "find_violations",
+    "find_all_violations",
+    "violating_rows",
+    "cells_in_violations",
+    "FunctionalDependency",
+    "ConditionalFunctionalDependency",
+    "discover_fds",
+    "discover_dcs",
+]

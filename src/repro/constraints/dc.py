@@ -1,0 +1,173 @@
+"""Denial constraints.
+
+A :class:`DenialConstraint` is the conjunction of predicates under a negation
+and a universal quantifier over one or two tuple variables:
+
+    ∀ t1, t2 ∈ T . ¬( p_1 ∧ ... ∧ p_k )
+
+The constraint is *violated* by a tuple pair that satisfies every predicate
+simultaneously.  Functional dependencies, the constraints of Figure 1 and the
+order constraints of the DC literature are all expressible in this form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.constraints.predicates import Operator, Predicate, TUPLE_1, TUPLE_2
+from repro.errors import ConstraintError
+
+
+@dataclass(frozen=True)
+class DenialConstraint:
+    """An immutable denial constraint with a stable name.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in explanations and reports ("C1", "C2", ...).
+    predicates:
+        The conjuncts under the negation.  At least one is required.
+    description:
+        Optional human-readable gloss (e.g. "two tuples with the same team
+        must be in the same city").
+    """
+
+    name: str
+    predicates: tuple[Predicate, ...]
+    description: str = ""
+
+    def __init__(self, name: str, predicates: Sequence[Predicate], description: str = ""):
+        if not name:
+            raise ConstraintError("a denial constraint needs a non-empty name")
+        predicates = tuple(predicates)
+        if not predicates:
+            raise ConstraintError(f"constraint {name!r} has no predicates")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "predicates", predicates)
+        object.__setattr__(self, "description", description)
+        # cached structural facts (violation detection asks for these on every
+        # tuple-pair check, so they are computed once here)
+        object.__setattr__(
+            self, "_single_tuple", all(p.is_single_tuple for p in predicates)
+        )
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def is_single_tuple(self) -> bool:
+        """True when every predicate only mentions ``t1``."""
+        return self._single_tuple
+
+    @property
+    def arity(self) -> int:
+        return 1 if self.is_single_tuple else 2
+
+    def attributes(self) -> set[str]:
+        """All attributes mentioned anywhere in the constraint."""
+        mentioned: set[str] = set()
+        for predicate in self.predicates:
+            mentioned |= predicate.attributes_mentioned()
+        return mentioned
+
+    def equality_attributes(self) -> tuple[str, ...]:
+        """Attributes compared with ``t1.A == t2.A`` — usable for hash partitioning."""
+        return tuple(
+            sorted(
+                predicate.left.attribute
+                for predicate in self.predicates
+                if predicate.is_equality_join
+            )
+        )
+
+    def inequality_attributes(self) -> tuple[str, ...]:
+        """Attributes compared with ``!=`` between the two tuples.
+
+        For FD-style constraints these are the "right hand side" attributes —
+        the ones a repair algorithm typically modifies to resolve a violation.
+        """
+        result = []
+        for predicate in self.predicates:
+            if (
+                predicate.op is Operator.NE
+                and not predicate.left.is_constant
+                and not predicate.right.is_constant
+                and predicate.left.tuple_name != predicate.right.tuple_name
+            ):
+                result.append(predicate.left.attribute)
+        return tuple(sorted(set(result)))
+
+    def predicates_on(self, attribute: str) -> tuple[Predicate, ...]:
+        return tuple(p for p in self.predicates if attribute in p.attributes_mentioned())
+
+    # -- semantics ---------------------------------------------------------------
+
+    def is_violated_by(self, row1: Mapping[str, Any], row2: Mapping[str, Any] | None = None) -> bool:
+        """True if the tuple assignment satisfies *all* predicates.
+
+        For two-tuple constraints ``row2`` must be provided (the pair
+        ``(row1, row2)`` is checked in that order; callers enumerate both
+        orders).  For single-tuple constraints ``row2`` is ignored.
+        """
+        if self.arity == 2 and row2 is None:
+            raise ConstraintError(
+                f"constraint {self.name} compares two tuples but only one row was given"
+            )
+        return all(predicate.evaluate(row1, row2) for predicate in self.predicates)
+
+    def cells_involved(self, row1_id: int, row2_id: int | None = None):
+        """Cell addresses touched by a violation between the given rows.
+
+        Returns a list of ``(row_id, attribute)`` pairs; used by T-REx to
+        report which cells participate in each violation.
+        """
+        from repro.dataset.table import CellRef
+
+        cells: list[CellRef] = []
+        for predicate in self.predicates:
+            for operand in (predicate.left, predicate.right):
+                if operand.is_constant:
+                    continue
+                if operand.tuple_name == TUPLE_1:
+                    cells.append(CellRef(row1_id, operand.attribute))
+                elif operand.tuple_name == TUPLE_2 and row2_id is not None:
+                    cells.append(CellRef(row2_id, operand.attribute))
+        seen: set = set()
+        unique: list[CellRef] = []
+        for cell in cells:
+            if cell not in seen:
+                seen.add(cell)
+                unique.append(cell)
+        return unique
+
+    # -- derived forms --------------------------------------------------------------
+
+    def renamed(self, name: str) -> "DenialConstraint":
+        return DenialConstraint(name, self.predicates, self.description)
+
+    def with_description(self, description: str) -> "DenialConstraint":
+        return DenialConstraint(self.name, self.predicates, description)
+
+    # -- dunder -----------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DenialConstraint):
+            return NotImplemented
+        return self.name == other.name and self.predicates == other.predicates
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.predicates))
+
+    def __str__(self) -> str:
+        body = " and ".join(str(p) for p in self.predicates)
+        quantifier = "forall t1, t2" if self.arity == 2 else "forall t1"
+        return f"{self.name}: {quantifier}. not({body})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DenialConstraint({self.name!r}, {len(self.predicates)} predicates)"
+
+
+def constraint_set_names(constraints: Iterable[DenialConstraint]) -> tuple[str, ...]:
+    """Stable, order-preserving tuple of constraint names (used as cache keys)."""
+    return tuple(constraint.name for constraint in constraints)

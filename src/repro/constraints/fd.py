@@ -1,0 +1,114 @@
+"""Functional dependencies (FDs) and conditional functional dependencies (CFDs).
+
+FDs and CFDs are the constraint subsets referenced by the paper ([1], [8]):
+an FD ``X → Y`` is exactly the denial constraint
+
+    ∀ t1, t2 . ¬( t1[X_1] = t2[X_1] ∧ ... ∧ t1[Y] ≠ t2[Y] )
+
+and a CFD additionally fixes constants on some left-hand attributes.  Both
+classes compile to :class:`~repro.constraints.dc.DenialConstraint`, so the
+whole repair/explanation pipeline works on them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.predicates import Operator, Predicate, TUPLE_1
+from repro.errors import ConstraintError
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``lhs → rhs`` (single right-hand attribute)."""
+
+    lhs: tuple[str, ...]
+    rhs: str
+    name: str = ""
+
+    def __init__(self, lhs: Sequence[str], rhs: str, name: str = ""):
+        lhs = tuple(lhs)
+        if not lhs:
+            raise ConstraintError("a functional dependency needs at least one LHS attribute")
+        if not rhs:
+            raise ConstraintError("a functional dependency needs a RHS attribute")
+        if rhs in lhs:
+            raise ConstraintError(f"RHS attribute {rhs!r} also appears on the LHS")
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "rhs", rhs)
+        object.__setattr__(self, "name", name or f"FD({','.join(lhs)}->{rhs})")
+
+    def to_dc(self, name: str | None = None) -> DenialConstraint:
+        """Compile the FD to its denial-constraint form."""
+        predicates = [Predicate.between_tuples(attr, Operator.EQ) for attr in self.lhs]
+        predicates.append(Predicate.between_tuples(self.rhs, Operator.NE))
+        description = f"{' ,'.join(self.lhs)} functionally determines {self.rhs}"
+        return DenialConstraint(name or self.name, predicates, description)
+
+    def __str__(self) -> str:
+        return f"{self.name}: {', '.join(self.lhs)} -> {self.rhs}"
+
+
+@dataclass(frozen=True)
+class ConditionalFunctionalDependency:
+    """A CFD: an FD that only applies to tuples matching a constant pattern.
+
+    ``pattern`` maps attributes to required constants on the left-hand side;
+    pattern attributes with value ``None`` act as plain FD attributes
+    (wildcards).  Example: ``(City='Madrid') → Country`` forces all Madrid
+    rows to share one country.
+    """
+
+    lhs: tuple[str, ...]
+    rhs: str
+    pattern: tuple[tuple[str, Any], ...]
+    name: str = ""
+
+    def __init__(self, lhs: Sequence[str], rhs: str, pattern: Mapping[str, Any] | None = None,
+                 name: str = ""):
+        lhs = tuple(lhs)
+        pattern_items = tuple(sorted((pattern or {}).items()))
+        if not lhs and not pattern_items:
+            raise ConstraintError("a CFD needs LHS attributes or a constant pattern")
+        if not rhs:
+            raise ConstraintError("a CFD needs a RHS attribute")
+        unknown_pattern = [a for a, _ in pattern_items if a not in lhs]
+        if unknown_pattern:
+            # pattern attributes not in the LHS are simply added to it
+            lhs = lhs + tuple(unknown_pattern)
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "rhs", rhs)
+        object.__setattr__(self, "pattern", pattern_items)
+        object.__setattr__(self, "name", name or f"CFD({','.join(lhs)}->{rhs})")
+
+    def to_dc(self, name: str | None = None) -> DenialConstraint:
+        """Compile the CFD to a denial constraint with constant predicates."""
+        pattern = dict(self.pattern)
+        predicates: list[Predicate] = []
+        for attribute in self.lhs:
+            predicates.append(Predicate.between_tuples(attribute, Operator.EQ))
+            constant = pattern.get(attribute)
+            if constant is not None:
+                predicates.append(
+                    Predicate.with_constant(TUPLE_1, attribute, Operator.EQ, constant)
+                )
+        predicates.append(Predicate.between_tuples(self.rhs, Operator.NE))
+        condition = ", ".join(f"{a}={v!r}" for a, v in pattern.items() if v is not None)
+        description = f"{', '.join(self.lhs)} determines {self.rhs}"
+        if condition:
+            description += f" when {condition}"
+        return DenialConstraint(name or self.name, predicates, description)
+
+    def __str__(self) -> str:
+        pattern = dict(self.pattern)
+        lhs_text = ", ".join(
+            f"{a}={pattern[a]!r}" if pattern.get(a) is not None else a for a in self.lhs
+        )
+        return f"{self.name}: ({lhs_text}) -> {self.rhs}"
+
+
+def fds_to_dcs(fds: Sequence[FunctionalDependency], prefix: str = "C") -> list[DenialConstraint]:
+    """Compile a list of FDs into named denial constraints ``C1, C2, ...``."""
+    return [fd.to_dc(name=f"{prefix}{index + 1}") for index, fd in enumerate(fds)]

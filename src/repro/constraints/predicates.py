@@ -1,0 +1,244 @@
+"""Predicates: the atoms of denial constraints.
+
+A predicate compares a cell of tuple ``t1`` or ``t2`` against either a cell
+of (possibly the other) tuple or a constant, using one of the six comparison
+operators.  Null semantics follow SQL: a comparison involving a null cell is
+never satisfied, so a nulled-out cell can never *contribute* to a violation —
+this is exactly what the paper's coalition semantics for cell Shapley values
+requires (cells outside the coalition are null and therefore inert).
+"""
+
+from __future__ import annotations
+
+import enum
+import operator as _operator
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.engine.storage import is_null
+from repro.errors import ConstraintError
+
+#: Symbol used to refer to the first / second tuple of a two-tuple constraint.
+TUPLE_1 = "t1"
+TUPLE_2 = "t2"
+_VALID_TUPLES = (TUPLE_1, TUPLE_2)
+
+
+class Operator(enum.Enum):
+    """Comparison operators allowed in denial-constraint predicates."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def python_operator(self):
+        return _PYTHON_OPERATORS[self]
+
+    def negate(self) -> "Operator":
+        """The operator expressing the logical negation of this one."""
+        return {
+            Operator.EQ: Operator.NE,
+            Operator.NE: Operator.EQ,
+            Operator.LT: Operator.GE,
+            Operator.LE: Operator.GT,
+            Operator.GT: Operator.LE,
+            Operator.GE: Operator.LT,
+        }[self]
+
+    def flip(self) -> "Operator":
+        """The operator obtained by swapping the two operands."""
+        return {
+            Operator.EQ: Operator.EQ,
+            Operator.NE: Operator.NE,
+            Operator.LT: Operator.GT,
+            Operator.LE: Operator.GE,
+            Operator.GT: Operator.LT,
+            Operator.GE: Operator.LE,
+        }[self]
+
+    def evaluate(self, left: Any, right: Any) -> bool:
+        """Apply the operator with null-aware semantics.
+
+        A null cell never *equals* anything and never satisfies an order
+        comparison, but it does *differ* from a concrete value (``!=`` is
+        satisfied between a null and a non-null operand).  This asymmetry is
+        what the paper's cell-coalition semantics needs: blanking out a dirty
+        cell must not create spurious equality matches, yet a repair
+        algorithm must still be able to notice that the blank disagrees with
+        the values around it and repair it.
+        """
+        left_null, right_null = is_null(left), is_null(right)
+        if left_null or right_null:
+            if self is Operator.NE:
+                return not (left_null and right_null)
+            return False
+        try:
+            return bool(self.python_operator(left, right))
+        except TypeError:
+            # incomparable types (e.g. str vs int after a typo): fall back to
+            # string comparison for the order operators, equality is False.
+            if self in (Operator.EQ,):
+                return False
+            if self in (Operator.NE,):
+                return True
+            return bool(self.python_operator(str(left), str(right)))
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Operator":
+        symbol = symbol.strip()
+        aliases = {
+            "=": cls.EQ, "==": cls.EQ,
+            "!=": cls.NE, "<>": cls.NE, "≠": cls.NE,
+            "<": cls.LT, "<=": cls.LE, "≤": cls.LE,
+            ">": cls.GT, ">=": cls.GE, "≥": cls.GE,
+        }
+        if symbol not in aliases:
+            raise ConstraintError(f"unknown comparison operator {symbol!r}")
+        return aliases[symbol]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Operator → python comparison function, materialised once (the property is
+#: on the hot path of violation detection).
+_PYTHON_OPERATORS = {
+    Operator.EQ: _operator.eq,
+    Operator.NE: _operator.ne,
+    Operator.LT: _operator.lt,
+    Operator.LE: _operator.le,
+    Operator.GT: _operator.gt,
+    Operator.GE: _operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One side of a predicate: either ``<tuple>.<attribute>`` or a constant."""
+
+    tuple_name: str | None  # "t1", "t2", or None for a constant
+    attribute: str | None
+    constant: Any = None
+
+    @classmethod
+    def cell(cls, tuple_name: str, attribute: str) -> "Operand":
+        if tuple_name not in _VALID_TUPLES:
+            raise ConstraintError(f"tuple name must be one of {_VALID_TUPLES}, got {tuple_name!r}")
+        if not attribute:
+            raise ConstraintError("attribute name must be non-empty")
+        return cls(tuple_name=tuple_name, attribute=attribute)
+
+    @classmethod
+    def const(cls, value: Any) -> "Operand":
+        return cls(tuple_name=None, attribute=None, constant=value)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.tuple_name is None
+
+    def resolve(self, assignment: Mapping[str, Mapping[str, Any]]) -> Any:
+        """Look up the operand's value given tuple assignments ``{"t1": row, "t2": row}``."""
+        if self.is_constant:
+            return self.constant
+        row = assignment.get(self.tuple_name)
+        if row is None:
+            raise ConstraintError(f"no assignment for tuple {self.tuple_name!r}")
+        if self.attribute not in row:
+            raise ConstraintError(
+                f"attribute {self.attribute!r} missing from assignment of {self.tuple_name!r}"
+            )
+        return row[self.attribute]
+
+    def __str__(self) -> str:
+        if self.is_constant:
+            return repr(self.constant)
+        return f"{self.tuple_name}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A comparison between two operands, e.g. ``t1.City != t2.City``."""
+
+    left: Operand
+    op: Operator
+    right: Operand
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def between_tuples(cls, attr1: str, op: Operator | str, attr2: str | None = None) -> "Predicate":
+        """Predicate ``t1.attr1 <op> t2.attr2`` (attr2 defaults to attr1)."""
+        if isinstance(op, str):
+            op = Operator.from_symbol(op)
+        return cls(Operand.cell(TUPLE_1, attr1), op, Operand.cell(TUPLE_2, attr2 or attr1))
+
+    @classmethod
+    def with_constant(cls, tuple_name: str, attribute: str, op: Operator | str, value: Any) -> "Predicate":
+        """Predicate ``<tuple>.<attribute> <op> <constant>``."""
+        if isinstance(op, str):
+            op = Operator.from_symbol(op)
+        return cls(Operand.cell(tuple_name, attribute), op, Operand.const(value))
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def is_single_tuple(self) -> bool:
+        """True when the predicate only mentions ``t1`` (and constants)."""
+        tuples = self.tuples_mentioned()
+        return tuples <= {TUPLE_1}
+
+    def tuples_mentioned(self) -> set[str]:
+        names = set()
+        for operand in (self.left, self.right):
+            if not operand.is_constant:
+                names.add(operand.tuple_name)
+        return names
+
+    def attributes_mentioned(self) -> set[str]:
+        return {
+            operand.attribute
+            for operand in (self.left, self.right)
+            if not operand.is_constant
+        }
+
+    def attributes_of(self, tuple_name: str) -> set[str]:
+        """Attributes of a specific tuple mentioned by this predicate."""
+        return {
+            operand.attribute
+            for operand in (self.left, self.right)
+            if not operand.is_constant and operand.tuple_name == tuple_name
+        }
+
+    @property
+    def is_equality_join(self) -> bool:
+        """True for ``t1.A == t2.A`` style predicates (hash-partitionable)."""
+        return (
+            self.op is Operator.EQ
+            and not self.left.is_constant
+            and not self.right.is_constant
+            and self.left.tuple_name != self.right.tuple_name
+            and self.left.attribute == self.right.attribute
+        )
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(self, row1: Mapping[str, Any], row2: Mapping[str, Any] | None = None) -> bool:
+        """Evaluate the predicate on an assignment of ``t1`` (and ``t2``)."""
+        assignment = {TUPLE_1: row1, TUPLE_2: row2 if row2 is not None else row1}
+        left_value = self.left.resolve(assignment)
+        right_value = self.right.resolve(assignment)
+        return self.op.evaluate(left_value, right_value)
+
+    def negated(self) -> "Predicate":
+        return Predicate(self.left, self.op.negate(), self.right)
+
+    def flipped(self) -> "Predicate":
+        """Swap the operands (and the operator direction accordingly)."""
+        return Predicate(self.right, self.op.flip(), self.left)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"

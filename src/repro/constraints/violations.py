@@ -1,0 +1,169 @@
+"""Violation detection engine.
+
+Given a table and a set of denial constraints, find every violating tuple
+(pair).  Two-tuple constraints with at least one ``t1.A == t2.A`` predicate
+are evaluated with hash partitioning on those attributes (only rows sharing
+the equality key can violate); other constraints fall back to a pair scan.
+
+The detector is used by every repair algorithm and — indirectly, through the
+black-box oracle — by every Shapley evaluation, so it is the hottest code
+path of the library.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.constraints.dc import DenialConstraint
+from repro.dataset.table import CellRef, Table
+from repro.engine.index import MultiColumnIndex
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violation: a constraint plus the (ordered) rows that trigger it."""
+
+    constraint: DenialConstraint
+    rows: tuple[int, ...]
+
+    @property
+    def row1(self) -> int:
+        return self.rows[0]
+
+    @property
+    def row2(self) -> int | None:
+        return self.rows[1] if len(self.rows) > 1 else None
+
+    def cells(self) -> list[CellRef]:
+        """Cells referenced by the constraint's predicates for these rows."""
+        return self.constraint.cells_involved(self.row1, self.row2)
+
+    def __str__(self) -> str:
+        row_text = ", ".join(f"t{r + 1}" for r in self.rows)
+        return f"{self.constraint.name}({row_text})"
+
+
+class ViolationSet:
+    """All violations of a constraint set on one table snapshot."""
+
+    def __init__(self, violations: Iterable[Violation] = ()):
+        self._violations: list[Violation] = list(violations)
+        self._by_constraint: dict[str, list[Violation]] = defaultdict(list)
+        self._by_row: dict[int, list[Violation]] = defaultdict(list)
+        self._by_cell: dict[CellRef, list[Violation]] = defaultdict(list)
+        for violation in self._violations:
+            self._register(violation)
+
+    def _register(self, violation: Violation) -> None:
+        self._by_constraint[violation.constraint.name].append(violation)
+        for row in set(violation.rows):
+            self._by_row[row].append(violation)
+        for cell in violation.cells():
+            self._by_cell[cell].append(violation)
+
+    def add(self, violation: Violation) -> None:
+        self._violations.append(violation)
+        self._register(violation)
+
+    # -- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._violations)
+
+    def __bool__(self) -> bool:
+        return bool(self._violations)
+
+    def __iter__(self) -> Iterator[Violation]:
+        return iter(self._violations)
+
+    def for_constraint(self, name: str) -> list[Violation]:
+        return list(self._by_constraint.get(name, ()))
+
+    def for_row(self, row: int) -> list[Violation]:
+        return list(self._by_row.get(row, ()))
+
+    def for_cell(self, cell: CellRef) -> list[Violation]:
+        return list(self._by_cell.get(cell, ()))
+
+    def constraints_violated(self) -> list[str]:
+        return sorted(self._by_constraint)
+
+    def rows_involved(self) -> list[int]:
+        return sorted(self._by_row)
+
+    def cells_involved(self) -> list[CellRef]:
+        return sorted(self._by_cell, key=lambda c: (c.row, c.attribute))
+
+    def count_by_constraint(self) -> dict[str, int]:
+        return {name: len(violations) for name, violations in self._by_constraint.items()}
+
+    def count_for_cell(self, cell: CellRef) -> int:
+        return len(self._by_cell.get(cell, ()))
+
+
+def _violations_single_tuple(table: Table, constraint: DenialConstraint) -> Iterator[Violation]:
+    for row_id in range(table.n_rows):
+        row = table.row(row_id)
+        if constraint.is_violated_by(row):
+            yield Violation(constraint, (row_id,))
+
+
+def _violations_two_tuple(table: Table, constraint: DenialConstraint) -> Iterator[Violation]:
+    equality_attributes = constraint.equality_attributes()
+    rows_cache = [table.row(i) for i in range(table.n_rows)]
+
+    if equality_attributes:
+        index = MultiColumnIndex(table.store, equality_attributes)
+        groups = [rows for _, rows in index.groups() if len(rows) > 1]
+    else:
+        groups = [list(range(table.n_rows))]
+
+    for group in groups:
+        for position, row_i in enumerate(group):
+            for row_j in group[position + 1 :]:
+                if constraint.is_violated_by(rows_cache[row_i], rows_cache[row_j]):
+                    yield Violation(constraint, (row_i, row_j))
+                if constraint.is_violated_by(rows_cache[row_j], rows_cache[row_i]):
+                    yield Violation(constraint, (row_j, row_i))
+
+
+def find_violations(table: Table, constraint: DenialConstraint) -> list[Violation]:
+    """All violations of a single constraint on ``table``.
+
+    For two-tuple constraints both orders of each violating pair are reported
+    (the DC quantifies over ordered pairs); symmetric constraints therefore
+    report each unordered pair twice, which keeps per-tuple violation counts
+    consistent across constraint shapes.
+    """
+    if constraint.is_single_tuple:
+        return list(_violations_single_tuple(table, constraint))
+    return list(_violations_two_tuple(table, constraint))
+
+
+def find_all_violations(table: Table, constraints: Sequence[DenialConstraint]) -> ViolationSet:
+    """Violations of every constraint in ``constraints`` on ``table``."""
+    result = ViolationSet()
+    for constraint in constraints:
+        for violation in find_violations(table, constraint):
+            result.add(violation)
+    return result
+
+
+def violating_rows(table: Table, constraints: Sequence[DenialConstraint]) -> set[int]:
+    """Row ids participating in at least one violation."""
+    return set(find_all_violations(table, constraints).rows_involved())
+
+
+def cells_in_violations(table: Table, constraints: Sequence[DenialConstraint]) -> set[CellRef]:
+    """Cell addresses participating in at least one violation."""
+    return set(find_all_violations(table, constraints).cells_involved())
+
+
+def is_clean(table: Table, constraints: Sequence[DenialConstraint]) -> bool:
+    """True when the table satisfies every constraint."""
+    for constraint in constraints:
+        if find_violations(table, constraint):
+            return False
+    return True

@@ -1,0 +1,54 @@
+"""Table data model, datasets and error injection.
+
+The paper works over a single relational table ``T`` with schema
+``(A_1, ..., A_m)``; ``T^d`` denotes the dirty table and ``T^c`` the repaired
+one.  This subpackage provides:
+
+* :class:`~repro.dataset.table.Table` / :class:`~repro.dataset.table.CellRef`
+  — the cell-addressable table model used across the library,
+* :class:`~repro.dataset.table.RepairDelta` — the diff between a dirty and a
+  clean table,
+* CSV round-tripping (:mod:`~repro.dataset.io`),
+* the paper's running example — the La Liga standings table of Figure 2a —
+  (:mod:`~repro.dataset.examples`), and
+* synthetic dataset generators with configurable error injection
+  (:mod:`~repro.dataset.generators`, :mod:`~repro.dataset.errors`) standing in
+  for the Wikipedia scrape used in the original demo.
+"""
+
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.dataset.table import CellRef, RepairDelta, Table
+from repro.dataset.io import read_csv, write_csv, table_from_records
+from repro.dataset.examples import (
+    la_liga_clean_table,
+    la_liga_dirty_table,
+    la_liga_constraints,
+)
+from repro.dataset.generators import (
+    SoccerLeagueGenerator,
+    HospitalGenerator,
+    FlightsGenerator,
+    TaxGenerator,
+)
+from repro.dataset.errors import ErrorInjector, ErrorSpec, InjectionReport
+
+__all__ = [
+    "AttributeSpec",
+    "Schema",
+    "CellRef",
+    "RepairDelta",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "table_from_records",
+    "la_liga_clean_table",
+    "la_liga_dirty_table",
+    "la_liga_constraints",
+    "SoccerLeagueGenerator",
+    "HospitalGenerator",
+    "FlightsGenerator",
+    "TaxGenerator",
+    "ErrorInjector",
+    "ErrorSpec",
+    "InjectionReport",
+]

@@ -1,0 +1,199 @@
+"""Error injection.
+
+The demo scenario (Section 4 of the paper) starts from a clean table into
+which "errors will be manually added".  :class:`ErrorInjector` automates that
+step so experiments are repeatable: given a clean table it produces a dirty
+table plus a ground-truth record of every injected error, which the
+integration tests and the benchmark harness use to score repairs.
+
+Supported error types mirror the ones data-cleaning papers inject:
+
+* ``typo``        — perturb a string value (character swap / duplication),
+* ``swap``        — replace a value with a different value from the same column,
+* ``domain``      — replace a value with an out-of-domain token (e.g. the
+                    "Capital" / "España" style errors of Figure 2a),
+* ``null``        — blank the cell,
+* ``numeric``     — perturb a numeric value by a random offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.config import make_rng
+from repro.dataset.table import CellChange, CellRef, RepairDelta, Table
+from repro.engine.storage import is_null
+from repro.errors import TRexError
+
+_ERROR_TYPES = ("typo", "swap", "domain", "null", "numeric")
+
+#: Out-of-domain replacement tokens used by ``domain`` errors, in the spirit
+#: of the paper's "Capital" (for Madrid) and "España" (for Spain) examples.
+_DOMAIN_TOKENS = ("Unknown", "N/A", "Capital", "España", "???", "TBD", "Missing")
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """Configuration of one error-injection pass.
+
+    Parameters
+    ----------
+    rate:
+        Fraction of cells (of the eligible attributes) to corrupt.
+    error_types:
+        The error types to draw from, uniformly.
+    attributes:
+        Attributes eligible for corruption; ``None`` means all attributes.
+    """
+
+    rate: float = 0.05
+    error_types: tuple[str, ...] = ("typo", "swap", "domain")
+    attributes: tuple[str, ...] | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise TRexError(f"error rate must be in [0, 1], got {self.rate}")
+        unknown = [t for t in self.error_types if t not in _ERROR_TYPES]
+        if unknown:
+            raise TRexError(f"unknown error types {unknown}; expected subset of {_ERROR_TYPES}")
+        if not self.error_types:
+            raise TRexError("at least one error type is required")
+
+
+@dataclass
+class InjectionReport:
+    """Ground truth produced by an injection pass."""
+
+    injected: list[CellChange] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.injected)
+
+    def cells(self) -> list[CellRef]:
+        return [change.cell for change in self.injected]
+
+    def as_delta(self) -> RepairDelta:
+        """The injected errors as a dirty → clean delta (new value = clean value)."""
+        return RepairDelta(
+            CellChange(change.cell, change.new_value, change.old_value)
+            for change in self.injected
+        )
+
+    def truth(self) -> dict[CellRef, Any]:
+        """Mapping from corrupted cell to its original (correct) value."""
+        return {change.cell: change.old_value for change in self.injected}
+
+
+class ErrorInjector:
+    """Injects synthetic errors into a clean table."""
+
+    def __init__(self, spec: ErrorSpec | None = None, seed=None):
+        self.spec = spec or ErrorSpec()
+        self._rng = make_rng(seed)
+
+    # -- single-error primitives -------------------------------------------------
+
+    def _typo(self, value: Any) -> Any:
+        text = str(value)
+        if len(text) < 2:
+            return text + "x"
+        position = int(self._rng.integers(0, len(text) - 1))
+        chars = list(text)
+        chars[position], chars[position + 1] = chars[position + 1], chars[position]
+        corrupted = "".join(chars)
+        if corrupted == text:
+            corrupted = text + text[-1]
+        return corrupted
+
+    def _swap(self, table: Table, cell: CellRef) -> Any:
+        column_values = [v for v in table.column(cell.attribute) if not is_null(v)]
+        alternatives = sorted({v for v in column_values if v != table[cell]}, key=repr)
+        if not alternatives:
+            return self._typo(table[cell])
+        return alternatives[int(self._rng.integers(0, len(alternatives)))]
+
+    def _domain(self, value: Any) -> Any:
+        candidates = [token for token in _DOMAIN_TOKENS if token != value]
+        return candidates[int(self._rng.integers(0, len(candidates)))]
+
+    def _numeric(self, value: Any) -> Any:
+        try:
+            numeric = float(value)
+        except (TypeError, ValueError):
+            return self._typo(value)
+        offset = int(self._rng.integers(1, 10))
+        corrupted = numeric + offset
+        if isinstance(value, int) or float(value).is_integer():
+            return int(corrupted)
+        return corrupted
+
+    def _corrupt(self, table: Table, cell: CellRef, error_type: str) -> Any:
+        value = table[cell]
+        if error_type == "null":
+            return None
+        if error_type == "typo":
+            return self._typo(value)
+        if error_type == "swap":
+            return self._swap(table, cell)
+        if error_type == "domain":
+            return self._domain(value)
+        if error_type == "numeric":
+            return self._numeric(value)
+        raise TRexError(f"unknown error type {error_type!r}")
+
+    # -- public API -----------------------------------------------------------------
+
+    def eligible_cells(self, table: Table) -> list[CellRef]:
+        attributes = self.spec.attributes or table.attributes
+        return [
+            cell
+            for cell in table.cells()
+            if cell.attribute in attributes and not is_null(table[cell])
+        ]
+
+    def inject(self, clean: Table, n_errors: int | None = None) -> tuple[Table, InjectionReport]:
+        """Return ``(dirty_table, report)``.
+
+        ``n_errors`` overrides the rate-based error count; each corrupted cell
+        receives exactly one error and the corrupted value always differs from
+        the original.
+        """
+        eligible = self.eligible_cells(clean)
+        if not eligible:
+            return clean.copy(name=f"{clean.name}_dirty"), InjectionReport()
+        if n_errors is None:
+            n_errors = max(1, round(self.spec.rate * len(eligible))) if self.spec.rate > 0 else 0
+        n_errors = min(n_errors, len(eligible))
+        chosen_indexes = self._rng.choice(len(eligible), size=n_errors, replace=False)
+        dirty = clean.copy(name=f"{clean.name}_dirty")
+        report = InjectionReport()
+        for index in sorted(int(i) for i in chosen_indexes):
+            cell = eligible[index]
+            error_type = self.spec.error_types[
+                int(self._rng.integers(0, len(self.spec.error_types)))
+            ]
+            original = clean[cell]
+            corrupted = self._corrupt(clean, cell, error_type)
+            if corrupted == original:
+                corrupted = None if error_type != "null" else corrupted
+            dirty.set_value(cell.row, cell.attribute, corrupted)
+            report.injected.append(CellChange(cell, original, corrupted))
+        return dirty, report
+
+
+def inject_errors(
+    clean: Table,
+    rate: float = 0.05,
+    error_types: Iterable[str] = ("typo", "swap", "domain"),
+    attributes: Sequence[str] | None = None,
+    seed=None,
+    n_errors: int | None = None,
+) -> tuple[Table, InjectionReport]:
+    """Functional convenience wrapper around :class:`ErrorInjector`."""
+    spec = ErrorSpec(
+        rate=rate,
+        error_types=tuple(error_types),
+        attributes=tuple(attributes) if attributes is not None else None,
+    )
+    return ErrorInjector(spec, seed=seed).inject(clean, n_errors=n_errors)

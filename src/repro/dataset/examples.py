@@ -1,0 +1,102 @@
+"""The paper's running example: the La Liga standings table of Figure 2.
+
+The paper's Figure 2a shows a six-row soccer standings table with two dirty
+cells in tuple ``t5`` — ``t5[City] = "Capital"`` (should be ``"Madrid"``) and
+``t5[Country] = "España"`` (should be ``"Spain"``) — and Figure 2b the
+repaired table.  The figure itself is an image, so the cell values below are
+reconstructed to satisfy every fact the text states about them:
+
+* C1/C2/C3/C4 are the DCs of Figure 1;
+* ``t3`` and ``t6`` carry Team = "Real Madrid" so that changing ``t6[City]``
+  would create a C1 violation with ``t3`` (Example 1.1);
+* the League value "La Liga" appears in tuples ``t1, t2, t3, t6`` coupled with
+  Country = "Spain" (Example 2.4 uses exactly the pairs
+  ``{t_i[Country], t_i[League]}`` for ``i ∈ {1, 2, 3, 6}``);
+* the clean table satisfies all four DCs and the dirty table violates
+  C1 (via ``t5[City]``), C2 (indirectly, once the city is fixed) and C3
+  (via ``t5[Country]``), but never C4;
+* Algorithm 1 with all four DCs repairs ``t5[City] → "Madrid"`` and
+  ``t5[Country] → "Spain"`` and yields the DC Shapley values reported in
+  Figure 1 (1/6, 1/6, 2/3, 0), which the test-suite checks exactly.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.schema import AttributeSpec, Schema, INTEGER, STRING
+from repro.dataset.table import CellRef, Table
+
+#: Schema of the Figure 2 table.
+LA_LIGA_SCHEMA = Schema(
+    [
+        AttributeSpec("Team", STRING),
+        AttributeSpec("City", STRING),
+        AttributeSpec("Country", STRING),
+        AttributeSpec("League", STRING),
+        AttributeSpec("Year", INTEGER),
+        AttributeSpec("Place", INTEGER),
+    ]
+)
+
+_CLEAN_ROWS = [
+    ["FC Barcelona", "Barcelona", "Spain", "La Liga", 2019, 1],
+    ["Atletico Madrid", "Madrid", "Spain", "La Liga", 2019, 3],
+    ["Real Madrid", "Madrid", "Spain", "La Liga", 2019, 2],
+    ["Liverpool", "Liverpool", "England", "Premier League", 2019, 1],
+    ["Real Madrid", "Madrid", "Spain", "La Liga", 2018, 1],
+    ["Real Madrid", "Madrid", "Spain", "La Liga", 2017, 1],
+]
+
+_DIRTY_ROWS = [
+    ["FC Barcelona", "Barcelona", "Spain", "La Liga", 2019, 1],
+    ["Atletico Madrid", "Madrid", "Spain", "La Liga", 2019, 3],
+    ["Real Madrid", "Madrid", "Spain", "La Liga", 2019, 2],
+    ["Liverpool", "Liverpool", "England", "Premier League", 2019, 1],
+    ["Real Madrid", "Capital", "España", "La Liga", 2018, 1],
+    ["Real Madrid", "Madrid", "Spain", "La Liga", 2017, 1],
+]
+
+#: The dirty cells of Figure 2a (red cells) and their clean values.
+LA_LIGA_DIRTY_CELLS = {
+    CellRef(4, "City"): ("Capital", "Madrid"),
+    CellRef(4, "Country"): ("España", "Spain"),
+}
+
+#: The cell of interest used throughout the paper's examples: t5[Country].
+CELL_OF_INTEREST = CellRef(4, "Country")
+
+#: Textual form of the four DCs of Figure 1, in ASCII syntax understood by
+#: :func:`repro.constraints.parser.parse_dc`.
+LA_LIGA_CONSTRAINT_TEXTS = (
+    "not(t1.Team == t2.Team and t1.City != t2.City)",
+    "not(t1.City == t2.City and t1.Country != t2.Country)",
+    "not(t1.League == t2.League and t1.Country != t2.Country)",
+    "not(t1.Team != t2.Team and t1.Year == t2.Year and t1.League == t2.League and t1.Place == t2.Place)",
+)
+
+#: DC Shapley values reported in Figure 1 for the repair of t5[Country].
+FIGURE1_SHAPLEY_VALUES = {
+    "C1": 1.0 / 6.0,
+    "C2": 1.0 / 6.0,
+    "C3": 2.0 / 3.0,
+    "C4": 0.0,
+}
+
+
+def la_liga_clean_table() -> Table:
+    """The clean standings table of Figure 2b."""
+    return Table(LA_LIGA_SCHEMA, [list(row) for row in _CLEAN_ROWS], name="la_liga_clean")
+
+
+def la_liga_dirty_table() -> Table:
+    """The dirty standings table of Figure 2a (red cells in ``t5``)."""
+    return Table(LA_LIGA_SCHEMA, [list(row) for row in _DIRTY_ROWS], name="la_liga_dirty")
+
+
+def la_liga_constraints():
+    """The four denial constraints of Figure 1 as parsed objects C1–C4."""
+    from repro.constraints.parser import parse_dc
+
+    return [
+        parse_dc(text, name=f"C{index + 1}")
+        for index, text in enumerate(LA_LIGA_CONSTRAINT_TEXTS)
+    ]

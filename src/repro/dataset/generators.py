@@ -1,0 +1,240 @@
+"""Synthetic dataset generators.
+
+Each generator produces a *clean* table whose attribute correlations match a
+well-known data-cleaning benchmark family, together with the denial
+constraints that hold on it.  Combined with
+:class:`repro.dataset.errors.ErrorInjector` they replace the Wikipedia scrape
+used in the original demo (see DESIGN.md, substitution S13) and let the
+benchmark harness scale table sizes arbitrarily.
+
+Generators
+----------
+* :class:`SoccerLeagueGenerator` — league standings (the paper's domain):
+  Team → City, City → Country, League → Country, plus the "no two teams share
+  a place in the same league and year" constraint (C1–C4 of Figure 1).
+* :class:`HospitalGenerator` — provider/measure table (HoloClean's benchmark
+  family): City → State/Zip/County FDs and MeasureCode → MeasureName.
+* :class:`FlightsGenerator` — flight schedule table: Flight → Origin /
+  Destination / ScheduledDeparture FDs.
+* :class:`TaxGenerator` — salary/tax records with a single-tuple style rule
+  (State determines Rate and surcharge flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config import make_rng
+from repro.dataset import distributions as pools
+from repro.dataset.schema import AttributeSpec, Schema, FLOAT, INTEGER, STRING
+from repro.dataset.table import Table
+from repro.errors import TRexError
+
+
+@dataclass
+class GeneratedDataset:
+    """A clean table plus the textual DCs that hold on it."""
+
+    table: Table
+    constraint_texts: tuple[str, ...]
+
+    def constraints(self):
+        """Parse and return the denial constraints (lazy import avoids cycles)."""
+        from repro.constraints.parser import parse_dc
+
+        return [parse_dc(text, name=f"C{i + 1}") for i, text in enumerate(self.constraint_texts)]
+
+
+class _BaseGenerator:
+    """Shared plumbing: seeded RNG + size validation."""
+
+    def __init__(self, seed=None):
+        self._rng = make_rng(seed)
+
+    @staticmethod
+    def _check_rows(n_rows: int) -> None:
+        if n_rows <= 0:
+            raise TRexError(f"n_rows must be positive, got {n_rows}")
+
+
+class SoccerLeagueGenerator(_BaseGenerator):
+    """League-standings tables with the schema of the paper's Figure 2."""
+
+    SCHEMA = Schema(
+        [
+            AttributeSpec("Team", STRING),
+            AttributeSpec("City", STRING),
+            AttributeSpec("Country", STRING),
+            AttributeSpec("League", STRING),
+            AttributeSpec("Year", INTEGER),
+            AttributeSpec("Place", INTEGER),
+        ]
+    )
+
+    CONSTRAINT_TEXTS = (
+        "not(t1.Team == t2.Team and t1.City != t2.City)",
+        "not(t1.City == t2.City and t1.Country != t2.Country)",
+        "not(t1.League == t2.League and t1.Country != t2.Country)",
+        "not(t1.Team != t2.Team and t1.Year == t2.Year and t1.League == t2.League and t1.Place == t2.Place)",
+    )
+
+    def __init__(self, seed=None, years: Sequence[int] = (2017, 2018, 2019), skew: float = 0.6):
+        super().__init__(seed)
+        self.years = tuple(years)
+        self.skew = skew
+
+    def generate(self, n_rows: int = 30) -> GeneratedDataset:
+        """Generate ``n_rows`` standings rows.
+
+        Rows are (team, year) observations; within a (league, year) group the
+        places are a permutation of ``1..k``, which keeps constraint C4
+        satisfied on the clean table.
+        """
+        self._check_rows(n_rows)
+        rows: list[list] = []
+        team_indexes = pools.sample_from_pool(
+            list(range(len(pools.SOCCER_TEAMS))), n_rows, rng=self._rng, exponent=self.skew
+        )
+        # Track used (league, year, place) and (team, year) combinations so the
+        # clean table satisfies C4 and has at most one observation per team-year.
+        next_place: dict[tuple[str, int], int] = {}
+        seen_team_year: set[tuple[str, int]] = set()
+        for index in team_indexes:
+            team, city, country, league = pools.SOCCER_TEAMS[index]
+            year = int(self.years[int(self._rng.integers(0, len(self.years)))])
+            if (team, year) in seen_team_year:
+                # pick the first free year for this team, or skip if exhausted
+                free_years = [y for y in self.years if (team, y) not in seen_team_year]
+                if not free_years:
+                    continue
+                year = int(free_years[0])
+            seen_team_year.add((team, year))
+            place = next_place.get((league, year), 0) + 1
+            next_place[(league, year)] = place
+            rows.append([team, city, country, league, year, place])
+        if not rows:
+            raise TRexError("generator produced no rows; increase n_rows or years")
+        table = Table(self.SCHEMA, rows, name="soccer")
+        return GeneratedDataset(table=table, constraint_texts=self.CONSTRAINT_TEXTS)
+
+
+class HospitalGenerator(_BaseGenerator):
+    """Hospital provider/measure tables (HoloClean's canonical benchmark)."""
+
+    SCHEMA = Schema(
+        [
+            AttributeSpec("ProviderNumber", STRING),
+            AttributeSpec("HospitalName", STRING),
+            AttributeSpec("City", STRING),
+            AttributeSpec("State", STRING),
+            AttributeSpec("ZipCode", STRING),
+            AttributeSpec("County", STRING),
+            AttributeSpec("MeasureCode", STRING),
+            AttributeSpec("MeasureName", STRING),
+        ]
+    )
+
+    CONSTRAINT_TEXTS = (
+        "not(t1.City == t2.City and t1.State != t2.State)",
+        "not(t1.City == t2.City and t1.County != t2.County)",
+        "not(t1.ZipCode == t2.ZipCode and t1.City != t2.City)",
+        "not(t1.MeasureCode == t2.MeasureCode and t1.MeasureName != t2.MeasureName)",
+        "not(t1.ProviderNumber == t2.ProviderNumber and t1.HospitalName != t2.HospitalName)",
+    )
+
+    def generate(self, n_rows: int = 60) -> GeneratedDataset:
+        self._check_rows(n_rows)
+        rows: list[list] = []
+        location_indexes = pools.sample_from_pool(
+            list(range(len(pools.HOSPITAL_LOCATIONS))), n_rows, rng=self._rng, exponent=0.8
+        )
+        measure_indexes = pools.sample_from_pool(
+            list(range(len(pools.HOSPITAL_MEASURES))), n_rows, rng=self._rng, exponent=0.5
+        )
+        for row_id, (loc_index, measure_index) in enumerate(zip(location_indexes, measure_indexes)):
+            city, state, zip_prefix, county = pools.HOSPITAL_LOCATIONS[loc_index]
+            code, name = pools.HOSPITAL_MEASURES[measure_index]
+            provider_number = f"P{loc_index:03d}"
+            hospital_name = f"{city} General Hospital"
+            zip_code = f"{zip_prefix}{loc_index % 10}{row_id % 10}"
+            # ZipCode -> City must hold on the clean table, so derive the zip
+            # deterministically from the location only.
+            zip_code = f"{zip_prefix}{loc_index % 100:02d}"
+            rows.append(
+                [provider_number, hospital_name, city, state, zip_code, county, code, name]
+            )
+        table = Table(self.SCHEMA, rows, name="hospital")
+        return GeneratedDataset(table=table, constraint_texts=self.CONSTRAINT_TEXTS)
+
+
+class FlightsGenerator(_BaseGenerator):
+    """Flight-schedule tables: the Flights benchmark family."""
+
+    SCHEMA = Schema(
+        [
+            AttributeSpec("Airline", STRING),
+            AttributeSpec("Flight", STRING),
+            AttributeSpec("Origin", STRING),
+            AttributeSpec("Destination", STRING),
+            AttributeSpec("ScheduledDeparture", STRING),
+            AttributeSpec("Day", STRING),
+        ]
+    )
+
+    CONSTRAINT_TEXTS = (
+        "not(t1.Flight == t2.Flight and t1.Origin != t2.Origin)",
+        "not(t1.Flight == t2.Flight and t1.Destination != t2.Destination)",
+        "not(t1.Flight == t2.Flight and t1.ScheduledDeparture != t2.ScheduledDeparture)",
+        "not(t1.Flight == t2.Flight and t1.Airline != t2.Airline)",
+    )
+
+    DAYS = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+    def generate(self, n_rows: int = 50) -> GeneratedDataset:
+        self._check_rows(n_rows)
+        rows: list[list] = []
+        route_indexes = pools.sample_from_pool(
+            list(range(len(pools.FLIGHT_ROUTES))), n_rows, rng=self._rng, exponent=0.7
+        )
+        for route_index in route_indexes:
+            airline, flight, origin, destination, departure = pools.FLIGHT_ROUTES[route_index]
+            day = self.DAYS[int(self._rng.integers(0, len(self.DAYS)))]
+            rows.append([airline, flight, origin, destination, departure, day])
+        table = Table(self.SCHEMA, rows, name="flights")
+        return GeneratedDataset(table=table, constraint_texts=self.CONSTRAINT_TEXTS)
+
+
+class TaxGenerator(_BaseGenerator):
+    """Salary/tax records with state-determined rate attributes."""
+
+    SCHEMA = Schema(
+        [
+            AttributeSpec("FirstName", STRING),
+            AttributeSpec("LastName", STRING),
+            AttributeSpec("State", STRING),
+            AttributeSpec("Rate", FLOAT),
+            AttributeSpec("LocalSurcharge", STRING),
+            AttributeSpec("Salary", INTEGER, categorical=False),
+        ]
+    )
+
+    CONSTRAINT_TEXTS = (
+        "not(t1.State == t2.State and t1.Rate != t2.Rate)",
+        "not(t1.State == t2.State and t1.LocalSurcharge != t2.LocalSurcharge)",
+    )
+
+    def generate(self, n_rows: int = 80) -> GeneratedDataset:
+        self._check_rows(n_rows)
+        rows: list[list] = []
+        bracket_indexes = pools.sample_from_pool(
+            list(range(len(pools.TAX_BRACKETS))), n_rows, rng=self._rng, exponent=0.6
+        )
+        for bracket_index in bracket_indexes:
+            state, rate, surcharge = pools.TAX_BRACKETS[bracket_index]
+            first = pools.FIRST_NAMES[int(self._rng.integers(0, len(pools.FIRST_NAMES)))]
+            last = pools.LAST_NAMES[int(self._rng.integers(0, len(pools.LAST_NAMES)))]
+            salary = int(self._rng.integers(30, 200)) * 1000
+            rows.append([first, last, state, rate, surcharge, salary])
+        table = Table(self.SCHEMA, rows, name="tax")
+        return GeneratedDataset(table=table, constraint_texts=self.CONSTRAINT_TEXTS)

@@ -1,0 +1,133 @@
+"""Table schemas.
+
+A schema is an ordered list of named attributes, optionally typed.  Types are
+advisory — the storage layer holds arbitrary Python values — but they let the
+dataset generators, the CSV reader and the HoloClean-style repairer make
+sensible decisions (e.g. outlier detection only applies to numeric columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import SchemaError, UnknownAttributeError
+
+#: Advisory attribute types.
+STRING = "string"
+INTEGER = "integer"
+FLOAT = "float"
+
+_VALID_TYPES = (STRING, INTEGER, FLOAT)
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute of a schema.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within the schema.
+    dtype:
+        One of ``"string"``, ``"integer"``, ``"float"``.
+    categorical:
+        Whether the attribute draws from a small discrete domain.  Repair
+        algorithms only propose candidate values for categorical attributes.
+    """
+
+    name: str
+    dtype: str = STRING
+    categorical: bool = True
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.dtype not in _VALID_TYPES:
+            raise SchemaError(
+                f"invalid dtype {self.dtype!r} for attribute {self.name!r}; "
+                f"expected one of {_VALID_TYPES}"
+            )
+
+    def coerce(self, raw: Any) -> Any:
+        """Coerce a raw (string) value to the attribute's type, keeping nulls."""
+        if raw is None or raw == "":
+            return None
+        if self.dtype == INTEGER:
+            try:
+                return int(raw)
+            except (TypeError, ValueError):
+                return raw
+        if self.dtype == FLOAT:
+            try:
+                return float(raw)
+            except (TypeError, ValueError):
+                return raw
+        return str(raw) if not isinstance(raw, str) else raw
+
+
+class Schema:
+    """Ordered collection of :class:`AttributeSpec`."""
+
+    def __init__(self, attributes: Iterable[AttributeSpec | str]):
+        specs: list[AttributeSpec] = []
+        for attribute in attributes:
+            if isinstance(attribute, AttributeSpec):
+                specs.append(attribute)
+            else:
+                specs.append(AttributeSpec(name=str(attribute)))
+        names = [spec.name for spec in specs]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        if not specs:
+            raise SchemaError("a schema needs at least one attribute")
+        self._specs = tuple(specs)
+        self._by_name = {spec.name: spec for spec in specs}
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self._specs)
+
+    @property
+    def specs(self) -> tuple[AttributeSpec, ...]:
+        return self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[AttributeSpec]:
+        return iter(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> AttributeSpec:
+        if name not in self._by_name:
+            raise UnknownAttributeError(name, self.attribute_names)
+        return self._by_name[name]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._specs == other._specs
+
+    def __hash__(self) -> int:
+        return hash(self._specs)
+
+    def index_of(self, name: str) -> int:
+        """Ordinal position of an attribute in the schema."""
+        if name not in self._by_name:
+            raise UnknownAttributeError(name, self.attribute_names)
+        return self.attribute_names.index(name)
+
+    def categorical_attributes(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self._specs if spec.categorical)
+
+    def numeric_attributes(self) -> tuple[str, ...]:
+        return tuple(
+            spec.name for spec in self._specs if spec.dtype in (INTEGER, FLOAT)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = ", ".join(f"{s.name}:{s.dtype}" for s in self._specs)
+        return f"Schema({parts})"

@@ -1,0 +1,302 @@
+"""The cell-addressable table model.
+
+This module defines the three objects the rest of the library is written in
+terms of:
+
+* :class:`CellRef` — the address ``t_i[A]`` of a single cell,
+* :class:`Table` — an immutable-by-convention table ``T`` with schema
+  ``(A_1, ..., A_m)`` supporting cheap perturbed copies (cells nulled out or
+  replaced), which is exactly what the black-box Shapley queries need, and
+* :class:`RepairDelta` — the set of cell changes between a dirty table
+  ``T^d`` and its repair ``T^c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, NamedTuple, Sequence
+
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.engine.stats import TableStatistics
+from repro.engine.storage import NULL, ColumnStore, is_null
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRowError
+
+
+class CellRef(NamedTuple):
+    """Address of one table cell, ``t_row[attribute]`` in the paper's notation."""
+
+    row: int
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"t{self.row + 1}[{self.attribute}]"
+
+    @classmethod
+    def parse(cls, text: str) -> "CellRef":
+        """Parse the paper's ``t5[Country]`` notation (1-based row index)."""
+        text = text.strip()
+        if not text.startswith("t") or "[" not in text or not text.endswith("]"):
+            raise SchemaError(f"cannot parse cell reference {text!r}")
+        row_part, _, attr_part = text[1:-1].partition("[")
+        try:
+            row = int(row_part) - 1
+        except ValueError as exc:
+            raise SchemaError(f"cannot parse cell reference {text!r}") from exc
+        if row < 0:
+            raise SchemaError(f"cell reference {text!r} has a non-positive row index")
+        return cls(row=row, attribute=attr_part)
+
+
+@dataclass(frozen=True)
+class CellChange:
+    """One repaired cell: its address, original value and repaired value."""
+
+    cell: CellRef
+    old_value: Any
+    new_value: Any
+
+    def __str__(self) -> str:
+        return f"{self.cell}: {self.old_value!r} -> {self.new_value!r}"
+
+
+class RepairDelta:
+    """The difference between a dirty table and a repaired table."""
+
+    def __init__(self, changes: Iterable[CellChange]):
+        self._changes: dict[CellRef, CellChange] = {
+            change.cell: change for change in changes
+        }
+
+    def __len__(self) -> int:
+        return len(self._changes)
+
+    def __bool__(self) -> bool:
+        return bool(self._changes)
+
+    def __contains__(self, cell: CellRef) -> bool:
+        return cell in self._changes
+
+    def __iter__(self) -> Iterator[CellChange]:
+        return iter(sorted(self._changes.values(), key=lambda c: (c.cell.row, c.cell.attribute)))
+
+    def cells(self) -> list[CellRef]:
+        """Addresses of all repaired cells (row-major order)."""
+        return [change.cell for change in self]
+
+    def change_for(self, cell: CellRef) -> CellChange | None:
+        return self._changes.get(cell)
+
+    def new_value(self, cell: CellRef) -> Any:
+        change = self._changes.get(cell)
+        return change.new_value if change is not None else None
+
+    def to_dict(self) -> dict[CellRef, tuple[Any, Any]]:
+        return {
+            cell: (change.old_value, change.new_value)
+            for cell, change in self._changes.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RepairDelta({len(self)} cells changed)"
+
+
+class Table:
+    """A relational table ``T`` with schema ``(A_1, ..., A_m)``.
+
+    The table is mutable through :meth:`set_value`, but every transformation
+    used by the explanation pipeline (:meth:`with_values`, :meth:`with_cells_nulled`,
+    :meth:`copy`) returns a new instance, so shared tables are never modified
+    behind a caller's back.
+    """
+
+    def __init__(self, schema: Schema | Sequence[str], rows: Iterable[Sequence[Any]], name: str = "T"):
+        if not isinstance(schema, Schema):
+            schema = Schema([AttributeSpec(str(a)) for a in schema])
+        self.schema = schema
+        self.name = name
+        self._store = ColumnStore.from_rows(schema.attribute_names, rows)
+        self._stats: TableStatistics | None = None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, columns: Mapping[str, Sequence[Any]], name: str = "T") -> "Table":
+        schema = Schema(list(columns.keys()))
+        rows = zip(*columns.values()) if columns else []
+        return cls(schema, rows, name=name)
+
+    @classmethod
+    def _from_store(cls, schema: Schema, store: ColumnStore, name: str) -> "Table":
+        table = cls.__new__(cls)
+        table.schema = schema
+        table.name = name
+        table._store = store
+        table._stats = None
+        return table
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._store.n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return self._store.n_columns
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_rows * self.n_columns
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self.schema.attribute_names
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    # -- access ----------------------------------------------------------------
+
+    def value(self, row: int, attribute: str) -> Any:
+        return self._store.value(row, attribute)
+
+    def __getitem__(self, cell: CellRef) -> Any:
+        return self._store.value(cell.row, cell.attribute)
+
+    def row(self, row: int) -> dict[str, Any]:
+        """The row as an attribute → value mapping."""
+        values = self._store.row(row)
+        return dict(zip(self.attributes, values))
+
+    def row_tuple(self, row: int) -> tuple[Any, ...]:
+        return self._store.row(row)
+
+    def column(self, attribute: str):
+        return self._store.column(attribute)
+
+    def cells(self) -> Iterator[CellRef]:
+        """Iterate over all cell addresses in row-major (vectorised) order.
+
+        The order matches Example 2.5's vectorisation
+        ``x_T = (t1[A_1], t1[A_2], ..., t2[A_1], ..., t_n[A_m])``.
+        """
+        for row in range(self.n_rows):
+            for attribute in self.attributes:
+                yield CellRef(row, attribute)
+
+    def cell_values(self) -> dict[CellRef, Any]:
+        return {cell: self[cell] for cell in self.cells()}
+
+    def is_null(self, cell: CellRef) -> bool:
+        return is_null(self[cell])
+
+    # -- mutation / transformation ----------------------------------------------
+
+    def set_value(self, row: int, attribute: str, value: Any) -> None:
+        """In-place cell update (invalidates cached statistics)."""
+        self._store.set_value(row, attribute, value)
+        self._stats = None
+
+    def copy(self, name: str | None = None) -> "Table":
+        return Table._from_store(self.schema, self._store.copy(), name or self.name)
+
+    def with_values(self, assignments: Mapping[CellRef, Any], name: str | None = None) -> "Table":
+        """A copy of the table with the given cells replaced."""
+        clone = self.copy(name=name)
+        for cell, value in assignments.items():
+            clone.set_value(cell.row, cell.attribute, value)
+        return clone
+
+    def with_cells_nulled(self, cells: Iterable[CellRef], name: str | None = None) -> "Table":
+        """A copy with the given cells set to null.
+
+        This realises the paper's coalition semantics for cell Shapley values:
+        ``S ⊆ T^d`` means every cell outside ``S`` is null.
+        """
+        return self.with_values({cell: NULL for cell in cells}, name=name)
+
+    def restricted_to_coalition(self, coalition: Iterable[CellRef]) -> "Table":
+        """A copy where every cell *not* in ``coalition`` is nulled out."""
+        keep = set(coalition)
+        to_null = [cell for cell in self.cells() if cell not in keep]
+        return self.with_cells_nulled(to_null)
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def stats(self) -> TableStatistics:
+        """Column/co-occurrence statistics of the current snapshot (cached)."""
+        if self._stats is None:
+            self._stats = TableStatistics(self._store)
+        return self._stats
+
+    @property
+    def store(self) -> ColumnStore:
+        return self._store
+
+    # -- comparison ---------------------------------------------------------------
+
+    def equals(self, other: "Table") -> bool:
+        return self.schema == other.schema and self._store.equals(other._store)
+
+    def diff(self, other: "Table") -> RepairDelta:
+        """Cells whose value differs between ``self`` (dirty) and ``other`` (clean)."""
+        if self.schema != other.schema or self.n_rows != other.n_rows:
+            raise SchemaError("cannot diff tables with different shapes or schemas")
+        changes = []
+        for cell in self.cells():
+            old_value = self[cell]
+            new_value = other[cell]
+            if old_value != new_value and not (is_null(old_value) and is_null(new_value)):
+                changes.append(CellChange(cell, old_value, new_value))
+        return RepairDelta(changes)
+
+    def fingerprint(self) -> tuple:
+        """Hashable snapshot used to memoise black-box repair calls."""
+        return self._store.fingerprint()
+
+    # -- validation / rendering ----------------------------------------------------
+
+    def validate_cell(self, cell: CellRef) -> CellRef:
+        """Raise if ``cell`` does not address a cell of this table."""
+        if cell.attribute not in self.schema:
+            raise UnknownAttributeError(cell.attribute, self.attributes)
+        if not 0 <= cell.row < self.n_rows:
+            raise UnknownRowError(cell.row, self.n_rows)
+        return cell
+
+    def to_records(self) -> list[dict[str, Any]]:
+        return [self.row(i) for i in range(self.n_rows)]
+
+    def to_text(self, highlight: Iterable[CellRef] = ()) -> str:
+        """Render a fixed-width textual view (used by reports and examples).
+
+        Cells listed in ``highlight`` are wrapped in ``*stars*`` — the textual
+        stand-in for the coloured highlighting of the original web GUI.
+        """
+        highlight = set(highlight)
+        header = ["#", *self.attributes]
+        body: list[list[str]] = []
+        for row in range(self.n_rows):
+            rendered = [f"t{row + 1}"]
+            for attribute in self.attributes:
+                value = self.value(row, attribute)
+                text = "" if is_null(value) else str(value)
+                if CellRef(row, attribute) in highlight:
+                    text = f"*{text}*"
+                rendered.append(text)
+            body.append(rendered)
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+            "  ".join("-" * widths[i] for i in range(len(header))),
+        ]
+        for rendered in body:
+            lines.append("  ".join(rendered[i].ljust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Table({self.name!r}, {self.n_rows} rows x {self.n_columns} columns)"

@@ -1,0 +1,83 @@
+"""Tiny predicate-evaluation layer over :class:`ColumnStore`.
+
+Denial-constraint checking needs two primitives:
+
+* ``select_rows`` — single-table selection with a row predicate, and
+* ``pairs_matching`` — enumerate ordered row pairs that agree on a set of
+  equality attributes (hash partitioned), optionally filtered by an arbitrary
+  pair predicate.
+
+Both treat nulls as non-matching, mirroring SQL three-valued logic for the
+comparisons the repair algorithms rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.engine.index import MultiColumnIndex
+from repro.engine.storage import ColumnStore, is_null
+
+RowPredicate = Callable[[int], bool]
+PairPredicate = Callable[[int, int], bool]
+
+
+def select_rows(store: ColumnStore, predicate: RowPredicate) -> list[int]:
+    """Return the ids of rows satisfying ``predicate`` (called with a row id)."""
+    return [row for row in range(store.n_rows) if predicate(row)]
+
+
+def rows_with_value(store: ColumnStore, attribute: str, value: Any) -> list[int]:
+    """Rows whose ``attribute`` equals ``value`` (nulls never match)."""
+    if is_null(value):
+        return []
+    column = store.column(attribute)
+    return [row for row in range(store.n_rows) if column[row] == value]
+
+
+def pairs_matching(
+    store: ColumnStore,
+    equality_attributes: Sequence[str],
+    pair_predicate: PairPredicate | None = None,
+    ordered: bool = True,
+) -> Iterator[tuple[int, int]]:
+    """Enumerate row pairs that agree on every attribute in ``equality_attributes``.
+
+    Parameters
+    ----------
+    store:
+        The table to scan.
+    equality_attributes:
+        Attributes on which both rows must carry equal, non-null values.  When
+        empty, all distinct row pairs are enumerated (quadratic fallback used
+        by purely order-based constraints).
+    pair_predicate:
+        Optional extra filter evaluated on each candidate ``(row1, row2)``.
+    ordered:
+        If ``True`` yield both ``(i, j)`` and ``(j, i)`` (denial constraints
+        quantify over ordered tuple pairs); otherwise each unordered pair is
+        yielded once with ``i < j``.
+    """
+    if equality_attributes:
+        index = MultiColumnIndex(store, equality_attributes)
+        candidate_groups: Iterable[list[int]] = (rows for _, rows in index.groups())
+    else:
+        candidate_groups = [list(range(store.n_rows))]
+
+    for rows in candidate_groups:
+        for position, row_i in enumerate(rows):
+            for row_j in rows[position + 1 :]:
+                if pair_predicate is None or pair_predicate(row_i, row_j):
+                    yield (row_i, row_j)
+                    if ordered:
+                        # the reversed pair may satisfy an asymmetric predicate
+                        # (e.g. order comparisons), so re-check it explicitly
+                        if pair_predicate is None or pair_predicate(row_j, row_i):
+                            yield (row_j, row_i)
+                elif ordered and pair_predicate is not None and pair_predicate(row_j, row_i):
+                    yield (row_j, row_i)
+
+
+def count_distinct(store: ColumnStore, attribute: str) -> int:
+    """Number of distinct non-null values in a column."""
+    return len({value for value in store.column(attribute) if not is_null(value)})

@@ -1,0 +1,184 @@
+"""Column and co-occurrence statistics.
+
+The repair algorithms in the paper are statistics driven:
+
+* Algorithm 1 repairs a violating ``City`` to ``argmax_c P[City = c]`` and a
+  violating ``Country`` to ``argmax_c P[Country = c | City = t[City]]``.
+* The HoloClean-style repairer scores candidate values by co-occurrence with
+  the other cells of the tuple.
+* The sampling-based cell-Shapley estimator (Example 2.5) replaces
+  out-of-coalition cells with values drawn from the column distribution.
+
+This module provides those three quantities over a :class:`ColumnStore`:
+marginal distributions, conditional (pairwise) distributions and samplers.
+Null cells are excluded from every count.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Hashable, Iterable
+
+import numpy as np
+
+from repro.config import make_rng
+from repro.engine.storage import ColumnStore, is_null
+
+
+class ColumnStatistics:
+    """Marginal value distribution of a single column."""
+
+    __slots__ = ("attribute", "_counts", "_total")
+
+    def __init__(self, store: ColumnStore, attribute: str):
+        self.attribute = attribute
+        counts: Counter = Counter()
+        for value in store.column(attribute):
+            if not is_null(value):
+                counts[value] += 1
+        self._counts = counts
+        self._total = sum(counts.values())
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def count(self, value: Any) -> int:
+        return self._counts.get(value, 0)
+
+    def frequency(self, value: Any) -> float:
+        """P[A = value] over non-null cells (0.0 on an all-null column)."""
+        if self._total == 0:
+            return 0.0
+        return self._counts.get(value, 0) / self._total
+
+    def most_common(self, default: Any = None) -> Any:
+        """The modal value, ties broken deterministically by string order."""
+        if not self._counts:
+            return default
+        best_count = max(self._counts.values())
+        candidates = sorted(
+            (value for value, count in self._counts.items() if count == best_count),
+            key=repr,
+        )
+        return candidates[0]
+
+    def domain(self) -> list[Any]:
+        """Distinct non-null values, deterministically ordered."""
+        return sorted(self._counts, key=repr)
+
+    def sample(self, rng=None, size: int | None = None):
+        """Draw value(s) from the empirical column distribution.
+
+        This is exactly the replacement distribution of Example 2.5: "values
+        of cells that are not part of the coalition will be replaced with a
+        sample value from their column distribution".
+        """
+        rng = make_rng(rng)
+        values = list(self._counts.keys())
+        if not values:
+            return None if size is None else [None] * size
+        weights = np.array([self._counts[v] for v in values], dtype=float)
+        weights /= weights.sum()
+        if size is None:
+            return values[int(rng.choice(len(values), p=weights))]
+        picks = rng.choice(len(values), size=size, p=weights)
+        return [values[int(i)] for i in picks]
+
+    def entropy(self) -> float:
+        """Shannon entropy of the column distribution (bits)."""
+        if self._total == 0:
+            return 0.0
+        probabilities = np.array(
+            [count / self._total for count in self._counts.values()], dtype=float
+        )
+        return float(-(probabilities * np.log2(probabilities)).sum())
+
+    def items(self) -> Iterable[tuple[Any, int]]:
+        return self._counts.items()
+
+
+class CooccurrenceStatistics:
+    """Pairwise conditional distributions ``P[B = b | A = a]``.
+
+    Built lazily per attribute pair and cached, because the repair algorithms
+    only ever condition on a handful of pairs (e.g. Country given City).
+    """
+
+    def __init__(self, store: ColumnStore):
+        self._store = store
+        self._pair_counts: dict[tuple[str, str], dict[Hashable, Counter]] = {}
+
+    def _counts_for(self, given: str, target: str) -> dict[Hashable, Counter]:
+        key = (given, target)
+        if key not in self._pair_counts:
+            counts: dict[Hashable, Counter] = defaultdict(Counter)
+            given_column = self._store.column(given)
+            target_column = self._store.column(target)
+            for row in range(self._store.n_rows):
+                given_value = given_column[row]
+                target_value = target_column[row]
+                if is_null(given_value) or is_null(target_value):
+                    continue
+                counts[given_value][target_value] += 1
+            self._pair_counts[key] = dict(counts)
+        return self._pair_counts[key]
+
+    def conditional_probability(
+        self, target: str, target_value: Any, given: str, given_value: Any
+    ) -> float:
+        """Return ``P[target = target_value | given = given_value]``."""
+        counts = self._counts_for(given, target).get(given_value)
+        if not counts:
+            return 0.0
+        total = sum(counts.values())
+        return counts.get(target_value, 0) / total
+
+    def most_probable(
+        self, target: str, given: str, given_value: Any, default: Any = None
+    ) -> Any:
+        """``argmax_v P[target = v | given = given_value]``.
+
+        Falls back to ``default`` when the conditioning value never co-occurs
+        with a non-null target (e.g. the city is itself an unseen typo).
+        Ties are broken deterministically by string order.
+        """
+        counts = self._counts_for(given, target).get(given_value)
+        if not counts:
+            return default
+        best = max(counts.values())
+        candidates = sorted(
+            (value for value, count in counts.items() if count == best), key=repr
+        )
+        return candidates[0]
+
+    def cooccurrence_count(
+        self, attr_a: str, value_a: Any, attr_b: str, value_b: Any
+    ) -> int:
+        """Number of rows where both cells carry the given values."""
+        counts = self._counts_for(attr_a, attr_b).get(value_a)
+        if not counts:
+            return 0
+        return counts.get(value_b, 0)
+
+
+class TableStatistics:
+    """Bundle of marginal + pairwise statistics for one table snapshot."""
+
+    def __init__(self, store: ColumnStore):
+        self._store = store
+        self._marginals: dict[str, ColumnStatistics] = {}
+        self.cooccurrence = CooccurrenceStatistics(store)
+
+    def marginal(self, attribute: str) -> ColumnStatistics:
+        if attribute not in self._marginals:
+            self._marginals[attribute] = ColumnStatistics(self._store, attribute)
+        return self._marginals[attribute]
+
+    def most_common(self, attribute: str, default: Any = None) -> Any:
+        return self.marginal(attribute).most_common(default)
+
+    def most_probable_given(
+        self, target: str, given: str, given_value: Any, default: Any = None
+    ) -> Any:
+        return self.cooccurrence.most_probable(target, given, given_value, default)

@@ -1,0 +1,151 @@
+"""Columnar storage primitives.
+
+The T-REx pipeline repeatedly materialises perturbed copies of the input
+table (tens of thousands of copies during cell-Shapley sampling), so the
+storage layer is designed around cheap copies: each column is an independent
+``numpy`` object array and copies share nothing mutable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRowError
+
+#: Sentinel used to represent a missing / nulled-out cell.  ``None`` is used
+#: (rather than ``numpy.nan``) because columns hold arbitrary Python values.
+NULL = None
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` if ``value`` represents a missing cell."""
+    if value is None:
+        return True
+    if isinstance(value, float) and np.isnan(value):
+        return True
+    return False
+
+
+class ColumnStore:
+    """A minimal columnar store: ordered named columns of equal length.
+
+    The store is intentionally dumb — no types beyond "Python object", no
+    persistence — because the repair and explanation layers only need cell
+    addressing, column scans and cheap whole-table copies.
+    """
+
+    __slots__ = ("_columns", "_names", "_n_rows")
+
+    def __init__(self, columns: Mapping[str, Sequence[Any]]):
+        if not columns:
+            raise SchemaError("a ColumnStore needs at least one column")
+        self._names: tuple[str, ...] = tuple(columns.keys())
+        lengths = {name: len(values) for name, values in columns.items()}
+        unique_lengths = set(lengths.values())
+        if len(unique_lengths) > 1:
+            raise SchemaError(f"columns have inconsistent lengths: {lengths}")
+        self._n_rows = unique_lengths.pop() if unique_lengths else 0
+        self._columns: dict[str, np.ndarray] = {
+            name: np.array(list(values), dtype=object) for name, values in columns.items()
+        }
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, names: Sequence[str], rows: Iterable[Sequence[Any]]) -> "ColumnStore":
+        """Build a store from row tuples (each row ordered like ``names``)."""
+        rows = [tuple(row) for row in rows]
+        for row in rows:
+            if len(row) != len(names):
+                raise SchemaError(
+                    f"row {row!r} has {len(row)} values but schema has {len(names)} attributes"
+                )
+        columns = {name: [row[i] for row in rows] for i, name in enumerate(names)}
+        if not rows:
+            columns = {name: [] for name in names}
+        return cls(columns)
+
+    # -- basic introspection ---------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._names)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    # -- access ---------------------------------------------------------------
+
+    def _check_column(self, name: str) -> None:
+        if name not in self._columns:
+            raise UnknownAttributeError(name, self._names)
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self._n_rows:
+            raise UnknownRowError(row, self._n_rows)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the column as a read-only numpy object array view."""
+        self._check_column(name)
+        view = self._columns[name].view()
+        view.flags.writeable = False
+        return view
+
+    def value(self, row: int, name: str) -> Any:
+        self._check_column(name)
+        self._check_row(row)
+        return self._columns[name][row]
+
+    def row(self, row: int) -> tuple[Any, ...]:
+        self._check_row(row)
+        return tuple(self._columns[name][row] for name in self._names)
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        for i in range(self._n_rows):
+            yield self.row(i)
+
+    # -- mutation --------------------------------------------------------------
+
+    def set_value(self, row: int, name: str, value: Any) -> None:
+        self._check_column(name)
+        self._check_row(row)
+        self._columns[name][row] = value
+
+    def copy(self) -> "ColumnStore":
+        """Return a deep-enough copy (fresh arrays, shared immutable values)."""
+        clone = ColumnStore.__new__(ColumnStore)
+        clone._names = self._names
+        clone._n_rows = self._n_rows
+        clone._columns = {name: col.copy() for name, col in self._columns.items()}
+        return clone
+
+    # -- comparison / hashing helpers -------------------------------------------
+
+    def fingerprint(self) -> tuple:
+        """A hashable snapshot of the whole store, used for oracle memoisation."""
+        return tuple(
+            (name, tuple(self._columns[name].tolist())) for name in self._names
+        )
+
+    def equals(self, other: "ColumnStore") -> bool:
+        if self._names != other._names or self._n_rows != other._n_rows:
+            return False
+        return all(
+            list(self._columns[name]) == list(other._columns[name]) for name in self._names
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ColumnStore({self.n_rows} rows x {self.n_columns} columns)"

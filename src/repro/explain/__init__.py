@@ -1,0 +1,54 @@
+"""The T-REx explanation layer.
+
+This is the user-facing part of the system (Figure 4 of the paper): given a
+repair algorithm, a constraint set, a dirty table and a repaired cell of
+interest, compute the Shapley values of the constraints and of the table
+cells, rank them, render reports (the textual stand-in for the web GUI of
+Figure 3) and support the iterative repair → explain → edit loop of the demo
+scenario (Section 4).
+"""
+
+from repro.explain.explainer import TRExExplainer, Explanation
+from repro.explain.ranking import (
+    Ranking,
+    rank_items,
+    top_k,
+    kendall_tau,
+    ranking_overlap,
+    normalised_scores,
+)
+from repro.explain.report import ExplanationReport, render_table_with_highlights
+from repro.explain.session import RepairSession, SessionStep
+from repro.explain.counterfactual import (
+    minimal_constraint_counterfactuals,
+    minimal_cell_counterfactuals,
+    counterfactual_report,
+)
+from repro.explain.serialize import (
+    explanation_to_dict,
+    explanation_from_dict,
+    save_explanation,
+    load_explanation,
+)
+
+__all__ = [
+    "TRExExplainer",
+    "Explanation",
+    "Ranking",
+    "rank_items",
+    "top_k",
+    "kendall_tau",
+    "ranking_overlap",
+    "normalised_scores",
+    "ExplanationReport",
+    "render_table_with_highlights",
+    "RepairSession",
+    "SessionStep",
+    "minimal_constraint_counterfactuals",
+    "minimal_cell_counterfactuals",
+    "counterfactual_report",
+    "explanation_to_dict",
+    "explanation_from_dict",
+    "save_explanation",
+    "load_explanation",
+]

@@ -1,0 +1,115 @@
+"""Counterfactual repair explanations.
+
+Shapley values answer "how much did each constraint / cell contribute?".
+The complementary question a user acts on — "what is the smallest change to
+my input that flips this repair?" — is a *counterfactual* explanation.  This
+module computes two kinds, both by querying the same black-box oracle T-REx
+already uses:
+
+* :func:`minimal_constraint_counterfactuals` — the minimal subsets of the
+  constraint set whose removal stops the cell of interest from being repaired
+  to its current value (for the running example: remove {C3, C1} or {C3, C2});
+* :func:`minimal_cell_counterfactuals` — the minimal sets of *other* cells
+  whose removal (nulling) stops the repair, i.e. the cells the repair truly
+  depends on.
+
+Both are exponential in the worst case and therefore bounded by a
+``max_size`` parameter; within that bound the enumeration is exact and only
+minimal sets are reported.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.dataset.table import CellRef
+from repro.repair.base import BinaryRepairOracle
+
+
+def _minimal_sets(candidates: Sequence, predicate, max_size: int) -> list[frozenset]:
+    """All inclusion-minimal subsets of ``candidates`` (up to ``max_size``)
+    for which ``predicate(subset)`` is true."""
+    minimal: list[frozenset] = []
+    for size in range(1, max_size + 1):
+        for combo in combinations(candidates, size):
+            candidate = frozenset(combo)
+            if any(existing <= candidate for existing in minimal):
+                continue
+            if predicate(candidate):
+                minimal.append(candidate)
+    return minimal
+
+
+def minimal_constraint_counterfactuals(
+    oracle: BinaryRepairOracle, max_size: int | None = None
+) -> list[frozenset[str]]:
+    """Minimal constraint subsets whose *removal* undoes the repair.
+
+    A subset ``R`` is a counterfactual when running the repair with the
+    constraints ``C \\ R`` no longer repairs the cell of interest to its
+    reference clean value.  Returns the constraint names, smallest sets first.
+    """
+    names = [constraint.name for constraint in oracle.constraints]
+    by_name = {constraint.name: constraint for constraint in oracle.constraints}
+    limit = max_size if max_size is not None else len(names)
+
+    def repair_fails_without(removed: frozenset) -> bool:
+        remaining = [by_name[name] for name in names if name not in removed]
+        return oracle.query_constraint_subset(remaining) == 0
+
+    if not repair_fails_without(frozenset(names)):
+        # even with no constraints at all the cell still ends up at the target
+        # value, so no constraint-removal counterfactual exists
+        return []
+    return _minimal_sets(names, repair_fails_without, limit)
+
+
+def minimal_cell_counterfactuals(
+    oracle: BinaryRepairOracle,
+    candidate_cells: Iterable[CellRef] | None = None,
+    max_size: int = 2,
+) -> list[frozenset[CellRef]]:
+    """Minimal sets of cells whose nulling undoes the repair.
+
+    ``candidate_cells`` bounds the search space (defaults to every cell except
+    the cell of interest); ``max_size`` bounds the counterfactual size, which
+    keeps the number of black-box queries polynomial.
+    """
+    table = oracle.dirty_table
+    if candidate_cells is None:
+        candidates = [cell for cell in table.cells() if cell != oracle.cell]
+    else:
+        candidates = [cell for cell in candidate_cells if cell != oracle.cell]
+
+    def repair_fails_without(removed: frozenset) -> bool:
+        perturbed = table.with_cells_nulled(removed)
+        return oracle.query_table(perturbed) == 0
+
+    if repair_fails_without(frozenset()):
+        # the repair does not even happen on the unperturbed table: nothing to undo
+        return []
+    return _minimal_sets(candidates, repair_fails_without, max_size)
+
+
+def counterfactual_report(
+    oracle: BinaryRepairOracle,
+    constraint_sets: Sequence[frozenset[str]],
+    cell_sets: Sequence[frozenset[CellRef]] = (),
+) -> str:
+    """Render counterfactual sets as a short textual report."""
+    lines = [
+        f"Counterfactuals for the repair of {oracle.cell} "
+        f"(currently repaired to {oracle.target_value!r}):",
+    ]
+    if constraint_sets:
+        lines.append("  Removing any of these constraint sets undoes the repair:")
+        for subset in sorted(constraint_sets, key=lambda s: (len(s), sorted(s))):
+            lines.append(f"    - {{{', '.join(sorted(subset))}}}")
+    else:
+        lines.append("  No constraint-removal counterfactual exists.")
+    if cell_sets:
+        lines.append("  Nulling any of these cell sets undoes the repair:")
+        for subset in sorted(cell_sets, key=lambda s: (len(s), sorted(str(c) for c in s))):
+            lines.append(f"    - {{{', '.join(sorted(str(c) for c in subset))}}}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Ranking utilities.
+
+T-REx presents constraints and cells "ranked from highest to lowest in terms
+of their Shapley value".  This module holds the ranking plumbing shared by the
+explainer and the reports, plus the rank-comparison measures (Kendall tau,
+top-k overlap) used by the algorithm-agnosticism experiment (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Sequence
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class RankedItem:
+    """One entry of a ranking: the item, its score and its 1-based rank."""
+
+    item: Item
+    score: float
+    rank: int
+
+
+class Ranking:
+    """A ranking of items by decreasing score with deterministic tie-breaks."""
+
+    def __init__(self, scores: Mapping[Item, float]):
+        ordered = sorted(scores.items(), key=lambda pair: (-pair[1], repr(pair[0])))
+        self._entries = tuple(
+            RankedItem(item=item, score=float(score), rank=index + 1)
+            for index, (item, score) in enumerate(ordered)
+        )
+        self._by_item = {entry.item: entry for entry in self._entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> RankedItem:
+        return self._entries[index]
+
+    def items(self) -> list[Item]:
+        return [entry.item for entry in self._entries]
+
+    def scores(self) -> dict[Item, float]:
+        return {entry.item: entry.score for entry in self._entries}
+
+    def rank_of(self, item: Item) -> int | None:
+        entry = self._by_item.get(item)
+        return entry.rank if entry is not None else None
+
+    def score_of(self, item: Item, default: float = 0.0) -> float:
+        entry = self._by_item.get(item)
+        return entry.score if entry is not None else default
+
+    def top(self, k: int = 1) -> list[Item]:
+        return [entry.item for entry in self._entries[:k]]
+
+    def nonzero(self, tolerance: float = 1e-12) -> "Ranking":
+        """The sub-ranking of items with |score| above ``tolerance``."""
+        return Ranking({e.item: e.score for e in self._entries if abs(e.score) > tolerance})
+
+
+def rank_items(scores: Mapping[Item, float]) -> Ranking:
+    """Build a :class:`Ranking` from a score mapping."""
+    return Ranking(scores)
+
+
+def top_k(scores: Mapping[Item, float], k: int) -> list[Item]:
+    """The ``k`` highest-scoring items."""
+    return Ranking(scores).top(k)
+
+
+def normalised_scores(scores: Mapping[Item, float]) -> dict[Item, float]:
+    """Scores rescaled to [0, 1] by the maximum absolute score (for colouring)."""
+    if not scores:
+        return {}
+    maximum = max(abs(value) for value in scores.values())
+    if maximum == 0:
+        return {item: 0.0 for item in scores}
+    return {item: abs(value) / maximum for item, value in scores.items()}
+
+
+def kendall_tau(ranking_a: Sequence[Item] | Ranking, ranking_b: Sequence[Item] | Ranking) -> float:
+    """Kendall rank-correlation between two rankings of the same item set.
+
+    Items missing from either ranking are ignored; returns 1.0 for identical
+    orders, -1.0 for reversed orders and 0.0 when fewer than two common items
+    exist.
+    """
+    items_a = ranking_a.items() if isinstance(ranking_a, Ranking) else list(ranking_a)
+    items_b = ranking_b.items() if isinstance(ranking_b, Ranking) else list(ranking_b)
+    common = [item for item in items_a if item in set(items_b)]
+    if len(common) < 2:
+        return 0.0
+    position_b = {item: index for index, item in enumerate(items_b)}
+    concordant = 0
+    discordant = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            first, second = common[i], common[j]
+            if position_b[first] < position_b[second]:
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    return (concordant - discordant) / total if total else 0.0
+
+
+def ranking_overlap(ranking_a: Sequence[Item] | Ranking, ranking_b: Sequence[Item] | Ranking,
+                    k: int = 3) -> float:
+    """Jaccard overlap of the top-``k`` items of two rankings (0.0–1.0)."""
+    top_a = set((ranking_a.top(k) if isinstance(ranking_a, Ranking) else list(ranking_a)[:k]))
+    top_b = set((ranking_b.top(k) if isinstance(ranking_b, Ranking) else list(ranking_b)[:k]))
+    if not top_a and not top_b:
+        return 1.0
+    union = top_a | top_b
+    return len(top_a & top_b) / len(union) if union else 1.0

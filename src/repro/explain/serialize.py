@@ -1,0 +1,117 @@
+"""JSON serialisation of explanations.
+
+The original demo keeps explanations inside the web session; a library needs
+to persist them — to archive an audit trail of why a repair was accepted, to
+diff explanations across algorithm versions, or to feed a separate UI.  This
+module converts :class:`~repro.explain.explainer.Explanation` objects (and
+the Shapley results inside them) to and from plain JSON-compatible
+dictionaries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.dataset.table import CellRef
+from repro.errors import ExplanationError
+from repro.explain.explainer import Explanation
+from repro.shapley.game import ShapleyResult
+
+#: Format tag written into every serialised explanation.
+FORMAT_VERSION = 1
+
+
+def _encode_key(key: Any) -> str:
+    """Encode a player key (constraint name or CellRef) as a string."""
+    if isinstance(key, CellRef):
+        return f"cell:{key.row}:{key.attribute}"
+    return f"name:{key}"
+
+
+def _decode_key(encoded: str) -> Any:
+    kind, _, rest = encoded.partition(":")
+    if kind == "cell":
+        row_text, _, attribute = rest.partition(":")
+        return CellRef(int(row_text), attribute)
+    if kind == "name":
+        return rest
+    raise ExplanationError(f"cannot decode explanation key {encoded!r}")
+
+
+def shapley_result_to_dict(result: ShapleyResult) -> dict:
+    return {
+        "values": {_encode_key(k): v for k, v in result.values.items()},
+        "standard_errors": {_encode_key(k): v for k, v in result.standard_errors.items()},
+        "n_samples": result.n_samples,
+        "n_evaluations": result.n_evaluations,
+        "method": result.method,
+    }
+
+
+def shapley_result_from_dict(payload: dict) -> ShapleyResult:
+    return ShapleyResult(
+        values={_decode_key(k): float(v) for k, v in payload.get("values", {}).items()},
+        standard_errors={
+            _decode_key(k): float(v) for k, v in payload.get("standard_errors", {}).items()
+        },
+        n_samples=int(payload.get("n_samples", 0)),
+        n_evaluations=int(payload.get("n_evaluations", 0)),
+        method=str(payload.get("method", "unknown")),
+    )
+
+
+def explanation_to_dict(explanation: Explanation) -> dict:
+    """Convert an explanation to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "cell": {"row": explanation.cell.row, "attribute": explanation.cell.attribute},
+        "old_value": explanation.old_value,
+        "new_value": explanation.new_value,
+        "constraint_shapley": (
+            shapley_result_to_dict(explanation.constraint_shapley)
+            if explanation.constraint_shapley is not None
+            else None
+        ),
+        "cell_shapley": (
+            shapley_result_to_dict(explanation.cell_shapley)
+            if explanation.cell_shapley is not None
+            else None
+        ),
+        "oracle_statistics": explanation.oracle_statistics,
+    }
+
+
+def explanation_from_dict(payload: dict) -> Explanation:
+    """Rebuild an explanation from :func:`explanation_to_dict` output."""
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ExplanationError(
+            f"unsupported explanation format version {payload.get('format_version')!r}"
+        )
+    cell_payload = payload["cell"]
+    constraint_part = payload.get("constraint_shapley")
+    cell_part = payload.get("cell_shapley")
+    return Explanation(
+        cell=CellRef(int(cell_payload["row"]), str(cell_payload["attribute"])),
+        old_value=payload.get("old_value"),
+        new_value=payload.get("new_value"),
+        constraint_shapley=shapley_result_from_dict(constraint_part) if constraint_part else None,
+        cell_shapley=shapley_result_from_dict(cell_part) if cell_part else None,
+        oracle_statistics=dict(payload.get("oracle_statistics", {})),
+    )
+
+
+def save_explanation(explanation: Explanation, path: str | Path) -> Path:
+    """Write an explanation to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(explanation_to_dict(explanation), handle, indent=2, default=str)
+    return path
+
+
+def load_explanation(path: str | Path) -> Explanation:
+    """Read an explanation previously written by :func:`save_explanation`."""
+    with Path(path).open(encoding="utf-8") as handle:
+        return explanation_from_dict(json.load(handle))

@@ -1,0 +1,192 @@
+"""Interactive repair/explanation sessions.
+
+Section 4 of the paper describes the demo loop: repair the table, explain a
+cell of interest, act on the explanation (remove or change the highest-ranked
+constraint, or fix influential cells), re-repair, and check whether the
+repair of the cell improved.  :class:`RepairSession` scripts that loop —
+every step is recorded so examples and benchmarks can replay and report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.config import TRexConfig
+from repro.constraints.dc import DenialConstraint
+from repro.dataset.table import CellRef, Table
+from repro.errors import ExplanationError
+from repro.explain.explainer import Explanation, TRExExplainer
+from repro.repair.base import RepairAlgorithm, RepairResult
+
+
+@dataclass
+class SessionStep:
+    """One recorded step of an interactive session."""
+
+    action: str
+    detail: str
+    repaired_cells: int
+    cell_of_interest_value: Any = None
+    explanation: Explanation | None = None
+
+
+@dataclass
+class SessionState:
+    """The evolving inputs of the session."""
+
+    constraints: list[DenialConstraint]
+    dirty_table: Table
+
+
+class RepairSession:
+    """Drive the iterative repair → explain → edit workflow.
+
+    Parameters
+    ----------
+    algorithm:
+        The black-box repair algorithm.
+    constraints, dirty_table:
+        The initial inputs (the session keeps its own evolving copies).
+    expected_value:
+        Optional ground-truth value of the cell of interest; when provided the
+        session can report whether an iteration improved the repair.
+    config:
+        Seeds and sampling defaults.
+    """
+
+    def __init__(
+        self,
+        algorithm: RepairAlgorithm,
+        constraints: Sequence[DenialConstraint],
+        dirty_table: Table,
+        cell_of_interest: CellRef | None = None,
+        expected_value: Any = None,
+        config: TRexConfig | None = None,
+    ):
+        self.algorithm = algorithm
+        self.state = SessionState(constraints=list(constraints), dirty_table=dirty_table)
+        self.cell_of_interest = cell_of_interest
+        self.expected_value = expected_value
+        self.config = config or TRexConfig()
+        self.steps: list[SessionStep] = []
+        self._explainer: TRExExplainer | None = None
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def _fresh_explainer(self) -> TRExExplainer:
+        self._explainer = TRExExplainer(
+            self.algorithm, self.state.constraints, self.state.dirty_table, self.config
+        )
+        return self._explainer
+
+    @property
+    def explainer(self) -> TRExExplainer:
+        return self._explainer if self._explainer is not None else self._fresh_explainer()
+
+    def _record(self, action: str, detail: str, repair: RepairResult,
+                explanation: Explanation | None = None) -> SessionStep:
+        value = None
+        if self.cell_of_interest is not None:
+            value = repair.clean[self.cell_of_interest]
+        step = SessionStep(
+            action=action,
+            detail=detail,
+            repaired_cells=len(repair.delta),
+            cell_of_interest_value=value,
+            explanation=explanation,
+        )
+        self.steps.append(step)
+        return step
+
+    # -- the user actions of the demo -----------------------------------------------------
+
+    def run_repair(self) -> SessionStep:
+        """Press the "Repair" button: run the algorithm on the current inputs."""
+        explainer = self._fresh_explainer()
+        repair = explainer.repair()
+        return self._record("repair", f"{self.algorithm.name} repaired {len(repair.delta)} cells", repair)
+
+    def choose_cell(self, cell: CellRef) -> None:
+        """Mark a repaired cell as the cell of interest."""
+        repair = self.explainer.repair()
+        if cell not in repair.delta:
+            raise ExplanationError(
+                f"cell {cell} was not repaired; repaired cells: "
+                f"{[str(c) for c in repair.delta.cells()]}"
+            )
+        self.cell_of_interest = cell
+
+    def explain(self, n_samples: int | None = None, constraints_only: bool = False) -> Explanation:
+        """Press the "Explain" button for the current cell of interest."""
+        if self.cell_of_interest is None:
+            raise ExplanationError("choose a cell of interest before asking for an explanation")
+        explainer = self.explainer
+        if constraints_only:
+            explanation = explainer.explain_constraints(self.cell_of_interest)
+        else:
+            explanation = explainer.explain(self.cell_of_interest, n_samples=n_samples)
+        self._record(
+            "explain",
+            f"explained {self.cell_of_interest}",
+            explainer.repair(),
+            explanation=explanation,
+        )
+        return explanation
+
+    def remove_constraint(self, name: str) -> SessionStep:
+        """Remove a constraint (typically the top-ranked one) and re-repair."""
+        remaining = [c for c in self.state.constraints if c.name != name]
+        if len(remaining) == len(self.state.constraints):
+            raise ExplanationError(f"no constraint named {name!r} in the current set")
+        self.state.constraints = remaining
+        explainer = self._fresh_explainer()
+        repair = explainer.repair()
+        return self._record("remove-constraint", f"removed {name}", repair)
+
+    def replace_constraint(self, name: str, replacement: DenialConstraint) -> SessionStep:
+        """Swap one constraint for a corrected version and re-repair."""
+        names = [c.name for c in self.state.constraints]
+        if name not in names:
+            raise ExplanationError(f"no constraint named {name!r} in the current set")
+        self.state.constraints = [
+            replacement if c.name == name else c for c in self.state.constraints
+        ]
+        explainer = self._fresh_explainer()
+        repair = explainer.repair()
+        return self._record("replace-constraint", f"replaced {name} with {replacement.name}", repair)
+
+    def edit_cell(self, cell: CellRef, value: Any) -> SessionStep:
+        """Change a value of the dirty table (acting on a cell explanation) and re-repair."""
+        self.state.dirty_table = self.state.dirty_table.with_values({cell: value})
+        explainer = self._fresh_explainer()
+        repair = explainer.repair()
+        return self._record("edit-cell", f"set {cell} to {value!r}", repair)
+
+    # -- progress measurement ---------------------------------------------------------------
+
+    def cell_of_interest_is_correct(self) -> bool | None:
+        """Whether the latest repair gives the expected value (None if unknown)."""
+        if self.cell_of_interest is None or self.expected_value is None or not self.steps:
+            return None
+        return self.steps[-1].cell_of_interest_value == self.expected_value
+
+    def history(self) -> list[SessionStep]:
+        return list(self.steps)
+
+    def summary(self) -> str:
+        lines = ["Repair session summary", "----------------------"]
+        for index, step in enumerate(self.steps, start=1):
+            value_text = ""
+            if step.cell_of_interest_value is not None:
+                value_text = f" | cell of interest = {step.cell_of_interest_value!r}"
+            lines.append(
+                f"{index:2d}. [{step.action}] {step.detail} "
+                f"({step.repaired_cells} repaired cells){value_text}"
+            )
+        if self.expected_value is not None and self.cell_of_interest is not None:
+            verdict = self.cell_of_interest_is_correct()
+            lines.append(
+                f"Final value of {self.cell_of_interest} correct: {verdict}"
+            )
+        return "\n".join(lines)

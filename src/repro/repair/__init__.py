@@ -1,0 +1,47 @@
+"""Repair algorithms and the black-box repair interface.
+
+T-REx treats the repair algorithm as a black box ``Alg(C, T^d) = T^c`` and
+only ever queries the derived binary function ``Alg|t[A](C, T^d) ∈ {0, 1}``
+(Section 2.1 of the paper).  This subpackage provides:
+
+* :class:`~repro.repair.base.RepairAlgorithm` — the abstract black-box
+  interface, plus :class:`~repro.repair.base.BinaryRepairOracle`, the
+  memoised binary view used by the Shapley engines;
+* :class:`~repro.repair.simple.SimpleRuleRepair` — Algorithm 1 of the paper;
+* :class:`~repro.repair.greedy.GreedyHolisticRepair` — a holistic,
+  violation-hypergraph based repairer in the spirit of Chu et al. [3];
+* :class:`~repro.repair.holoclean.HoloCleanRepair` — a HoloClean-style [5]
+  probabilistic repairer (error detection → domain pruning → featurization →
+  inference) re-implemented from scratch (DESIGN.md, substitution S8).
+"""
+
+from repro.repair.base import (
+    RepairAlgorithm,
+    RepairResult,
+    BinaryRepairOracle,
+    FunctionRepairAlgorithm,
+)
+from repro.repair.cache import OracleCache, memoised_oracle_stats
+from repro.repair.simple import (
+    SimpleRuleRepair,
+    RepairRule,
+    default_rules_for,
+    paper_algorithm_1,
+)
+from repro.repair.greedy import GreedyHolisticRepair
+from repro.repair.holoclean import HoloCleanRepair
+
+__all__ = [
+    "RepairAlgorithm",
+    "RepairResult",
+    "BinaryRepairOracle",
+    "FunctionRepairAlgorithm",
+    "OracleCache",
+    "memoised_oracle_stats",
+    "SimpleRuleRepair",
+    "RepairRule",
+    "default_rules_for",
+    "paper_algorithm_1",
+    "GreedyHolisticRepair",
+    "HoloCleanRepair",
+]

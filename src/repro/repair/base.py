@@ -1,0 +1,200 @@
+"""The black-box repair interface.
+
+``RepairAlgorithm`` is the only thing T-REx assumes about a repairer: it maps
+a set of denial constraints and a dirty table to a repaired table.  The
+``BinaryRepairOracle`` turns that into the paper's binary function
+
+    Alg|t[A] : (C, T^d) → {0, 1}
+
+which returns 1 exactly when running the algorithm repairs the cell of
+interest ``t[A]`` to the reference clean value ``t^c[A]`` (the value obtained
+from the original, full repair).  The oracle also counts and memoises
+black-box invocations, because Shapley evaluation re-queries the algorithm
+thousands of times with perturbed inputs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.constraints.dc import DenialConstraint, constraint_set_names
+from repro.dataset.table import CellRef, RepairDelta, Table
+from repro.repair.cache import OracleCache
+
+
+@dataclass
+class RepairResult:
+    """Output of one repair run: the clean table plus bookkeeping."""
+
+    dirty: Table
+    clean: Table
+    delta: RepairDelta
+    iterations: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def repaired_cells(self) -> list[CellRef]:
+        return self.delta.cells()
+
+    def was_repaired(self, cell: CellRef) -> bool:
+        return cell in self.delta
+
+
+class RepairAlgorithm(abc.ABC):
+    """Abstract base class for repair algorithms (the black box).
+
+    Subclasses implement :meth:`repair_table`, which must not mutate its
+    inputs, and must be deterministic given (constraints, table) — the Shapley
+    definitions assume the characteristic function is a function.
+    """
+
+    #: Human-readable algorithm name used in reports and benchmarks.
+    name: str = "repair"
+
+    @abc.abstractmethod
+    def repair_table(self, constraints: Sequence[DenialConstraint], table: Table) -> Table:
+        """Return a repaired copy of ``table`` under ``constraints``."""
+
+    # -- convenience API ----------------------------------------------------------
+
+    def repair(self, constraints: Sequence[DenialConstraint], table: Table) -> RepairResult:
+        """Run the repair and package the result with its dirty→clean delta."""
+        clean = self.repair_table(list(constraints), table)
+        return RepairResult(dirty=table, clean=clean, delta=table.diff(clean))
+
+    def __call__(self, constraints: Sequence[DenialConstraint], table: Table) -> Table:
+        return self.repair_table(list(constraints), table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FunctionRepairAlgorithm(RepairAlgorithm):
+    """Adapter turning a plain function ``f(constraints, table) -> Table`` into
+    a :class:`RepairAlgorithm`.
+
+    Useful in tests and for wrapping third-party cleaners without subclassing.
+    """
+
+    def __init__(self, function: Callable[[Sequence[DenialConstraint], Table], Table],
+                 name: str = "function-repair"):
+        self._function = function
+        self.name = name
+
+    def repair_table(self, constraints: Sequence[DenialConstraint], table: Table) -> Table:
+        return self._function(constraints, table)
+
+
+class BinaryRepairOracle:
+    """The paper's ``Alg|t[A]`` binary view of a repair algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        The black-box repair algorithm.
+    constraints:
+        The full constraint set ``C`` given by the user.
+    dirty_table:
+        The dirty table ``T^d``.
+    cell:
+        The cell of interest ``t[A]`` whose repair is being explained.
+    target_value:
+        The reference repaired value ``t^c[A]``.  When omitted it is obtained
+        by running the full repair once.
+    use_cache:
+        Memoise oracle answers keyed by (constraint subset, table fingerprint).
+    """
+
+    def __init__(
+        self,
+        algorithm: RepairAlgorithm,
+        constraints: Sequence[DenialConstraint],
+        dirty_table: Table,
+        cell: CellRef,
+        target_value: Any = None,
+        use_cache: bool = True,
+    ):
+        self.algorithm = algorithm
+        self.constraints = list(constraints)
+        self.dirty_table = dirty_table
+        self.cell = dirty_table.validate_cell(cell)
+        self._cache = OracleCache() if use_cache else None
+        self.calls = 0          # number of oracle queries (cached or not)
+        self.repair_runs = 0    # number of actual black-box repair invocations
+
+        if target_value is None:
+            reference_clean = algorithm.repair_table(self.constraints, dirty_table)
+            self.repair_runs += 1
+            target_value = reference_clean[cell]
+        self.target_value = target_value
+
+    # -- core query ---------------------------------------------------------------
+
+    def _evaluate(self, constraints: Sequence[DenialConstraint], table: Table) -> int:
+        clean = self.algorithm.repair_table(list(constraints), table)
+        self.repair_runs += 1
+        return 1 if clean[self.cell] == self.target_value else 0
+
+    def query(self, constraints: Sequence[DenialConstraint], table: Table | None = None) -> int:
+        """``Alg|t[A](constraints, table)`` — 1 iff the cell is repaired to the target.
+
+        ``table`` defaults to the original dirty table (the constraint-Shapley
+        case, where only the constraint subset varies).
+        """
+        self.calls += 1
+        table = table if table is not None else self.dirty_table
+        if self._cache is None:
+            return self._evaluate(constraints, table)
+        key = (constraint_set_names(constraints), table.fingerprint())
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        value = self._evaluate(constraints, table)
+        self._cache.put(key, value)
+        return value
+
+    # -- convenience entry points ----------------------------------------------------
+
+    def query_constraint_subset(self, subset: Iterable[DenialConstraint]) -> int:
+        """Vary the constraint set, keep the dirty table fixed (Section 2.2)."""
+        return self.query(list(subset), self.dirty_table)
+
+    def query_table(self, table: Table) -> int:
+        """Vary the table (cell coalitions), keep the full constraint set fixed."""
+        return self.query(self.constraints, table)
+
+    def query_cell_coalition(self, coalition: Iterable[CellRef]) -> int:
+        """Evaluate the oracle on the table restricted to ``coalition``.
+
+        Cells outside the coalition are nulled, per the paper's definition of
+        the cell characteristic function (``S ⊆ T^d`` means all other cells
+        are null).
+        """
+        restricted = self.dirty_table.restricted_to_coalition(coalition)
+        return self.query(self.constraints, restricted)
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache.hits if self._cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache.misses if self._cache is not None else 0
+
+    def reset_counters(self) -> None:
+        self.calls = 0
+        self.repair_runs = 0
+        if self._cache is not None:
+            self._cache.reset_counters()
+
+    def statistics(self) -> dict[str, int]:
+        return {
+            "oracle_calls": self.calls,
+            "repair_runs": self.repair_runs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }

@@ -1,0 +1,76 @@
+"""Memoisation of black-box repair queries.
+
+Shapley evaluation queries the repair algorithm with many *repeated* inputs:
+the exact constraint-Shapley formula evaluates every subset twice (once as
+``S`` and once as ``S ∪ {C'}`` for another constraint), and permutation
+sampling frequently revisits coalitions.  Caching oracle answers keyed on the
+(constraint subset, table snapshot) pair removes that redundancy without
+changing any result — the repairer is deterministic by contract.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+
+class OracleCache:
+    """A bounded LRU cache for binary oracle answers.
+
+    The default bound (1 million entries) is far above anything the bundled
+    experiments need; it exists so pathological workloads degrade gracefully
+    instead of exhausting memory.
+    """
+
+    def __init__(self, max_entries: int = 1_000_000):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> int | None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: int) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.reset_counters()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def memoised_oracle_stats(oracle) -> dict[str, float]:
+    """Summary statistics of an oracle's cache behaviour (for bench output)."""
+    stats = dict(oracle.statistics())
+    total = stats["cache_hits"] + stats["cache_misses"]
+    stats["cache_hit_rate"] = stats["cache_hits"] / total if total else 0.0
+    if stats["oracle_calls"]:
+        stats["repair_runs_per_call"] = stats["repair_runs"] / stats["oracle_calls"]
+    else:
+        stats["repair_runs_per_call"] = 0.0
+    return stats

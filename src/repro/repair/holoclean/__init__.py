@@ -1,0 +1,39 @@
+"""HoloClean-style probabilistic repair (re-implementation).
+
+The original T-REx demo delegates repairs to HoloClean (Rekatsinas et al.,
+PVLDB 2017), a heavyweight system built on PostgreSQL and a factor-graph /
+pseudo-likelihood learner.  T-REx only relies on HoloClean being a
+deterministic black box ``Alg(C, T^d) → T^c`` that is sensitive to both the
+constraint set and the cell values, so this subpackage re-implements the same
+four-stage pipeline at laptop scale (see DESIGN.md, substitution S8):
+
+1. **error detection** (:mod:`detect`) — cells involved in constraint
+   violations, null cells and numeric outliers are flagged as noisy;
+2. **domain generation** (:mod:`domain`) — candidate repair values per noisy
+   cell are pruned using co-occurrence with the rest of the tuple;
+3. **featurization** (:mod:`featurize`) — each (cell, candidate) pair gets
+   co-occurrence, frequency, constraint-violation and minimality features;
+4. **inference** (:mod:`infer`) — feature weights are fitted on the cells
+   believed clean (pseudo-likelihood style logistic updates) and each noisy
+   cell is assigned the highest-scoring candidate.
+
+:class:`HoloCleanRepair` (:mod:`model`) wires the stages together behind the
+standard :class:`~repro.repair.base.RepairAlgorithm` interface.
+"""
+
+from repro.repair.holoclean.detect import ErrorDetector, DetectionResult
+from repro.repair.holoclean.domain import DomainGenerator, CandidateDomain
+from repro.repair.holoclean.featurize import Featurizer, FEATURE_NAMES
+from repro.repair.holoclean.infer import PseudoLikelihoodInference
+from repro.repair.holoclean.model import HoloCleanRepair
+
+__all__ = [
+    "ErrorDetector",
+    "DetectionResult",
+    "DomainGenerator",
+    "CandidateDomain",
+    "Featurizer",
+    "FEATURE_NAMES",
+    "PseudoLikelihoodInference",
+    "HoloCleanRepair",
+]

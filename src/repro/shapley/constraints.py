@@ -1,0 +1,141 @@
+"""Shapley values of denial constraints (Section 2.2, first adaptation).
+
+The players are the denial constraints; the characteristic function of a
+constraint subset ``S`` is the binary repair oracle evaluated with that
+subset and the unchanged dirty table:
+
+    v(S) = Alg|t[A](S, T^d)
+
+Because the number of constraints is small, the exact enumeration engine is
+the default; a permutation-sampling estimate is available for large
+constraint sets (and is what the scaling benchmark E7 compares against).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.constraints.dc import DenialConstraint
+from repro.repair.base import BinaryRepairOracle
+from repro.shapley.exact import exact_shapley
+from repro.shapley.game import CallableGame, CooperativeGame, ShapleyResult
+from repro.shapley.permutation import permutation_shapley
+
+
+class ConstraintRepairGame(CooperativeGame):
+    """The cooperative game with denial constraints as players."""
+
+    def __init__(self, oracle: BinaryRepairOracle):
+        self.oracle = oracle
+        self._by_name = {constraint.name: constraint for constraint in oracle.constraints}
+        self._players = tuple(self._by_name)
+
+    @property
+    def players(self) -> tuple[str, ...]:
+        return self._players
+
+    def constraints_for(self, names: Iterable[str]) -> list[DenialConstraint]:
+        """Resolve constraint names back to constraint objects (input order)."""
+        wanted = set(names)
+        return [self._by_name[name] for name in self._players if name in wanted]
+
+    def value(self, coalition: frozenset) -> float:
+        subset = self.constraints_for(coalition)
+        return float(self.oracle.query_constraint_subset(subset))
+
+
+class ConstraintShapleyExplainer:
+    """Compute and rank the contribution of each DC to one cell's repair.
+
+    Parameters
+    ----------
+    oracle:
+        A :class:`~repro.repair.base.BinaryRepairOracle` bound to the repair
+        algorithm, the full constraint set, the dirty table and the cell of
+        interest.
+    """
+
+    def __init__(self, oracle: BinaryRepairOracle):
+        self.oracle = oracle
+        self.game = ConstraintRepairGame(oracle)
+
+    # -- exact ---------------------------------------------------------------------
+
+    def explain(self, constraints: Sequence[str] | None = None) -> ShapleyResult:
+        """Exact Shapley value per constraint name (the paper's method for DCs)."""
+        return exact_shapley(self.game, players=constraints)
+
+    # -- sampled -------------------------------------------------------------------
+
+    def explain_sampled(self, n_permutations: int = 200, rng=None,
+                        antithetic: bool = False) -> ShapleyResult:
+        """Permutation-sampling estimate, for large constraint sets."""
+        return permutation_shapley(
+            self.game, n_permutations=n_permutations, rng=rng, antithetic=antithetic
+        )
+
+    # -- refinements -------------------------------------------------------------------
+
+    def explain_interactions(self) -> dict[frozenset, float]:
+        """Pairwise Shapley interaction indices of the constraints.
+
+        Positive for complementary pairs (the paper's {C1, C2}), negative for
+        substitutes, zero for unrelated constraints.
+        """
+        from repro.shapley.interaction import all_pairwise_interactions
+
+        return all_pairwise_interactions(self.game)
+
+    def explain_banzhaf(self) -> ShapleyResult:
+        """Banzhaf values of the constraints (robustness check of the ranking)."""
+        from repro.shapley.interaction import banzhaf_values
+
+        return banzhaf_values(self.game)
+
+    # -- conveniences ------------------------------------------------------------------
+
+    def ranking(self, result: ShapleyResult | None = None) -> list[tuple[str, float]]:
+        """Constraints ranked from most to least influential."""
+        result = result if result is not None else self.explain()
+        return result.ranking()
+
+    def as_game(self) -> CooperativeGame:
+        """Expose the underlying game (used by benches and tests)."""
+        return self.game
+
+    def minimal_winning_subsets(self, max_size: int | None = None) -> list[frozenset]:
+        """Enumerate minimal constraint subsets that repair the cell of interest.
+
+        This mirrors the way the paper narrates Example 2.3 ("Algorithm 1 will
+        repair t5[C] only if we have the DCs {C1, C2}, or {C3}").  Exponential
+        in the number of constraints, so only used for reporting on small sets.
+        """
+        from itertools import combinations
+
+        players = self.game.players
+        limit = max_size if max_size is not None else len(players)
+        winning: list[frozenset] = []
+        for size in range(limit + 1):
+            for combo in combinations(players, size):
+                candidate = frozenset(combo)
+                if any(existing <= candidate for existing in winning):
+                    continue
+                if self.game.value(candidate) >= 1.0:
+                    winning.append(candidate)
+        return winning
+
+
+def constraint_shapley_from_subsets(
+    players: Sequence[str], winning_subsets: Iterable[frozenset]
+) -> ShapleyResult:
+    """Exact Shapley values of the binary game defined by minimal winning subsets.
+
+    Independent of any oracle — used to cross-validate the end-to-end pipeline
+    against the closed-form reasoning in the paper's Example 2.3.
+    """
+    winning = [frozenset(subset) for subset in winning_subsets]
+
+    def value(coalition: frozenset) -> float:
+        return 1.0 if any(subset <= coalition for subset in winning) else 0.0
+
+    return exact_shapley(CallableGame(tuple(players), value))

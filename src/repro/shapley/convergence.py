@@ -1,0 +1,124 @@
+"""Monte-Carlo bookkeeping: running means, variances and stopping rules.
+
+The sampling-based Shapley estimators accumulate marginal-contribution
+samples one at a time; :class:`RunningMean` keeps numerically stable (Welford)
+estimates of their mean and variance, and :class:`ConvergenceTracker` turns
+those into confidence intervals and an optional early-stopping rule, which
+the convergence benchmark (E5) and the interactive session use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class RunningMean:
+    """Welford online mean/variance accumulator."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, sample: float) -> None:
+        self.count += 1
+        delta = sample - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (sample - self.mean)
+
+    def merge(self, other: "RunningMean") -> None:
+        """Merge another accumulator into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self._m2 = other.count, other.mean, other._m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def standard_error(self) -> float:
+        if self.count == 0:
+            return float("inf")
+        return math.sqrt(self.variance / self.count) if self.count > 1 else float("inf")
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval around the mean."""
+        if self.count < 2:
+            return (float("-inf"), float("inf"))
+        half_width = z * self.standard_error
+        return (self.mean - half_width, self.mean + half_width)
+
+
+@dataclass
+class ConvergenceTracker:
+    """Track an estimate over time and decide when it has converged.
+
+    Parameters
+    ----------
+    tolerance:
+        Target half-width of the confidence interval (absolute).
+    z:
+        Normal quantile for the confidence level (1.96 ≈ 95%).
+    min_samples:
+        Never report convergence before this many samples.
+    """
+
+    tolerance: float = 0.01
+    z: float = 1.96
+    min_samples: int = 30
+    accumulator: RunningMean = field(default_factory=RunningMean)
+    history: list[float] = field(default_factory=list)
+
+    def update(self, sample: float, record_history: bool = False) -> None:
+        self.accumulator.update(sample)
+        if record_history:
+            self.history.append(self.accumulator.mean)
+
+    @property
+    def estimate(self) -> float:
+        return self.accumulator.mean
+
+    @property
+    def half_width(self) -> float:
+        if self.accumulator.count < 2:
+            return float("inf")
+        return self.z * self.accumulator.standard_error
+
+    def converged(self) -> bool:
+        return self.accumulator.count >= self.min_samples and self.half_width <= self.tolerance
+
+    def required_samples(self) -> int | None:
+        """Rough projection of the total samples needed to reach the tolerance."""
+        if self.accumulator.count < 2:
+            return None
+        variance = self.accumulator.variance
+        if variance == 0:
+            return self.accumulator.count
+        return max(self.min_samples, math.ceil((self.z ** 2) * variance / (self.tolerance ** 2)))
+
+
+def absolute_errors(estimates: dict, reference: dict) -> dict:
+    """Per-key absolute error between an estimate mapping and a reference mapping."""
+    return {key: abs(estimates[key] - reference[key]) for key in reference if key in estimates}
+
+
+def mean_absolute_error(estimates: dict, reference: dict) -> float:
+    """Mean absolute error over the keys present in both mappings."""
+    errors = absolute_errors(estimates, reference)
+    if not errors:
+        return float("nan")
+    return sum(errors.values()) / len(errors)

@@ -1,0 +1,93 @@
+"""Exact Shapley values by subset enumeration.
+
+This is the computation the paper uses for denial constraints: "For
+constraints, we can use the formula directly as their number is typically
+small" (Section 2.3).  The cost is ``2^n`` characteristic-function
+evaluations (with memoisation), so it is only appropriate for small player
+sets — the benchmark ``bench_scaling_dcs`` measures exactly where the
+exponential blow-up makes the permutation estimator preferable.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.shapley.game import (
+    CooperativeGame,
+    MemoisedGame,
+    Player,
+    ShapleyResult,
+    shapley_weight,
+    validate_players,
+)
+
+
+def exact_shapley_single(game: CooperativeGame, player: Player) -> float:
+    """Exact Shapley value of one player, straight from the definition."""
+    players = game.players
+    if player not in players:
+        raise KeyError(f"unknown player {player!r}")
+    others = [p for p in players if p != player]
+    n_players = len(players)
+    total = 0.0
+    for size in range(len(others) + 1):
+        weight = shapley_weight(size, n_players)
+        for subset in combinations(others, size):
+            coalition = frozenset(subset)
+            marginal = game.value(coalition | {player}) - game.value(coalition)
+            total += weight * marginal
+    return total
+
+
+def exact_shapley(game: CooperativeGame, players: Iterable[Player] | None = None) -> ShapleyResult:
+    """Exact Shapley values for all (or a subset of) players.
+
+    The characteristic function is memoised, so the total number of distinct
+    evaluations is at most ``2^n`` regardless of how many players are asked
+    for.
+    """
+    memoised = MemoisedGame(game)
+    requested = validate_players(game, players)
+    values = {player: exact_shapley_single(memoised, player) for player in requested}
+    return ShapleyResult(
+        values=values,
+        n_samples=0,
+        n_evaluations=memoised.evaluations,
+        method="exact-enumeration",
+    )
+
+
+def exact_shapley_from_winning_sets(
+    players: Iterable[Player], winning_sets: Iterable[frozenset]
+) -> ShapleyResult:
+    """Exact Shapley values of a *monotone binary* game given its minimal winning sets.
+
+    A coalition has value 1 iff it contains at least one of ``winning_sets``.
+    This closed-form helper mirrors how the paper reasons about Example 2.3
+    ("Algorithm 1 will repair t5[C] only if we have the DCs {C1, C2}, or
+    {C3}") and is used by the tests as an independent cross-check of the
+    generic engine.
+    """
+    players = tuple(players)
+    winning = [frozenset(w) for w in winning_sets]
+
+    def value(coalition: frozenset) -> float:
+        return 1.0 if any(w <= coalition for w in winning) else 0.0
+
+    return exact_shapley(CallableGameLocal(players, value))
+
+
+class CallableGameLocal(CooperativeGame):
+    """Small local adapter (kept separate to avoid an import cycle with game.py)."""
+
+    def __init__(self, players, value_function):
+        self._players = tuple(players)
+        self._value_function = value_function
+
+    @property
+    def players(self):
+        return self._players
+
+    def value(self, coalition: frozenset) -> float:
+        return float(self._value_function(frozenset(coalition)))

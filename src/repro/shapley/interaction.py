@@ -1,0 +1,110 @@
+"""Shapley interaction indices and Banzhaf values.
+
+The paper's Example 2.3 observes that C1 and C2 only matter *as a pair*: each
+alone cannot repair the cell, together they can.  Plain Shapley values split
+that joint credit (1/6 each) but cannot express the synergy itself.  Two
+standard refinements from cooperative game theory make it explicit:
+
+* the **Shapley interaction index** of a pair {a, b}
+
+      I(a, b) = Σ_{S ⊆ N \\ {a,b}}  |S|! (n − |S| − 2)! / (n − 1)!
+                · ( v(S ∪ {a,b}) − v(S ∪ {a}) − v(S ∪ {b}) + v(S) )
+
+  which is positive when the two players are complements (such as C1 and C2),
+  negative when they are substitutes (such as C3 and the pair), and zero when
+  they do not interact;
+
+* the **Banzhaf value**, an alternative attribution index that weights every
+  coalition equally instead of by size — a useful robustness check for the
+  constraint rankings.
+
+Both are exponential-time like the exact Shapley value and therefore only
+intended for the (small) constraint games.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Iterable
+
+from repro.errors import TRexError
+from repro.shapley.game import CooperativeGame, MemoisedGame, Player, ShapleyResult
+
+
+def _interaction_weight(coalition_size: int, n_players: int) -> float:
+    return (
+        math.factorial(coalition_size)
+        * math.factorial(n_players - coalition_size - 2)
+        / math.factorial(n_players - 1)
+    )
+
+
+def shapley_interaction_index(game: CooperativeGame, player_a: Player, player_b: Player) -> float:
+    """Exact Shapley interaction index of the pair ``{player_a, player_b}``."""
+    if player_a == player_b:
+        raise TRexError("the interaction index is defined for two distinct players")
+    players = game.players
+    for player in (player_a, player_b):
+        if player not in players:
+            raise TRexError(f"unknown player {player!r}")
+    n_players = len(players)
+    if n_players < 2:
+        raise TRexError("interaction indices need at least two players")
+    others = [p for p in players if p not in (player_a, player_b)]
+    memoised = game if isinstance(game, MemoisedGame) else MemoisedGame(game)
+
+    total = 0.0
+    for size in range(len(others) + 1):
+        weight = _interaction_weight(size, n_players)
+        for subset in combinations(others, size):
+            coalition = frozenset(subset)
+            total += weight * (
+                memoised.value(coalition | {player_a, player_b})
+                - memoised.value(coalition | {player_a})
+                - memoised.value(coalition | {player_b})
+                + memoised.value(coalition)
+            )
+    return total
+
+
+def all_pairwise_interactions(
+    game: CooperativeGame, players: Iterable[Player] | None = None
+) -> dict[frozenset, float]:
+    """Interaction index for every unordered pair of (the given) players."""
+    memoised = MemoisedGame(game)
+    chosen = tuple(players) if players is not None else game.players
+    return {
+        frozenset({a, b}): shapley_interaction_index(memoised, a, b)
+        for a, b in combinations(chosen, 2)
+    }
+
+
+def banzhaf_values(game: CooperativeGame) -> ShapleyResult:
+    """Exact Banzhaf values of every player.
+
+    The Banzhaf value of ``a`` is the average marginal contribution of ``a``
+    over all ``2^(n-1)`` coalitions of the other players (uniform weighting).
+    Unlike the Shapley value it is generally *not* efficient (the values need
+    not sum to ``v(N)``), so it is reported as a separate
+    :class:`~repro.shapley.game.ShapleyResult` with its own method tag.
+    """
+    memoised = MemoisedGame(game)
+    players = game.players
+    values: dict[Player, float] = {}
+    for player in players:
+        others = [p for p in players if p != player]
+        total = 0.0
+        count = 0
+        for size in range(len(others) + 1):
+            for subset in combinations(others, size):
+                coalition = frozenset(subset)
+                total += memoised.value(coalition | {player}) - memoised.value(coalition)
+                count += 1
+        values[player] = total / count if count else 0.0
+    return ShapleyResult(
+        values=values,
+        n_samples=0,
+        n_evaluations=memoised.evaluations,
+        method="banzhaf-exact",
+    )

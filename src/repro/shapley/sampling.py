@@ -1,0 +1,180 @@
+"""Cell-coalition sampling (Example 2.5 of the paper).
+
+To estimate the Shapley value of a cell ``t_i[B]`` for the repair of the cell
+of interest ``t_d[A]``, the paper adapts the Strumbelj–Kononenko sampling
+scheme:
+
+1. vectorise the table into the cell vector
+   ``x_T = (t1[A_1], ..., t1[A_m], t2[A_1], ..., t_n[A_m])``;
+2. draw a random permutation of the cells; the coalition is the set of cells
+   preceding ``t_i[B]`` in that permutation;
+3. cells outside the coalition are replaced with a value drawn from their
+   column distribution (or nulled / set to the modal value, depending on the
+   replacement policy);
+4. build two table instances — one keeping the original value of ``t_i[B]``
+   and one where that value too is replaced — and add the difference of the
+   binary oracle on the two instances to the running estimate;
+5. repeat ``m`` times and report the average.
+
+This module owns steps 1–4; :class:`repro.shapley.cells.CellShapleyExplainer`
+drives the loop and aggregates estimates for many cells.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.config import make_rng
+from repro.dataset.table import CellRef, Table
+from repro.engine.storage import NULL
+from repro.errors import TRexError
+
+
+class ReplacementPolicy(enum.Enum):
+    """How out-of-coalition cells are filled before querying the black box.
+
+    ``SAMPLE``
+        Draw a replacement from the cell's column distribution — the paper's
+        algorithm (Example 2.5).
+    ``NULL``
+        Null the cell out — the paper's formal definition of the cell
+        characteristic function (Section 2.2, ``S ⊆ T^d``).
+    ``MODE``
+        Use the column's most frequent value — a deterministic baseline used
+        by the replacement-policy ablation (E10).
+    """
+
+    SAMPLE = "sample"
+    NULL = "null"
+    MODE = "mode"
+
+    @classmethod
+    def from_name(cls, name: "str | ReplacementPolicy") -> "ReplacementPolicy":
+        if isinstance(name, ReplacementPolicy):
+            return name
+        try:
+            return cls(name.lower())
+        except ValueError as exc:
+            valid = ", ".join(policy.value for policy in cls)
+            raise TRexError(f"unknown replacement policy {name!r}; expected one of {valid}") from exc
+
+
+@dataclass
+class SampledShapleyEstimate:
+    """The Monte-Carlo estimate for one cell."""
+
+    cell: CellRef
+    value: float
+    standard_error: float
+    n_samples: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        half_width = z * self.standard_error
+        return (self.value - half_width, self.value + half_width)
+
+
+class CellCoalitionSampler:
+    """Builds the perturbed table instances of the sampling algorithm.
+
+    Parameters
+    ----------
+    table:
+        The dirty table ``T^d``.
+    policy:
+        Replacement policy for out-of-coalition cells.
+    rng:
+        Seed or generator for reproducible sampling.
+    """
+
+    def __init__(self, table: Table, policy: ReplacementPolicy | str = ReplacementPolicy.SAMPLE,
+                 rng=None):
+        self.table = table
+        self.policy = ReplacementPolicy.from_name(policy)
+        self._rng = make_rng(rng)
+        #: the vectorised cell order of Example 2.5 (row-major)
+        self.cells: tuple[CellRef, ...] = tuple(table.cells())
+        self._cell_index = {cell: i for i, cell in enumerate(self.cells)}
+
+    # -- replacement values --------------------------------------------------------
+
+    def replacement_value(self, cell: CellRef):
+        """A replacement value for ``cell`` according to the policy."""
+        if self.policy is ReplacementPolicy.NULL:
+            return NULL
+        marginal = self.table.stats.marginal(cell.attribute)
+        if self.policy is ReplacementPolicy.MODE:
+            return marginal.most_common()
+        return marginal.sample(rng=self._rng)
+
+    # -- permutation / coalition sampling -----------------------------------------------
+
+    def sample_permutation(self) -> np.ndarray:
+        """A uniformly random permutation of the cell indexes."""
+        return self._rng.permutation(len(self.cells))
+
+    def coalition_before(self, target_cell: CellRef, permutation: np.ndarray) -> set[CellRef]:
+        """The coalition: every cell preceding ``target_cell`` in the permutation."""
+        if target_cell not in self._cell_index:
+            raise TRexError(f"cell {target_cell} is not part of the table")
+        target_index = self._cell_index[target_cell]
+        coalition: set[CellRef] = set()
+        for index in permutation:
+            if int(index) == target_index:
+                break
+            coalition.add(self.cells[int(index)])
+        return coalition
+
+    # -- instance construction ---------------------------------------------------------------
+
+    def build_instances(self, target_cell: CellRef, coalition: Iterable[CellRef]) -> tuple[Table, Table]:
+        """The two table instances whose oracle difference is one sample.
+
+        Both instances replace every cell outside ``coalition ∪ {target}``
+        with a policy-generated value; the first keeps the original value of
+        ``target_cell``, the second replaces it too.  The same replacement
+        values are used in both instances so the only difference between them
+        is the target cell (paired sampling, which reduces variance).
+        """
+        coalition = set(coalition)
+        replacements: dict[CellRef, object] = {}
+        for cell in self.cells:
+            if cell == target_cell or cell in coalition:
+                continue
+            replacements[cell] = self.replacement_value(cell)
+
+        with_original = self.table.with_values(replacements)
+        replacements_without = dict(replacements)
+        replacements_without[target_cell] = self.replacement_value(target_cell)
+        without_original = self.table.with_values(replacements_without)
+        return with_original, without_original
+
+    def sample_pair(self, target_cell: CellRef) -> tuple[Table, Table]:
+        """Draw one permutation and return the corresponding instance pair."""
+        permutation = self.sample_permutation()
+        coalition = self.coalition_before(target_cell, permutation)
+        return self.build_instances(target_cell, coalition)
+
+    # -- exhaustive enumeration (tiny tables only) ------------------------------------------------
+
+    def enumerate_coalitions(self, target_cell: CellRef) -> Sequence[frozenset]:
+        """All coalitions of the other cells — only sensible for tiny tables.
+
+        Used by the test-suite to cross-check the sampled estimator against
+        exact enumeration under the ``NULL`` policy.
+        """
+        others = [cell for cell in self.cells if cell != target_cell]
+        if len(others) > 20:
+            raise TRexError(
+                f"refusing to enumerate 2^{len(others)} coalitions; "
+                "exact cell Shapley is only supported for tiny tables"
+            )
+        from itertools import combinations
+
+        coalitions: list[frozenset] = []
+        for size in range(len(others) + 1):
+            coalitions.extend(frozenset(c) for c in combinations(others, size))
+        return coalitions

@@ -1,0 +1,69 @@
+"""Shared pytest fixtures.
+
+Also makes the test-suite runnable without an installed package by putting
+``src/`` on ``sys.path`` (offline environments cannot always perform an
+editable install).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import (  # noqa: E402  (import after path fix)
+    CellRef,
+    TRexConfig,
+    TRExExplainer,
+    la_liga_clean_table,
+    la_liga_constraints,
+    la_liga_dirty_table,
+    paper_algorithm_1,
+)
+
+
+@pytest.fixture
+def dirty_table():
+    """The paper's Figure 2a table (fresh copy per test)."""
+    return la_liga_dirty_table()
+
+
+@pytest.fixture
+def clean_table():
+    """The paper's Figure 2b table (fresh copy per test)."""
+    return la_liga_clean_table()
+
+
+@pytest.fixture
+def constraints():
+    """The paper's Figure 1 denial constraints C1–C4."""
+    return la_liga_constraints()
+
+
+@pytest.fixture
+def algorithm():
+    """Algorithm 1 of the paper."""
+    return paper_algorithm_1()
+
+
+@pytest.fixture
+def cell_of_interest():
+    """The cell whose repair the paper explains: t5[Country]."""
+    return CellRef(4, "Country")
+
+
+@pytest.fixture
+def config():
+    """A deterministic configuration with a small sampling budget for tests."""
+    return TRexConfig(seed=11, cell_samples=40)
+
+
+@pytest.fixture
+def explainer(algorithm, constraints, dirty_table, config):
+    """A ready-to-use T-REx explainer on the running example."""
+    return TRExExplainer(algorithm, constraints, dirty_table, config)

@@ -1,0 +1,135 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, load_constraints, main
+from repro.dataset.examples import LA_LIGA_CONSTRAINT_TEXTS, la_liga_dirty_table
+from repro.dataset.io import read_csv, write_csv
+from repro.errors import TRexError
+
+
+@pytest.fixture
+def table_csv(tmp_path):
+    return str(write_csv(la_liga_dirty_table(), tmp_path / "dirty.csv"))
+
+
+@pytest.fixture
+def constraints_file(tmp_path):
+    path = tmp_path / "constraints.txt"
+    lines = ["# the four DCs of Figure 1", ""]
+    lines += list(LA_LIGA_CONSTRAINT_TEXTS)
+    path.write_text("\n".join(lines), encoding="utf-8")
+    return str(path)
+
+
+def test_load_constraints_skips_comments_and_blank_lines(constraints_file):
+    constraints = load_constraints(constraints_file)
+    assert [c.name for c in constraints] == ["C1", "C2", "C3", "C4"]
+
+
+def test_load_constraints_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_text("# nothing here\n", encoding="utf-8")
+    with pytest.raises(TRexError):
+        load_constraints(path)
+
+
+def test_parser_requires_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_violations_command_reports_and_signals_dirty(table_csv, constraints_file, capsys):
+    exit_code = main(["violations", "--table", table_csv, "--constraints", constraints_file])
+    output = capsys.readouterr().out
+    assert exit_code == 1  # violations present
+    assert "violation(s)" in output
+    assert "C1(" in output or "C3(" in output
+
+
+def test_violations_command_clean_table_returns_zero(tmp_path, constraints_file, capsys):
+    from repro.dataset.examples import la_liga_clean_table
+
+    clean_csv = str(write_csv(la_liga_clean_table(), tmp_path / "clean.csv"))
+    exit_code = main(["violations", "--table", clean_csv, "--constraints", constraints_file])
+    assert exit_code == 0
+    assert "0 violation(s)" in capsys.readouterr().out
+
+
+def test_repair_command_writes_output(table_csv, constraints_file, tmp_path, capsys):
+    output_csv = str(tmp_path / "clean.csv")
+    exit_code = main(
+        ["repair", "--table", table_csv, "--constraints", constraints_file,
+         "--algorithm", "simple", "--output", output_csv]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "2 cell(s) repaired." in out
+    repaired = read_csv(output_csv)
+    assert repaired.value(4, "Country") == "Spain"
+    assert repaired.value(4, "City") == "Madrid"
+
+
+def test_explain_command_constraints_only(table_csv, constraints_file, capsys):
+    exit_code = main(
+        ["explain", "--table", table_csv, "--constraints", constraints_file,
+         "--cell", "t5[Country]", "--constraints-only"]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Constraint contributions" in out
+    assert "C3" in out
+
+
+def test_explain_command_with_cells_and_json(table_csv, constraints_file, tmp_path, capsys):
+    json_path = tmp_path / "explanation.json"
+    exit_code = main(
+        ["explain", "--table", table_csv, "--constraints", constraints_file,
+         "--cell", "t5[Country]", "--samples", "5", "--policy", "null",
+         "--seed", "3", "--json", str(json_path)]
+    )
+    assert exit_code == 0
+    assert "Cell contributions" in capsys.readouterr().out
+    payload = json.loads(json_path.read_text(encoding="utf-8"))
+    assert payload["cell"] == {"row": 4, "attribute": "Country"}
+    assert payload["constraint_shapley"]["values"]["name:C3"] == pytest.approx(2 / 3)
+
+
+def test_explain_command_unrepaired_cell_fails(table_csv, constraints_file, capsys):
+    exit_code = main(
+        ["explain", "--table", table_csv, "--constraints", constraints_file,
+         "--cell", "t1[Team]", "--constraints-only"]
+    )
+    assert exit_code == 1
+    assert "was not repaired" in capsys.readouterr().out
+
+
+def test_discover_command(tmp_path, capsys):
+    from repro.dataset.examples import la_liga_clean_table
+
+    clean_csv = str(write_csv(la_liga_clean_table(), tmp_path / "clean.csv"))
+    exit_code = main(["discover", "--table", clean_csv, "--max-lhs", "1"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "functional dependencies" in out
+    assert "not(" in out
+
+
+def test_unknown_algorithm_is_rejected_by_argparse(table_csv, constraints_file):
+    with pytest.raises(SystemExit):
+        main(["repair", "--table", table_csv, "--constraints", constraints_file,
+              "--algorithm", "quantum"])
+
+
+def test_trex_error_is_reported_as_exit_code_2(tmp_path, capsys):
+    missing_constraints = tmp_path / "only_comments.txt"
+    missing_constraints.write_text("# no DCs\n", encoding="utf-8")
+    table_path = write_csv(la_liga_dirty_table(), tmp_path / "t.csv")
+    exit_code = main(
+        ["violations", "--table", str(table_path), "--constraints", str(missing_constraints)]
+    )
+    assert exit_code == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,97 @@
+"""Unit tests for Monte-Carlo convergence bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.shapley.convergence import (
+    ConvergenceTracker,
+    RunningMean,
+    absolute_errors,
+    mean_absolute_error,
+)
+
+
+def test_running_mean_matches_numpy():
+    samples = [1.0, 2.0, 4.0, 8.0, -3.0]
+    tracker = RunningMean()
+    for sample in samples:
+        tracker.update(sample)
+    assert tracker.count == len(samples)
+    assert tracker.mean == pytest.approx(np.mean(samples))
+    assert tracker.variance == pytest.approx(np.var(samples, ddof=1))
+    assert tracker.standard_error == pytest.approx(np.std(samples, ddof=1) / np.sqrt(len(samples)))
+
+
+def test_running_mean_edge_cases():
+    tracker = RunningMean()
+    assert tracker.variance == 0.0
+    assert tracker.standard_error == float("inf")
+    tracker.update(5.0)
+    assert tracker.mean == 5.0
+    assert tracker.variance == 0.0
+
+
+def test_running_mean_merge_equals_sequential():
+    samples = list(np.random.default_rng(0).normal(size=40))
+    left, right, merged_reference = RunningMean(), RunningMean(), RunningMean()
+    for sample in samples[:25]:
+        left.update(sample)
+        merged_reference.update(sample)
+    for sample in samples[25:]:
+        right.update(sample)
+        merged_reference.update(sample)
+    left.merge(right)
+    assert left.count == merged_reference.count
+    assert left.mean == pytest.approx(merged_reference.mean)
+    assert left.variance == pytest.approx(merged_reference.variance)
+
+
+def test_running_mean_merge_with_empty():
+    tracker = RunningMean()
+    tracker.update(1.0)
+    tracker.merge(RunningMean())
+    assert tracker.count == 1
+    empty = RunningMean()
+    empty.merge(tracker)
+    assert empty.count == 1 and empty.mean == 1.0
+
+
+def test_confidence_interval_contains_true_mean_for_large_samples():
+    rng = np.random.default_rng(1)
+    tracker = RunningMean()
+    for sample in rng.normal(loc=0.3, scale=1.0, size=5000):
+        tracker.update(float(sample))
+    low, high = tracker.confidence_interval()
+    assert low < 0.3 < high
+
+
+def test_convergence_tracker_flow():
+    tracker = ConvergenceTracker(tolerance=0.5, min_samples=10)
+    rng = np.random.default_rng(2)
+    for sample in rng.normal(loc=1.0, scale=0.5, size=9):
+        tracker.update(float(sample))
+    assert not tracker.converged()  # below min_samples
+    for sample in rng.normal(loc=1.0, scale=0.5, size=200):
+        tracker.update(float(sample), record_history=True)
+    assert tracker.converged()
+    assert tracker.half_width < 0.5
+    assert tracker.estimate == pytest.approx(1.0, abs=0.2)
+    assert tracker.history  # history recorded when requested
+    assert tracker.required_samples() >= 10
+
+
+def test_convergence_tracker_zero_variance():
+    tracker = ConvergenceTracker(tolerance=0.01, min_samples=5)
+    for _ in range(10):
+        tracker.update(2.0)
+    assert tracker.converged()
+    assert tracker.required_samples() == tracker.accumulator.count
+
+
+def test_error_helpers():
+    estimates = {"a": 0.5, "b": 0.3}
+    reference = {"a": 0.6, "b": 0.3, "c": 1.0}
+    errors = absolute_errors(estimates, reference)
+    assert errors == {"a": pytest.approx(0.1), "b": 0.0}
+    assert mean_absolute_error(estimates, reference) == pytest.approx(0.05)
+    assert np.isnan(mean_absolute_error({}, {"x": 1.0}))

@@ -1,0 +1,91 @@
+"""Unit tests for counterfactual repair explanations."""
+
+import pytest
+
+from repro.dataset.table import CellRef
+from repro.explain.counterfactual import (
+    counterfactual_report,
+    minimal_cell_counterfactuals,
+    minimal_constraint_counterfactuals,
+)
+from repro.repair.base import BinaryRepairOracle, FunctionRepairAlgorithm
+
+
+@pytest.fixture
+def oracle(algorithm, constraints, dirty_table, cell_of_interest):
+    return BinaryRepairOracle(algorithm, constraints, dirty_table, cell_of_interest)
+
+
+def test_constraint_counterfactuals_match_winning_structure(oracle):
+    """The repair happens iff C3 or {C1, C2} is present, so the minimal removal
+    sets are {C3, C1} and {C3, C2}."""
+    counterfactuals = minimal_constraint_counterfactuals(oracle)
+    assert frozenset({"C3", "C1"}) in counterfactuals
+    assert frozenset({"C3", "C2"}) in counterfactuals
+    assert len(counterfactuals) == 2
+    # minimality: removing C3 alone is not enough (the C1+C2 path remains)
+    assert frozenset({"C3"}) not in counterfactuals
+
+
+def test_constraint_counterfactuals_respect_max_size(oracle):
+    assert minimal_constraint_counterfactuals(oracle, max_size=1) == []
+
+
+def test_constraint_counterfactuals_single_path(algorithm, constraints, dirty_table):
+    """For t5[City] only C1 matters, so removing {C1} is the unique counterfactual."""
+    oracle = BinaryRepairOracle(algorithm, constraints, dirty_table, CellRef(4, "City"))
+    counterfactuals = minimal_constraint_counterfactuals(oracle)
+    assert counterfactuals == [frozenset({"C1"})]
+
+
+def test_no_counterfactual_when_repair_is_constraint_independent(dirty_table, constraints):
+    """A degenerate black box that always rewrites the cell has no constraint counterfactual."""
+
+    def always_rewrite(cs, table):
+        return table.with_values({CellRef(4, "Country"): "Spain"})
+
+    algorithm = FunctionRepairAlgorithm(always_rewrite, name="always")
+    oracle = BinaryRepairOracle(algorithm, constraints, dirty_table, CellRef(4, "Country"))
+    assert minimal_constraint_counterfactuals(oracle) == []
+
+
+def test_cell_counterfactuals_contain_the_league_cell(oracle, dirty_table):
+    """Nulling t5[League] together with a city/team cell breaks both repair paths."""
+    candidates = [
+        CellRef(4, "League"), CellRef(4, "Team"), CellRef(4, "City"), CellRef(2, "Team"),
+    ]
+    counterfactuals = minimal_cell_counterfactuals(oracle, candidate_cells=candidates, max_size=2)
+    assert counterfactuals, "expected at least one cell counterfactual"
+    assert all(len(subset) <= 2 for subset in counterfactuals)
+    assert any(CellRef(4, "League") in subset for subset in counterfactuals)
+    # every reported set genuinely undoes the repair
+    for subset in counterfactuals:
+        perturbed = dirty_table.with_cells_nulled(subset)
+        assert oracle.query_table(perturbed) == 0
+
+
+def test_cell_counterfactuals_exclude_cell_of_interest(oracle, cell_of_interest):
+    counterfactuals = minimal_cell_counterfactuals(
+        oracle, candidate_cells=[cell_of_interest, CellRef(4, "League")], max_size=1
+    )
+    assert all(cell_of_interest not in subset for subset in counterfactuals)
+
+
+def test_cell_counterfactuals_empty_when_cell_not_repaired(algorithm, constraints, dirty_table):
+    oracle = BinaryRepairOracle(
+        algorithm, constraints, dirty_table, CellRef(0, "Team"), target_value="Nonsense"
+    )
+    assert minimal_cell_counterfactuals(oracle, max_size=1) == []
+
+
+def test_counterfactual_report_rendering(oracle):
+    constraint_sets = minimal_constraint_counterfactuals(oracle)
+    text = counterfactual_report(oracle, constraint_sets, [frozenset({CellRef(4, "League")})])
+    assert "t5[Country]" in text
+    assert "{C1, C3}" in text or "{C3, C1}" in text.replace("C1, C3", "C3, C1")
+    assert "t5[League]" in text
+
+
+def test_counterfactual_report_without_constraint_sets(oracle):
+    text = counterfactual_report(oracle, [])
+    assert "No constraint-removal counterfactual" in text

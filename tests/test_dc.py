@@ -1,0 +1,110 @@
+"""Unit tests for denial constraints."""
+
+import pytest
+
+from repro.constraints.dc import DenialConstraint, constraint_set_names
+from repro.constraints.predicates import Operator, Predicate
+from repro.dataset.table import CellRef
+from repro.errors import ConstraintError
+
+
+def make_fd_style_dc():
+    return DenialConstraint(
+        "C1",
+        [
+            Predicate.between_tuples("Team", Operator.EQ),
+            Predicate.between_tuples("City", Operator.NE),
+        ],
+        description="same team implies same city",
+    )
+
+
+def test_constructor_validation():
+    with pytest.raises(ConstraintError):
+        DenialConstraint("", [Predicate.between_tuples("A", Operator.EQ)])
+    with pytest.raises(ConstraintError):
+        DenialConstraint("C1", [])
+
+
+def test_arity_and_attribute_introspection():
+    dc = make_fd_style_dc()
+    assert dc.arity == 2
+    assert not dc.is_single_tuple
+    assert dc.attributes() == {"Team", "City"}
+    assert dc.equality_attributes() == ("Team",)
+    assert dc.inequality_attributes() == ("City",)
+
+
+def test_single_tuple_constraint():
+    dc = DenialConstraint(
+        "S1",
+        [
+            Predicate.with_constant("t1", "Year", Operator.LT, 1900),
+        ],
+    )
+    assert dc.is_single_tuple
+    assert dc.arity == 1
+    assert dc.is_violated_by({"Year": 1850})
+    assert not dc.is_violated_by({"Year": 1990})
+
+
+def test_two_tuple_violation_requires_second_row():
+    dc = make_fd_style_dc()
+    with pytest.raises(ConstraintError):
+        dc.is_violated_by({"Team": "Real", "City": "Madrid"})
+
+
+def test_violation_semantics_all_predicates_must_hold():
+    dc = make_fd_style_dc()
+    real_madrid = {"Team": "Real", "City": "Madrid"}
+    real_capital = {"Team": "Real", "City": "Capital"}
+    barca = {"Team": "Barca", "City": "Barcelona"}
+    assert dc.is_violated_by(real_madrid, real_capital)
+    assert not dc.is_violated_by(real_madrid, real_madrid)
+    assert not dc.is_violated_by(real_madrid, barca)
+
+
+def test_cells_involved_lists_each_cell_once():
+    dc = make_fd_style_dc()
+    cells = dc.cells_involved(0, 4)
+    assert CellRef(0, "Team") in cells
+    assert CellRef(4, "Team") in cells
+    assert CellRef(0, "City") in cells
+    assert CellRef(4, "City") in cells
+    assert len(cells) == len(set(cells)) == 4
+
+
+def test_predicates_on_filters_by_attribute():
+    dc = make_fd_style_dc()
+    assert len(dc.predicates_on("City")) == 1
+    assert len(dc.predicates_on("Team")) == 1
+    assert dc.predicates_on("Country") == ()
+
+
+def test_renamed_and_with_description():
+    dc = make_fd_style_dc()
+    renamed = dc.renamed("C9")
+    assert renamed.name == "C9"
+    assert renamed.predicates == dc.predicates
+    described = dc.with_description("new text")
+    assert described.description == "new text"
+
+
+def test_equality_and_hash_use_name_and_predicates():
+    first = make_fd_style_dc()
+    second = make_fd_style_dc()
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first != first.renamed("Cx")
+    assert len({first, second}) == 1
+
+
+def test_str_rendering_mentions_quantifier():
+    dc = make_fd_style_dc()
+    assert "forall t1, t2" in str(dc)
+    assert "not(" in str(dc)
+
+
+def test_constraint_set_names_preserves_order():
+    names = constraint_set_names([make_fd_style_dc().renamed(n) for n in ("B", "A", "C")])
+    assert names == ("B", "A", "C")

@@ -1,0 +1,53 @@
+"""Unit tests for hash indexes."""
+
+from repro.engine.index import HashIndex, MultiColumnIndex
+from repro.engine.storage import ColumnStore
+
+
+def make_store():
+    return ColumnStore(
+        {
+            "City": ["Madrid", "Madrid", "Barcelona", None, "Madrid"],
+            "Country": ["Spain", "Spain", "Spain", "Spain", None],
+        }
+    )
+
+
+def test_hash_index_groups_rows_by_value():
+    index = HashIndex(make_store(), "City")
+    assert index.rows_with_value("Madrid") == [0, 1, 4]
+    assert index.rows_with_value("Barcelona") == [2]
+    assert index.rows_with_value("Paris") == []
+
+
+def test_hash_index_skips_nulls():
+    index = HashIndex(make_store(), "City")
+    assert index.rows_with_value(None) == []
+    all_rows = {row for _, rows in index.groups() for row in rows}
+    assert 3 not in all_rows
+    assert len(index) == 2  # Madrid, Barcelona
+
+
+def test_hash_index_values_listing():
+    index = HashIndex(make_store(), "City")
+    assert sorted(index.values()) == ["Barcelona", "Madrid"]
+
+
+def test_multi_column_index_groups_by_key():
+    index = MultiColumnIndex(make_store(), ["City", "Country"])
+    assert index.rows_with_key(("Madrid", "Spain")) == [0, 1]
+    assert index.rows_with_key(("Barcelona", "Spain")) == [2]
+
+
+def test_multi_column_index_skips_rows_with_any_null():
+    index = MultiColumnIndex(make_store(), ["City", "Country"])
+    keys = {key for key, _ in index.groups()}
+    assert all(None not in key for key in keys)
+    # rows 3 (null city) and 4 (null country) are excluded
+    all_rows = {row for _, rows in index.groups() for row in rows}
+    assert all_rows == {0, 1, 2}
+
+
+def test_multi_column_index_null_key_lookup_is_empty():
+    index = MultiColumnIndex(make_store(), ["City", "Country"])
+    assert index.rows_with_key((None, "Spain")) == []

@@ -1,0 +1,64 @@
+"""Unit tests for the predicate-evaluation query layer."""
+
+from repro.engine.query import count_distinct, pairs_matching, rows_with_value, select_rows
+from repro.engine.storage import ColumnStore
+
+
+def make_store():
+    return ColumnStore(
+        {
+            "Team": ["Real", "Barca", "Real", None],
+            "Place": [1, 2, 3, 1],
+        }
+    )
+
+
+def test_select_rows_with_predicate():
+    store = make_store()
+    rows = select_rows(store, lambda r: store.value(r, "Place") >= 2)
+    assert rows == [1, 2]
+
+
+def test_rows_with_value_ignores_nulls():
+    store = make_store()
+    assert rows_with_value(store, "Team", "Real") == [0, 2]
+    assert rows_with_value(store, "Team", None) == []
+
+
+def test_pairs_matching_equality_attribute():
+    store = make_store()
+    pairs = set(pairs_matching(store, ["Team"]))
+    assert (0, 2) in pairs and (2, 0) in pairs
+    assert all(store.value(i, "Team") == store.value(j, "Team") for i, j in pairs)
+
+
+def test_pairs_matching_unordered():
+    store = make_store()
+    pairs = list(pairs_matching(store, ["Team"], ordered=False))
+    assert pairs == [(0, 2)]
+
+
+def test_pairs_matching_with_pair_predicate():
+    store = make_store()
+    pairs = set(
+        pairs_matching(
+            store,
+            [],
+            pair_predicate=lambda i, j: store.value(i, "Place") < store.value(j, "Place"),
+        )
+    )
+    # asymmetric predicate: only ordered pairs with increasing place
+    assert (0, 1) in pairs and (1, 0) not in pairs
+    assert (0, 3) not in pairs  # equal places
+
+
+def test_pairs_matching_no_equality_attributes_enumerates_all():
+    store = make_store()
+    pairs = set(pairs_matching(store, [], ordered=False))
+    assert len(pairs) == 6  # C(4, 2)
+
+
+def test_count_distinct_excludes_nulls():
+    store = make_store()
+    assert count_distinct(store, "Team") == 2
+    assert count_distinct(store, "Place") == 3

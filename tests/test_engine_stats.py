@@ -1,0 +1,95 @@
+"""Unit tests for column / co-occurrence statistics."""
+
+import numpy as np
+import pytest
+
+from repro.engine.stats import ColumnStatistics, CooccurrenceStatistics, TableStatistics
+from repro.engine.storage import ColumnStore
+
+
+def make_store():
+    return ColumnStore(
+        {
+            "City": ["Madrid", "Madrid", "Barcelona", "Madrid", None],
+            "Country": ["Spain", "Spain", "Spain", "France", "Spain"],
+        }
+    )
+
+
+def test_marginal_counts_and_frequency():
+    stats = ColumnStatistics(make_store(), "City")
+    assert stats.total == 4
+    assert stats.count("Madrid") == 3
+    assert stats.frequency("Madrid") == pytest.approx(0.75)
+    assert stats.frequency("Paris") == 0.0
+
+
+def test_most_common_and_domain():
+    stats = ColumnStatistics(make_store(), "City")
+    assert stats.most_common() == "Madrid"
+    assert stats.domain() == ["Barcelona", "Madrid"]
+
+
+def test_most_common_tie_is_deterministic():
+    store = ColumnStore({"A": ["b", "a", "a", "b"]})
+    stats = ColumnStatistics(store, "A")
+    assert stats.most_common() == "a"  # ties broken by repr order
+
+
+def test_most_common_on_all_null_column_returns_default():
+    store = ColumnStore({"A": [None, None]})
+    stats = ColumnStatistics(store, "A")
+    assert stats.most_common(default="fallback") == "fallback"
+    assert stats.frequency("x") == 0.0
+
+
+def test_sampling_follows_column_distribution():
+    stats = ColumnStatistics(make_store(), "City")
+    rng = np.random.default_rng(3)
+    samples = stats.sample(rng=rng, size=2000)
+    assert set(samples) <= {"Madrid", "Barcelona"}
+    madrid_share = samples.count("Madrid") / len(samples)
+    assert 0.65 < madrid_share < 0.85  # true probability 0.75
+
+
+def test_sampling_empty_column_returns_none():
+    store = ColumnStore({"A": [None]})
+    stats = ColumnStatistics(store, "A")
+    assert stats.sample() is None
+    assert stats.sample(size=3) == [None, None, None]
+
+
+def test_entropy_zero_for_constant_column():
+    store = ColumnStore({"A": ["x", "x", "x"]})
+    assert ColumnStatistics(store, "A").entropy() == pytest.approx(0.0)
+
+
+def test_entropy_positive_for_mixed_column():
+    assert ColumnStatistics(make_store(), "City").entropy() > 0
+
+
+def test_conditional_probability():
+    stats = CooccurrenceStatistics(make_store())
+    assert stats.conditional_probability("Country", "Spain", "City", "Madrid") == pytest.approx(2 / 3)
+    assert stats.conditional_probability("Country", "France", "City", "Madrid") == pytest.approx(1 / 3)
+    assert stats.conditional_probability("Country", "Spain", "City", "Unknown") == 0.0
+
+
+def test_most_probable_given():
+    stats = CooccurrenceStatistics(make_store())
+    assert stats.most_probable("Country", "City", "Madrid") == "Spain"
+    assert stats.most_probable("Country", "City", "Nowhere", default="?") == "?"
+
+
+def test_cooccurrence_count():
+    stats = CooccurrenceStatistics(make_store())
+    assert stats.cooccurrence_count("City", "Madrid", "Country", "Spain") == 2
+    assert stats.cooccurrence_count("City", "Barcelona", "Country", "France") == 0
+
+
+def test_table_statistics_bundle():
+    stats = TableStatistics(make_store())
+    assert stats.most_common("City") == "Madrid"
+    assert stats.most_probable_given("Country", "City", "Madrid") == "Spain"
+    # marginal objects are cached per attribute
+    assert stats.marginal("City") is stats.marginal("City")

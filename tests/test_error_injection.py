@@ -1,0 +1,95 @@
+"""Unit tests for synthetic error injection."""
+
+import pytest
+
+from repro.dataset.errors import ErrorInjector, ErrorSpec, inject_errors
+from repro.dataset.generators import SoccerLeagueGenerator
+from repro.dataset.table import Table
+from repro.errors import TRexError
+
+
+def make_clean():
+    return SoccerLeagueGenerator(seed=2).generate(25).table
+
+
+def test_error_spec_validation():
+    with pytest.raises(TRexError):
+        ErrorSpec(rate=1.5)
+    with pytest.raises(TRexError):
+        ErrorSpec(error_types=("bogus",))
+    with pytest.raises(TRexError):
+        ErrorSpec(error_types=())
+
+
+def test_injection_changes_exactly_n_cells():
+    clean = make_clean()
+    dirty, report = ErrorInjector(ErrorSpec(rate=0.1), seed=4).inject(clean, n_errors=5)
+    assert len(report) == 5
+    delta = clean.diff(dirty)
+    assert len(delta) == 5
+    assert set(delta.cells()) == set(report.cells())
+
+
+def test_injected_values_differ_from_originals():
+    clean = make_clean()
+    dirty, report = inject_errors(clean, rate=0.1, seed=8)
+    for change in report.injected:
+        assert dirty[change.cell] != clean[change.cell]
+        assert change.old_value == clean[change.cell]
+        assert change.new_value == dirty[change.cell]
+
+
+def test_injection_respects_attribute_restriction():
+    clean = make_clean()
+    dirty, report = inject_errors(clean, rate=0.2, attributes=["City", "Country"], seed=3)
+    assert report.injected
+    assert all(change.cell.attribute in {"City", "Country"} for change in report.injected)
+
+
+def test_injection_is_deterministic_given_seed():
+    clean = make_clean()
+    dirty_a, report_a = inject_errors(clean, rate=0.1, seed=42)
+    dirty_b, report_b = inject_errors(clean, rate=0.1, seed=42)
+    assert dirty_a.equals(dirty_b)
+    assert report_a.cells() == report_b.cells()
+
+
+def test_null_errors_produce_nulls():
+    clean = make_clean()
+    dirty, report = inject_errors(clean, rate=0.1, error_types=["null"], seed=6, n_errors=4)
+    assert all(dirty.is_null(cell) for cell in report.cells())
+
+
+def test_numeric_errors_shift_numbers():
+    clean = make_clean()
+    dirty, report = inject_errors(
+        clean, rate=0.1, error_types=["numeric"], attributes=["Place"], seed=6, n_errors=3
+    )
+    for change in report.injected:
+        assert isinstance(dirty[change.cell], int)
+        assert dirty[change.cell] != clean[change.cell]
+
+
+def test_report_truth_and_delta():
+    clean = make_clean()
+    dirty, report = inject_errors(clean, rate=0.05, seed=9, n_errors=3)
+    truth = report.truth()
+    assert set(truth) == set(report.cells())
+    delta = report.as_delta()
+    for cell in report.cells():
+        # the delta maps dirty value back to the clean value
+        assert delta.new_value(cell) == clean[cell]
+
+
+def test_injection_on_table_with_no_eligible_cells():
+    table = Table(["A"], [[None], [None]])
+    dirty, report = ErrorInjector(seed=1).inject(table)
+    assert len(report) == 0
+    assert dirty.equals(table)
+
+
+def test_rate_zero_injects_nothing():
+    clean = make_clean()
+    dirty, report = inject_errors(clean, rate=0.0, seed=1)
+    assert len(report) == 0
+    assert dirty.equals(clean)

@@ -1,0 +1,87 @@
+"""Unit tests for functional dependencies and CFDs."""
+
+import pytest
+
+from repro.constraints.fd import ConditionalFunctionalDependency, FunctionalDependency, fds_to_dcs
+from repro.constraints.violations import find_violations
+from repro.dataset.table import Table
+from repro.errors import ConstraintError
+
+
+def make_table():
+    return Table(
+        ["City", "State", "Zip"],
+        [
+            ["Austin", "TX", "787"],
+            ["Austin", "TX", "787"],
+            ["Austin", "CA", "787"],
+            ["Boston", "MA", "021"],
+        ],
+    )
+
+
+def test_fd_validation():
+    with pytest.raises(ConstraintError):
+        FunctionalDependency([], "State")
+    with pytest.raises(ConstraintError):
+        FunctionalDependency(["City"], "")
+    with pytest.raises(ConstraintError):
+        FunctionalDependency(["City", "State"], "State")
+
+
+def test_fd_to_dc_shape():
+    dc = FunctionalDependency(["City"], "State").to_dc(name="C1")
+    assert dc.name == "C1"
+    assert dc.equality_attributes() == ("City",)
+    assert dc.inequality_attributes() == ("State",)
+    assert dc.arity == 2
+
+
+def test_fd_violations_detected_via_dc():
+    dc = FunctionalDependency(["City"], "State").to_dc()
+    violations = find_violations(make_table(), dc)
+    violating_pairs = {v.rows for v in violations}
+    assert (0, 2) in violating_pairs and (2, 0) in violating_pairs
+    assert (0, 1) not in violating_pairs
+
+
+def test_multi_attribute_lhs():
+    dc = FunctionalDependency(["City", "Zip"], "State").to_dc()
+    assert set(dc.equality_attributes()) == {"City", "Zip"}
+
+
+def test_fds_to_dcs_names():
+    fds = [FunctionalDependency(["City"], "State"), FunctionalDependency(["Zip"], "City")]
+    dcs = fds_to_dcs(fds)
+    assert [dc.name for dc in dcs] == ["C1", "C2"]
+
+
+def test_fd_str():
+    fd = FunctionalDependency(["City"], "State")
+    assert "City -> State" in str(fd)
+
+
+def test_cfd_requires_rhs_and_some_lhs():
+    with pytest.raises(ConstraintError):
+        ConditionalFunctionalDependency([], "State", pattern={})
+    with pytest.raises(ConstraintError):
+        ConditionalFunctionalDependency(["City"], "", pattern={"City": "Austin"})
+
+
+def test_cfd_with_pattern_only_fires_on_matching_tuples():
+    cfd = ConditionalFunctionalDependency(["City"], "State", pattern={"City": "Austin"})
+    dc = cfd.to_dc(name="K1")
+    violations = find_violations(make_table(), dc)
+    rows_involved = {row for v in violations for row in v.rows}
+    assert rows_involved == {0, 1, 2}  # only the Austin tuples participate
+    assert "Austin" in str(cfd)
+
+
+def test_cfd_pattern_attribute_outside_lhs_is_added():
+    cfd = ConditionalFunctionalDependency(["Zip"], "State", pattern={"City": "Austin"})
+    assert "City" in cfd.lhs
+
+
+def test_cfd_description_mentions_condition():
+    dc = ConditionalFunctionalDependency(["City"], "State", pattern={"City": "Austin"}).to_dc()
+    assert "when" in dc.description

@@ -1,0 +1,96 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.constraints.violations import find_all_violations
+from repro.dataset.generators import (
+    FlightsGenerator,
+    HospitalGenerator,
+    SoccerLeagueGenerator,
+    TaxGenerator,
+)
+from repro.errors import TRexError
+
+
+@pytest.mark.parametrize(
+    "generator_class,n_rows",
+    [
+        (SoccerLeagueGenerator, 40),
+        (HospitalGenerator, 50),
+        (FlightsGenerator, 40),
+        (TaxGenerator, 60),
+    ],
+)
+def test_generated_clean_tables_satisfy_their_constraints(generator_class, n_rows):
+    dataset = generator_class(seed=5).generate(n_rows)
+    constraints = dataset.constraints()
+    assert constraints, "every generator ships at least one constraint"
+    violations = find_all_violations(dataset.table, constraints)
+    assert len(violations) == 0, f"{generator_class.__name__} produced a dirty 'clean' table"
+
+
+@pytest.mark.parametrize(
+    "generator_class",
+    [SoccerLeagueGenerator, HospitalGenerator, FlightsGenerator, TaxGenerator],
+)
+def test_generators_are_deterministic_given_seed(generator_class):
+    first = generator_class(seed=9).generate(30).table
+    second = generator_class(seed=9).generate(30).table
+    assert first.equals(second)
+
+
+def test_generators_differ_across_seeds():
+    first = HospitalGenerator(seed=1).generate(40).table
+    second = HospitalGenerator(seed=2).generate(40).table
+    assert not first.equals(second)
+
+
+def test_soccer_schema_matches_paper_figure2():
+    dataset = SoccerLeagueGenerator(seed=0).generate(20)
+    assert dataset.table.attributes == ("Team", "City", "Country", "League", "Year", "Place")
+    assert len(dataset.constraint_texts) == 4
+
+
+def test_soccer_generator_rejects_bad_row_count():
+    with pytest.raises(TRexError):
+        SoccerLeagueGenerator(seed=0).generate(0)
+
+
+def test_soccer_places_unique_within_league_year():
+    table = SoccerLeagueGenerator(seed=3).generate(60).table
+    seen = set()
+    for row_id in range(table.n_rows):
+        key = (
+            table.value(row_id, "League"),
+            table.value(row_id, "Year"),
+            table.value(row_id, "Place"),
+        )
+        assert key not in seen
+        seen.add(key)
+
+
+def test_hospital_measure_code_determines_name():
+    table = HospitalGenerator(seed=7).generate(80).table
+    mapping = {}
+    for row_id in range(table.n_rows):
+        code = table.value(row_id, "MeasureCode")
+        name = table.value(row_id, "MeasureName")
+        assert mapping.setdefault(code, name) == name
+
+
+def test_flights_flight_number_determines_route():
+    table = FlightsGenerator(seed=7).generate(60).table
+    mapping = {}
+    for row_id in range(table.n_rows):
+        flight = table.value(row_id, "Flight")
+        route = (table.value(row_id, "Origin"), table.value(row_id, "Destination"))
+        assert mapping.setdefault(flight, route) == route
+
+
+def test_tax_state_determines_rate():
+    table = TaxGenerator(seed=7).generate(80).table
+    mapping = {}
+    for row_id in range(table.n_rows):
+        state = table.value(row_id, "State")
+        rate = table.value(row_id, "Rate")
+        assert mapping.setdefault(state, rate) == rate

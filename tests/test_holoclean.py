@@ -1,0 +1,209 @@
+"""Unit tests for the HoloClean-style repair pipeline (detect/domain/featurize/infer/model)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints.parser import parse_dcs
+from repro.constraints.violations import find_all_violations
+from repro.dataset.errors import inject_errors
+from repro.dataset.generators import HospitalGenerator
+from repro.dataset.schema import AttributeSpec, INTEGER, Schema
+from repro.dataset.table import CellRef, Table
+from repro.repair.holoclean import (
+    DomainGenerator,
+    ErrorDetector,
+    Featurizer,
+    FEATURE_NAMES,
+    HoloCleanRepair,
+    PseudoLikelihoodInference,
+)
+
+
+@pytest.fixture
+def fd_table():
+    return Table(
+        ["Code", "Name"],
+        [["A1", "Aspirin"], ["A1", "Aspirin"], ["A1", "Asprin"], ["B2", "Beta"], ["B2", "Beta"]],
+    )
+
+
+@pytest.fixture
+def fd_constraints():
+    return parse_dcs(["not(t1.Code == t2.Code and t1.Name != t2.Name)"])
+
+
+# -- detection ---------------------------------------------------------------------
+
+
+def test_detector_flags_violation_cells(fd_table, fd_constraints):
+    detection = ErrorDetector().detect(fd_table, fd_constraints)
+    assert CellRef(2, "Name") in detection.constraint_cells
+    assert CellRef(3, "Name") not in detection.constraint_cells
+    assert detection.is_noisy(CellRef(2, "Name"))
+    assert detection.summary()["total_noisy"] >= 1
+
+
+def test_detector_flags_null_cells(fd_constraints):
+    table = Table(["Code", "Name"], [["A1", "Aspirin"], ["A1", None]])
+    detection = ErrorDetector().detect(table, fd_constraints)
+    assert CellRef(1, "Name") in detection.null_cells
+
+
+def test_detector_flags_numeric_outliers():
+    schema = Schema([AttributeSpec("Code"), AttributeSpec("Value", dtype=INTEGER, categorical=False)])
+    rows = [["A", 10], ["B", 11], ["C", 9], ["D", 10], ["E", 11], ["F", 9], ["G", 500]]
+    table = Table(schema, rows)
+    detection = ErrorDetector(z_threshold=2.0).detect(table, [])
+    assert CellRef(6, "Value") in detection.outlier_cells
+
+
+def test_detector_flags_non_numeric_value_in_numeric_column():
+    schema = Schema([AttributeSpec("Value", dtype=INTEGER, categorical=False)])
+    table = Table(schema, [[1], [2], ["oops"], [3]])
+    detection = ErrorDetector().detect(table, [])
+    assert CellRef(2, "Value") in detection.outlier_cells
+
+
+def test_detector_clean_cells_complement(fd_table, fd_constraints):
+    detection = ErrorDetector().detect(fd_table, fd_constraints)
+    clean = set(detection.clean_cells(fd_table))
+    assert clean.isdisjoint(detection.noisy_cells)
+    assert len(clean) + len(detection.noisy_cells) == fd_table.n_cells
+
+
+# -- domain generation ----------------------------------------------------------------
+
+
+def test_domain_contains_current_value_and_cooccurring_value(fd_table):
+    domain = DomainGenerator().domain_for(fd_table, CellRef(2, "Name"))
+    assert "Asprin" in domain
+    assert "Aspirin" in domain
+
+
+def test_domain_size_is_capped(fd_table):
+    generator = DomainGenerator(max_domain_size=2)
+    domain = generator.domain_for(fd_table, CellRef(2, "Name"))
+    assert len(domain) <= 2
+
+
+def test_domains_for_builds_all_requested(fd_table):
+    cells = [CellRef(2, "Name"), CellRef(0, "Code")]
+    domains = DomainGenerator().domains_for(fd_table, cells)
+    assert set(domains) == set(cells)
+
+
+# -- featurization -------------------------------------------------------------------------
+
+
+def test_feature_vector_shape_and_ranges(fd_table, fd_constraints):
+    featurizer = Featurizer(fd_constraints)
+    vector = featurizer.features(fd_table, CellRef(2, "Name"), "Aspirin")
+    assert vector.shape == (len(FEATURE_NAMES),)
+    assert 0.0 <= vector[0] <= 1.0  # cooccurrence
+    assert 0.0 <= vector[1] <= 1.0  # frequency
+    assert 0.0 <= vector[2] <= 1.0  # violations
+    assert vector[3] in (0.0, 1.0)  # minimality
+
+
+def test_violation_feature_distinguishes_candidates(fd_table, fd_constraints):
+    featurizer = Featurizer(fd_constraints)
+    bad = featurizer.features(fd_table, CellRef(2, "Name"), "Asprin")
+    good = featurizer.features(fd_table, CellRef(2, "Name"), "Aspirin")
+    assert bad[2] > good[2]  # keeping the typo violates the FD, fixing it does not
+    assert bad[3] == 1.0 and good[3] == 0.0
+
+
+def test_featurize_domain_matrix(fd_table, fd_constraints):
+    featurizer = Featurizer(fd_constraints)
+    domain = DomainGenerator().domain_for(fd_table, CellRef(2, "Name"))
+    matrix = featurizer.featurize_domain(fd_table, domain)
+    assert matrix.shape == (len(domain), len(FEATURE_NAMES))
+
+
+# -- inference -----------------------------------------------------------------------------
+
+
+def test_inference_default_weights_prefer_consistent_candidate(fd_table, fd_constraints):
+    featurizer = Featurizer(fd_constraints)
+    domain = DomainGenerator().domain_for(fd_table, CellRef(2, "Name"))
+    matrix = featurizer.featurize_domain(fd_table, domain)
+    inference = PseudoLikelihoodInference()
+    chosen = inference.choose(domain, matrix, "Asprin")
+    assert chosen == "Aspirin"
+
+
+def test_inference_fit_learns_finite_weights(fd_table, fd_constraints):
+    featurizer = Featurizer(fd_constraints)
+    examples = []
+    for row in (0, 1, 3, 4):
+        cell = CellRef(row, "Name")
+        domain = DomainGenerator().domain_for(fd_table, cell)
+        matrix = featurizer.featurize_domain(fd_table, domain)
+        examples.append((matrix, domain.candidates.index(fd_table[cell])))
+    inference = PseudoLikelihoodInference(epochs=10)
+    weights = inference.fit(examples)
+    assert weights.shape == (len(FEATURE_NAMES),)
+    assert np.all(np.isfinite(weights))
+    assert inference.trained
+
+
+def test_inference_fit_without_examples_keeps_defaults():
+    inference = PseudoLikelihoodInference()
+    weights = inference.fit([])
+    assert not inference.trained
+    assert np.all(np.isfinite(weights))
+
+
+def test_posterior_sums_to_one(fd_table, fd_constraints):
+    featurizer = Featurizer(fd_constraints)
+    domain = DomainGenerator().domain_for(fd_table, CellRef(2, "Name"))
+    matrix = featurizer.featurize_domain(fd_table, domain)
+    posterior = PseudoLikelihoodInference().posterior(matrix)
+    assert posterior.sum() == pytest.approx(1.0)
+    assert (posterior >= 0).all()
+
+
+def test_describe_weights_names():
+    description = PseudoLikelihoodInference().describe_weights()
+    assert set(description) == set(FEATURE_NAMES)
+
+
+# -- end-to-end model -------------------------------------------------------------------------
+
+
+def test_holoclean_fixes_fd_typo(fd_table, fd_constraints):
+    repaired = HoloCleanRepair().repair_table(fd_constraints, fd_table)
+    assert repaired.value(2, "Name") == "Aspirin"
+
+
+def test_holoclean_repairs_la_liga_country(dirty_table, constraints):
+    repaired = HoloCleanRepair().repair_table(constraints, dirty_table)
+    assert repaired.value(4, "Country") == "Spain"
+
+
+def test_holoclean_is_deterministic(dirty_table, constraints):
+    first = HoloCleanRepair().repair_table(constraints, dirty_table)
+    second = HoloCleanRepair().repair_table(constraints, dirty_table)
+    assert first.equals(second)
+
+
+def test_holoclean_no_constraints_is_identity(dirty_table):
+    repaired = HoloCleanRepair().repair_table([], dirty_table)
+    assert repaired.equals(dirty_table)
+
+
+def test_holoclean_leaves_clean_table_unchanged(clean_table, constraints):
+    repaired = HoloCleanRepair(use_outlier_detector=False).repair_table(constraints, clean_table)
+    assert repaired.equals(clean_table)
+
+
+def test_holoclean_reduces_violations_on_hospital_dataset():
+    dataset = HospitalGenerator(seed=11).generate(40)
+    constraints = dataset.constraints()
+    dirty, _ = inject_errors(
+        dataset.table, rate=0.02, error_types=["swap"], attributes=["State", "County"], seed=11
+    )
+    repaired = HoloCleanRepair().repair_table(constraints, dirty)
+    assert len(find_all_violations(repaired, constraints)) <= len(
+        find_all_violations(dirty, constraints)
+    )

@@ -1,0 +1,156 @@
+"""Cross-module integration tests on the synthetic benchmark datasets.
+
+These exercise the full pipeline the original demo runs — generate / load a
+table, inject errors, repair with each black-box algorithm, explain a repaired
+cell — on datasets other than the paper's running example, and check the
+explanation invariants that must hold regardless of dataset or algorithm.
+"""
+
+import pytest
+
+from repro.config import TRexConfig
+from repro.constraints.violations import find_all_violations
+from repro.dataset.errors import inject_errors
+from repro.dataset.generators import FlightsGenerator, HospitalGenerator, TaxGenerator
+from repro.explain.explainer import TRExExplainer
+from repro.explain.ranking import ranking_overlap
+from repro.repair.greedy import GreedyHolisticRepair
+from repro.repair.holoclean import HoloCleanRepair
+from repro.repair.simple import SimpleRuleRepair
+
+
+def _dirty_hospital(seed=13, n_rows=30):
+    dataset = HospitalGenerator(seed=seed).generate(n_rows)
+    constraints = dataset.constraints()
+    dirty, report = inject_errors(
+        dataset.table,
+        rate=0.0,
+        error_types=["swap"],
+        attributes=["State"],
+        seed=seed,
+        n_errors=2,
+    )
+    return dataset, constraints, dirty, report
+
+
+@pytest.mark.parametrize(
+    "algorithm_factory",
+    [SimpleRuleRepair, GreedyHolisticRepair, HoloCleanRepair],
+    ids=["simple", "greedy", "holoclean"],
+)
+def test_each_algorithm_supports_the_explanation_pipeline(algorithm_factory):
+    dataset, constraints, dirty, report = _dirty_hospital()
+    algorithm = algorithm_factory()
+    explainer = TRExExplainer(
+        algorithm, constraints, dirty, TRexConfig(seed=1, cell_samples=15)
+    )
+    repaired_cells = explainer.repaired_cells()
+    if not repaired_cells:
+        pytest.skip(f"{algorithm.name} made no repairs on this instance")
+    explanation = explainer.explain_constraints(repaired_cells[0])
+    values = explanation.constraint_shapley.values
+    assert set(values) == {c.name for c in constraints}
+    assert all(value >= -1e-9 for value in values.values())
+    # efficiency: the values must sum to v(full set) which is 1 for a repaired cell
+    assert sum(values.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_simple_repair_fixes_injected_hospital_errors_and_explains_them():
+    from collections import Counter
+
+    from repro.dataset.table import CellRef
+
+    dataset = HospitalGenerator(seed=21).generate(40)
+    constraints = dataset.constraints()
+    # corrupt the State of a row whose City has a clear majority elsewhere, so
+    # the conditional repair rule (State given City) can restore the truth
+    city_counts = Counter(dataset.table.column("City"))
+    majority_city = city_counts.most_common(1)[0][0]
+    assert city_counts[majority_city] >= 3
+    target_row = next(
+        row for row in range(dataset.table.n_rows)
+        if dataset.table.value(row, "City") == majority_city
+    )
+    cell = CellRef(target_row, "State")
+    truth = dataset.table[cell]
+    dirty = dataset.table.with_values({cell: "ZZ"})
+
+    explainer = TRExExplainer(SimpleRuleRepair(), constraints, dirty, TRexConfig(seed=3, cell_samples=10))
+    assert explainer.clean_table[cell] == truth
+    explanation = explainer.explain_constraints(cell)
+    # the City->State constraint (C1 of the hospital set) must get all the credit
+    assert explanation.constraint_ranking.items()[0] == "C1"
+    assert explanation.constraint_shapley.values["C1"] == pytest.approx(1.0)
+
+
+def test_constraint_credit_goes_to_constraints_touching_the_attribute():
+    dataset = FlightsGenerator(seed=5).generate(30)
+    constraints = dataset.constraints()
+    dirty, report = inject_errors(
+        dataset.table, rate=0.0, error_types=["swap"], attributes=["Origin"], seed=5, n_errors=1
+    )
+    explainer = TRExExplainer(SimpleRuleRepair(), constraints, dirty, TRexConfig(seed=1, cell_samples=10))
+    cell = report.cells()[0]
+    if cell not in explainer.delta:
+        pytest.skip("the injected error was not repaired on this instance")
+    explanation = explainer.explain_constraints(cell)
+    values = explanation.constraint_shapley.values
+    # only the Flight->Origin constraint mentions Origin, so it takes all the credit
+    origin_constraints = [
+        c.name for c in constraints if "Origin" in c.attributes()
+    ]
+    for name, value in values.items():
+        if name in origin_constraints:
+            assert value == pytest.approx(1.0)
+        else:
+            assert value == pytest.approx(0.0)
+
+
+def test_tax_dataset_single_error_explanation():
+    dataset = TaxGenerator(seed=9).generate(40)
+    constraints = dataset.constraints()
+    dirty, report = inject_errors(
+        dataset.table, rate=0.0, error_types=["numeric"], attributes=["Rate"], seed=9, n_errors=1
+    )
+    explainer = TRExExplainer(SimpleRuleRepair(), constraints, dirty, TRexConfig(seed=2, cell_samples=10))
+    cell = report.cells()[0]
+    assert cell in explainer.delta
+    assert explainer.clean_table[cell] == report.truth()[cell]
+    explanation = explainer.explain_constraints(cell)
+    assert explanation.constraint_shapley.values["C1"] == pytest.approx(1.0)
+    assert explanation.constraint_shapley.values["C2"] == pytest.approx(0.0)
+
+
+def test_algorithm_agnosticism_rankings_overlap_on_running_example(
+    algorithm, constraints, dirty_table, cell_of_interest
+):
+    """T-REx's central claim (E9): the pipeline works unchanged across repairers,
+    and on the running example they broadly agree on which constraints matter."""
+    config = TRexConfig(seed=4, cell_samples=10)
+    rankings = {}
+    for repairer in (algorithm, GreedyHolisticRepair(), HoloCleanRepair()):
+        explainer = TRExExplainer(repairer, constraints, dirty_table, config)
+        if cell_of_interest not in explainer.delta:
+            continue
+        explanation = explainer.explain_constraints(cell_of_interest)
+        rankings[repairer.name] = explanation.constraint_ranking
+    assert len(rankings) >= 2, "at least two algorithms repair the cell of interest"
+    names = list(rankings)
+    overlap = ranking_overlap(rankings[names[0]], rankings[names[1]], k=2)
+    assert overlap > 0.0
+    # every repairer that fixes t5[Country] agrees that C3 (League -> Country)
+    # is among the most influential constraints
+    for ranking in rankings.values():
+        assert "C3" in ranking.top(2)
+
+
+def test_violations_never_increase_after_repair_across_datasets():
+    for generator in (HospitalGenerator(seed=2), FlightsGenerator(seed=2), TaxGenerator(seed=2)):
+        dataset = generator.generate(30)
+        constraints = dataset.constraints()
+        dirty, _ = inject_errors(dataset.table, rate=0.05, seed=2)
+        before = len(find_all_violations(dirty, constraints))
+        for algorithm in (SimpleRuleRepair(), GreedyHolisticRepair()):
+            repaired = algorithm.repair_table(constraints, dirty)
+            after = len(find_all_violations(repaired, constraints))
+            assert after <= before

@@ -1,0 +1,137 @@
+"""Integration tests reproducing the paper's figures and worked examples.
+
+Each test corresponds to an entry of the experiment index in DESIGN.md:
+
+* Figure 2  — the repair of the La Liga table (E2),
+* Figure 1 / Example 2.3 — exact DC Shapley values (E1/E3),
+* Example 1.1 / 2.4 — the relative influence of table cells (E4),
+* Example 2.2 — the binary view of the repair algorithm,
+* Example 2.5 — convergence of the sampling estimator (E5),
+* Section 4 — the demo scenario loop (E6).
+"""
+
+import pytest
+
+from repro.config import TRexConfig
+from repro.dataset.examples import (
+    CELL_OF_INTEREST,
+    FIGURE1_SHAPLEY_VALUES,
+    LA_LIGA_DIRTY_CELLS,
+)
+from repro.dataset.table import CellRef
+from repro.explain.session import RepairSession
+from repro.explain.explainer import TRExExplainer
+from repro.repair.base import BinaryRepairOracle
+from repro.shapley.cells import CellShapleyExplainer
+from repro.shapley.constraints import ConstraintShapleyExplainer
+from repro.shapley.convergence import ConvergenceTracker
+
+
+def test_figure2_dirty_cells_are_the_documented_ones(dirty_table, clean_table):
+    delta = dirty_table.diff(clean_table)
+    assert set(delta.cells()) == set(LA_LIGA_DIRTY_CELLS)
+    for cell, (dirty_value, clean_value) in LA_LIGA_DIRTY_CELLS.items():
+        assert dirty_table[cell] == dirty_value
+        assert clean_table[cell] == clean_value
+
+
+def test_figure2_repair_reproduced_by_algorithm1(algorithm, constraints, dirty_table, clean_table):
+    repaired = algorithm.repair_table(constraints, dirty_table)
+    assert repaired.equals(clean_table)
+
+
+def test_example_2_2_binary_view(algorithm, constraints, dirty_table):
+    """Alg|t5[City]({C1,C2,C3}) = 1 while Alg|t5[City]({C2,C3}) = 0."""
+    by_name = {c.name: c for c in constraints}
+    oracle = BinaryRepairOracle(algorithm, constraints, dirty_table, CellRef(4, "City"))
+    assert oracle.query_constraint_subset([by_name["C1"], by_name["C2"], by_name["C3"]]) == 1
+    assert oracle.query_constraint_subset([by_name["C2"], by_name["C3"]]) == 0
+
+
+def test_figure1_and_example_2_3_constraint_shapley(algorithm, constraints, dirty_table):
+    oracle = BinaryRepairOracle(algorithm, constraints, dirty_table, CELL_OF_INTEREST)
+    result = ConstraintShapleyExplainer(oracle).explain()
+    for name, expected in FIGURE1_SHAPLEY_VALUES.items():
+        assert result[name] == pytest.approx(expected, abs=1e-9)
+    # the paper's narrative: C3's value is double the value of the pair {C1, C2}
+    assert result["C3"] == pytest.approx(2 * (result["C1"] + result["C2"]))
+
+
+def test_example_2_4_cell_influence_ordering(algorithm, constraints, dirty_table):
+    """t5[League] most influential; more than t6[City]; t1[Place] contributes nothing."""
+    oracle = BinaryRepairOracle(algorithm, constraints, dirty_table, CELL_OF_INTEREST)
+    explainer = CellShapleyExplainer(oracle, policy="null", rng=17)
+    probes = [
+        CellRef(4, "League"),   # t5[League]
+        CellRef(5, "City"),     # t6[City]
+        CellRef(0, "Place"),    # t1[Place]
+        CellRef(2, "Country"),  # t3[Country]
+    ]
+    result = explainer.explain(cells=probes, n_samples=200)
+    assert result[CellRef(4, "League")] > result[CellRef(5, "City")]
+    assert result[CellRef(4, "League")] > result[CellRef(2, "Country")]
+    assert result[CellRef(0, "Place")] == pytest.approx(0.0, abs=1e-12)
+    ranking = [cell for cell, _ in result.ranking()]
+    assert ranking[0] == CellRef(4, "League")
+
+
+def test_example_2_5_sampling_estimate_converges(algorithm, constraints, dirty_table):
+    """The running estimate for one cell stabilises as m grows."""
+    oracle = BinaryRepairOracle(algorithm, constraints, dirty_table, CELL_OF_INTEREST)
+    explainer = CellShapleyExplainer(oracle, policy="null", rng=23)
+    target = CellRef(4, "City")  # the paper's Example 2.5 probes t5[City]
+    small = explainer.estimate_cell(target, n_samples=40)
+    large = explainer.estimate_cell(target, n_samples=400)
+    assert large.standard_error < small.standard_error
+    tracker = ConvergenceTracker(tolerance=0.1, min_samples=50)
+    for _ in range(300):
+        with_cell, without_cell = explainer.sampler.sample_pair(target)
+        sample = oracle.query_table(with_cell) - oracle.query_table(without_cell)
+        tracker.update(float(sample))
+    assert tracker.converged()
+    assert tracker.estimate == pytest.approx(large.value, abs=0.15)
+
+
+def test_section4_demo_scenario_loop(algorithm, constraints, dirty_table):
+    """Repair → explain → act on the top-ranked DC → the repair outcome changes."""
+    session = RepairSession(
+        algorithm,
+        constraints,
+        dirty_table,
+        cell_of_interest=CELL_OF_INTEREST,
+        expected_value="Spain",
+        config=TRexConfig(seed=5, cell_samples=10),
+    )
+    session.run_repair()
+    assert session.cell_of_interest_is_correct() is True
+
+    explanation = session.explain(constraints_only=True)
+    top_constraint = explanation.constraint_ranking.items()[0]
+    assert top_constraint == "C3"
+
+    # Removing the most influential DC still leaves the C1+C2 repair path.
+    session.remove_constraint(top_constraint)
+    assert session.cell_of_interest_is_correct() is True
+
+    # A second explanation on the reduced set shifts all credit to C1 and C2.
+    second = session.explain(constraints_only=True)
+    scores = second.constraint_shapley.values
+    assert scores["C1"] == pytest.approx(0.5)
+    assert scores["C2"] == pytest.approx(0.5)
+    assert scores["C4"] == pytest.approx(0.0)
+
+    # Acting on the cell explanation instead: fixing the influential dirty city
+    # by hand and then removing C2 as well finally breaks the repair.
+    session.remove_constraint("C2")
+    assert session.cell_of_interest_is_correct() is False
+    assert [step.action for step in session.history()][:3] == ["repair", "explain", "remove-constraint"]
+
+
+def test_explainer_facade_reproduces_everything_at_once(algorithm, constraints, dirty_table):
+    explainer = TRExExplainer(
+        algorithm, constraints, dirty_table, TRexConfig(seed=2, cell_samples=25, replacement_policy="null")
+    )
+    explanation = explainer.explain(CELL_OF_INTEREST)
+    assert explanation.constraint_ranking.items()[0] == "C3"
+    top_cells = explanation.top_cells(3)
+    assert CellRef(4, "League") in top_cells

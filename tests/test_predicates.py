@@ -1,0 +1,110 @@
+"""Unit tests for predicate operands and operators."""
+
+import pytest
+
+from repro.constraints.predicates import Operand, Operator, Predicate
+from repro.errors import ConstraintError
+
+
+def test_operator_from_symbol_aliases():
+    assert Operator.from_symbol("=") is Operator.EQ
+    assert Operator.from_symbol("==") is Operator.EQ
+    assert Operator.from_symbol("<>") is Operator.NE
+    assert Operator.from_symbol("≠") is Operator.NE
+    assert Operator.from_symbol("≤") is Operator.LE
+    assert Operator.from_symbol(">=") is Operator.GE
+    with pytest.raises(ConstraintError):
+        Operator.from_symbol("===")
+
+
+def test_operator_negate_is_involutive():
+    for op in Operator:
+        assert op.negate().negate() is op
+
+
+def test_operator_flip():
+    assert Operator.LT.flip() is Operator.GT
+    assert Operator.LE.flip() is Operator.GE
+    assert Operator.EQ.flip() is Operator.EQ
+    assert Operator.NE.flip() is Operator.NE
+
+
+def test_operator_evaluate_basic():
+    assert Operator.EQ.evaluate("a", "a")
+    assert not Operator.EQ.evaluate("a", "b")
+    assert Operator.LT.evaluate(1, 2)
+    assert Operator.GE.evaluate(2, 2)
+
+
+def test_operator_null_semantics():
+    # equality and order comparisons never match a null
+    assert not Operator.EQ.evaluate(None, "a")
+    assert not Operator.LT.evaluate(None, 3)
+    assert not Operator.GE.evaluate(3, None)
+    # inequality: a null differs from a concrete value but not from another null
+    assert Operator.NE.evaluate(None, "a")
+    assert Operator.NE.evaluate("a", None)
+    assert not Operator.NE.evaluate(None, None)
+
+
+def test_operator_incomparable_types_fall_back():
+    assert not Operator.EQ.evaluate("1", 1)
+    assert Operator.NE.evaluate("1", 1)
+    # order comparison falls back to string comparison instead of raising
+    assert isinstance(Operator.LT.evaluate("abc", 5), bool)
+
+
+def test_operand_constructors_and_validation():
+    cell = Operand.cell("t1", "City")
+    assert not cell.is_constant
+    assert str(cell) == "t1.City"
+    constant = Operand.const(7)
+    assert constant.is_constant
+    with pytest.raises(ConstraintError):
+        Operand.cell("t3", "City")
+    with pytest.raises(ConstraintError):
+        Operand.cell("t1", "")
+
+
+def test_operand_resolution():
+    predicate_assignment = {"t1": {"City": "Madrid"}, "t2": {"City": "Barcelona"}}
+    assert Operand.cell("t2", "City").resolve(predicate_assignment) == "Barcelona"
+    assert Operand.const(3).resolve(predicate_assignment) == 3
+    with pytest.raises(ConstraintError):
+        Operand.cell("t1", "Country").resolve(predicate_assignment)
+
+
+def test_predicate_between_tuples_and_evaluate():
+    predicate = Predicate.between_tuples("City", "!=")
+    assert predicate.evaluate({"City": "Madrid"}, {"City": "Capital"})
+    assert not predicate.evaluate({"City": "Madrid"}, {"City": "Madrid"})
+    assert str(predicate) == "t1.City != t2.City"
+
+
+def test_predicate_with_constant_single_tuple():
+    predicate = Predicate.with_constant("t1", "Year", ">=", 2018)
+    assert predicate.is_single_tuple
+    assert predicate.evaluate({"Year": 2019})
+    assert not predicate.evaluate({"Year": 2017})
+
+
+def test_predicate_equality_join_detection():
+    assert Predicate.between_tuples("Team", "==").is_equality_join
+    assert not Predicate.between_tuples("Team", "!=").is_equality_join
+    assert not Predicate.with_constant("t1", "Team", "==", "Real").is_equality_join
+
+
+def test_predicate_attribute_introspection():
+    predicate = Predicate.between_tuples("Team", "==", "Club")
+    assert predicate.attributes_mentioned() == {"Team", "Club"}
+    assert predicate.attributes_of("t1") == {"Team"}
+    assert predicate.attributes_of("t2") == {"Club"}
+    assert predicate.tuples_mentioned() == {"t1", "t2"}
+
+
+def test_predicate_negated_and_flipped():
+    predicate = Predicate.between_tuples("Place", "<")
+    assert predicate.negated().op is Operator.GE
+    flipped = predicate.flipped()
+    assert flipped.op is Operator.GT
+    assert str(flipped.left) == "t2.Place"

@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+Covered invariants:
+
+* Shapley axioms on randomly generated monotone binary games — efficiency,
+  symmetry of interchangeable players, dummy players get zero, and the
+  permutation estimator telescopes to the same total;
+* the combinatorial identity behind the Shapley weights;
+* Table transformation laws (nulling, value replacement, diff/apply round trip);
+* parser/formatter round-tripping for arbitrary FD-style constraints;
+* null-aware comparison semantics of the predicate operators;
+* Welford accumulator vs. numpy on arbitrary float samples.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.parser import format_dc, parse_dc
+from repro.constraints.predicates import Operator
+from repro.dataset.table import CellRef, Table
+from repro.shapley.convergence import RunningMean
+from repro.shapley.exact import exact_shapley
+from repro.shapley.game import CallableGame, shapley_weight
+from repro.shapley.permutation import permutation_shapley
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+_PLAYERS = ("p0", "p1", "p2", "p3", "p4")
+
+
+@st.composite
+def monotone_binary_games(draw):
+    """A random monotone binary game given by 1–3 minimal winning subsets."""
+    n_players = draw(st.integers(min_value=2, max_value=5))
+    players = _PLAYERS[:n_players]
+    n_winning = draw(st.integers(min_value=1, max_value=3))
+    winning = []
+    for _ in range(n_winning):
+        subset = draw(
+            st.sets(st.sampled_from(players), min_size=1, max_size=n_players)
+        )
+        winning.append(frozenset(subset))
+
+    def value(coalition: frozenset) -> float:
+        return 1.0 if any(w <= coalition for w in winning) else 0.0
+
+    return CallableGame(tuple(players), value), winning
+
+
+@st.composite
+def small_tables(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=5))
+    n_cols = draw(st.integers(min_value=1, max_value=4))
+    attributes = [f"A{i}" for i in range(n_cols)]
+    values = st.one_of(st.integers(min_value=0, max_value=5), st.sampled_from(["x", "y", "z"]))
+    rows = [[draw(values) for _ in range(n_cols)] for _ in range(n_rows)]
+    return Table(attributes, rows)
+
+
+_IDENTIFIERS = st.from_regex(r"[A-Z][a-zA-Z0-9_]{0,8}", fullmatch=True)
+
+
+# ---------------------------------------------------------------------------
+# Shapley axioms
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(monotone_binary_games())
+def test_shapley_efficiency_on_monotone_binary_games(game_and_winning):
+    game, _ = game_and_winning
+    result = exact_shapley(game)
+    assert math.isclose(result.total(), game.grand_coalition_value(), abs_tol=1e-9)
+    assert all(value >= -1e-12 for value in result.values.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(monotone_binary_games())
+def test_shapley_dummy_player_axiom(game_and_winning):
+    game, winning = game_and_winning
+    result = exact_shapley(game)
+    needed = set().union(*winning)
+    for player in game.players:
+        if player not in needed:
+            assert math.isclose(result[player], 0.0, abs_tol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(monotone_binary_games())
+def test_shapley_symmetry_axiom(game_and_winning):
+    """Players appearing in exactly the same winning subsets are interchangeable."""
+    game, winning = game_and_winning
+    result = exact_shapley(game)
+    signature = {
+        player: frozenset(i for i, w in enumerate(winning) if player in w)
+        for player in game.players
+    }
+    for first in game.players:
+        for second in game.players:
+            if signature[first] == signature[second]:
+                assert math.isclose(result[first], result[second], abs_tol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(monotone_binary_games(), st.integers(min_value=10, max_value=60))
+def test_permutation_estimator_total_matches_grand_coalition(game_and_winning, n_permutations):
+    game, _ = game_and_winning
+    estimate = permutation_shapley(game, n_permutations=n_permutations, rng=0)
+    assert math.isclose(estimate.total(), game.grand_coalition_value(), abs_tol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=10))
+def test_shapley_weights_sum_to_one(n_players):
+    total = sum(
+        math.comb(n_players - 1, size) * shapley_weight(size, n_players)
+        for size in range(n_players)
+    )
+    assert math.isclose(total, 1.0, abs_tol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Table transformation laws
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_tables(), st.data())
+def test_nulling_then_restricting_is_idempotent(table, data):
+    cells = list(table.cells())
+    chosen = data.draw(st.sets(st.sampled_from(cells), max_size=len(cells)))
+    nulled = table.with_cells_nulled(chosen)
+    for cell in cells:
+        if cell in chosen:
+            assert nulled.is_null(cell)
+        else:
+            assert nulled[cell] == table[cell]
+    # the original table is never modified
+    assert not any(table.is_null(cell) for cell in chosen if table[cell] is not None)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_tables(), st.data())
+def test_diff_and_apply_roundtrip(table, data):
+    """Applying the new values of a diff to the dirty table reproduces the clean table."""
+    cells = list(table.cells())
+    chosen = data.draw(st.sets(st.sampled_from(cells), min_size=1, max_size=len(cells)))
+    modified = table.with_values({cell: "CHANGED" for cell in chosen})
+    delta = table.diff(modified)
+    reapplied = table.with_values({change.cell: change.new_value for change in delta})
+    assert reapplied.equals(modified)
+    # the diff only mentions cells whose value actually changed
+    for change in delta:
+        assert table[change.cell] != modified[change.cell]
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_tables())
+def test_coalition_restriction_complement(table):
+    coalition = set(list(table.cells())[:: 2])
+    restricted = table.restricted_to_coalition(coalition)
+    for cell in table.cells():
+        if cell in coalition:
+            assert restricted[cell] == table[cell]
+        else:
+            assert restricted.is_null(cell)
+
+
+# ---------------------------------------------------------------------------
+# parser / formatter round trip
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(_IDENTIFIERS, min_size=1, max_size=3, unique=True),
+    _IDENTIFIERS,
+)
+def test_fd_style_constraint_roundtrips_through_text(lhs_attributes, rhs_attribute):
+    if rhs_attribute in lhs_attributes:
+        rhs_attribute = rhs_attribute + "R"
+    body = " and ".join(f"t1.{a} == t2.{a}" for a in lhs_attributes)
+    text = f"not({body} and t1.{rhs_attribute} != t2.{rhs_attribute})"
+    constraint = parse_dc(text, name="G1")
+    reparsed = parse_dc(format_dc(constraint), name="G1")
+    assert reparsed == constraint
+    assert set(constraint.equality_attributes()) == set(lhs_attributes)
+    assert constraint.inequality_attributes() == (rhs_attribute,)
+
+
+# ---------------------------------------------------------------------------
+# operator semantics
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(list(Operator)), st.integers(-5, 5), st.integers(-5, 5))
+def test_operator_negation_partitions_outcomes(op, left, right):
+    """On non-null operands an operator and its negation disagree everywhere."""
+    assert op.evaluate(left, right) != op.negate().evaluate(left, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(list(Operator)), st.integers(-5, 5))
+def test_operator_null_never_satisfies_anything_but_ne(op, value):
+    assert op.evaluate(None, value) == (op is Operator.NE)
+    assert op.evaluate(value, None) == (op is Operator.NE)
+    assert op.evaluate(None, None) is False
+
+
+# ---------------------------------------------------------------------------
+# Welford accumulator
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=50))
+def test_running_mean_matches_numpy_on_arbitrary_samples(samples):
+    tracker = RunningMean()
+    for sample in samples:
+        tracker.update(sample)
+    assert math.isclose(tracker.mean, float(np.mean(samples)), rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(
+        tracker.variance, float(np.var(samples, ddof=1)), rel_tol=1e-7, abs_tol=1e-7
+    )

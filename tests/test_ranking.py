@@ -1,0 +1,83 @@
+"""Unit tests for ranking utilities."""
+
+import pytest
+
+from repro.explain.ranking import (
+    Ranking,
+    kendall_tau,
+    normalised_scores,
+    rank_items,
+    ranking_overlap,
+    top_k,
+)
+
+
+def test_ranking_orders_by_decreasing_score():
+    ranking = Ranking({"a": 0.1, "b": 0.9, "c": 0.5})
+    assert ranking.items() == ["b", "c", "a"]
+    assert ranking[0].rank == 1 and ranking[0].item == "b"
+    assert len(ranking) == 3
+
+
+def test_ranking_tie_break_is_deterministic():
+    ranking = Ranking({"z": 0.5, "a": 0.5})
+    assert ranking.items() == ["a", "z"]
+
+
+def test_ranking_lookups():
+    ranking = Ranking({"a": 0.1, "b": 0.9})
+    assert ranking.rank_of("b") == 1
+    assert ranking.rank_of("missing") is None
+    assert ranking.score_of("a") == pytest.approx(0.1)
+    assert ranking.score_of("missing", default=-1.0) == -1.0
+    assert ranking.top(1) == ["b"]
+    assert ranking.scores() == {"a": 0.1, "b": 0.9}
+
+
+def test_ranking_nonzero_filter():
+    ranking = Ranking({"a": 0.0, "b": 0.4, "c": 1e-15})
+    assert ranking.nonzero().items() == ["b"]
+
+
+def test_rank_items_and_top_k_helpers():
+    scores = {"x": 3.0, "y": 1.0, "z": 2.0}
+    assert rank_items(scores).items() == ["x", "z", "y"]
+    assert top_k(scores, 2) == ["x", "z"]
+
+
+def test_normalised_scores():
+    scores = normalised_scores({"a": 2.0, "b": 1.0, "c": 0.0})
+    assert scores["a"] == pytest.approx(1.0)
+    assert scores["b"] == pytest.approx(0.5)
+    assert scores["c"] == 0.0
+    assert normalised_scores({}) == {}
+    assert normalised_scores({"a": 0.0}) == {"a": 0.0}
+
+
+def test_kendall_tau_identical_and_reversed():
+    assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == pytest.approx(1.0)
+    assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == pytest.approx(-1.0)
+
+
+def test_kendall_tau_partial_agreement():
+    tau = kendall_tau(["a", "b", "c", "d"], ["a", "c", "b", "d"])
+    assert 0.0 < tau < 1.0
+
+
+def test_kendall_tau_ignores_missing_items_and_small_sets():
+    assert kendall_tau(["a", "b", "x"], ["b", "a", "y"]) == pytest.approx(-1.0)
+    assert kendall_tau(["a"], ["a"]) == 0.0
+    assert kendall_tau([], []) == 0.0
+
+
+def test_kendall_tau_accepts_ranking_objects():
+    first = Ranking({"a": 3.0, "b": 2.0, "c": 1.0})
+    second = Ranking({"a": 1.0, "b": 2.0, "c": 3.0})
+    assert kendall_tau(first, second) == pytest.approx(-1.0)
+
+
+def test_ranking_overlap():
+    assert ranking_overlap(["a", "b", "c"], ["a", "b", "d"], k=2) == pytest.approx(1.0)
+    assert ranking_overlap(["a", "b", "c"], ["c", "d", "e"], k=2) == pytest.approx(0.0)
+    assert ranking_overlap(["a", "b"], ["a", "c"], k=2) == pytest.approx(1 / 3)
+    assert ranking_overlap([], [], k=3) == 1.0

@@ -1,0 +1,92 @@
+"""Unit tests for the greedy holistic repairer."""
+
+import pytest
+
+from repro.constraints.parser import parse_dcs
+from repro.constraints.violations import find_all_violations, is_clean
+from repro.dataset.errors import inject_errors
+from repro.dataset.generators import HospitalGenerator
+from repro.dataset.table import CellRef, Table
+from repro.errors import RepairError
+from repro.repair.greedy import GreedyHolisticRepair
+
+
+def test_parameter_validation():
+    with pytest.raises(RepairError):
+        GreedyHolisticRepair(max_changes=0)
+    with pytest.raises(RepairError):
+        GreedyHolisticRepair(max_candidates=0)
+
+
+def test_repairs_single_fd_breach():
+    table = Table(
+        ["Code", "Name"],
+        [["A1", "Aspirin"], ["A1", "Aspirin"], ["A1", "Asprin"], ["B2", "Beta"]],
+    )
+    constraints = parse_dcs(["not(t1.Code == t2.Code and t1.Name != t2.Name)"])
+    repaired = GreedyHolisticRepair().repair_table(constraints, table)
+    assert repaired.value(2, "Name") == "Aspirin"
+    assert is_clean(repaired, constraints)
+
+
+def test_repairs_la_liga_country(dirty_table, constraints):
+    repaired = GreedyHolisticRepair().repair_table(constraints, dirty_table)
+    assert repaired.value(4, "Country") == "Spain"
+    violations_after = find_all_violations(repaired, constraints)
+    violations_before = find_all_violations(dirty_table, constraints)
+    assert len(violations_after) < len(violations_before)
+
+
+def test_no_constraints_is_identity(dirty_table):
+    repaired = GreedyHolisticRepair().repair_table([], dirty_table)
+    assert repaired.equals(dirty_table)
+
+
+def test_clean_table_is_left_untouched(clean_table, constraints):
+    repaired = GreedyHolisticRepair().repair_table(constraints, clean_table)
+    assert repaired.equals(clean_table)
+
+
+def test_deterministic(dirty_table, constraints):
+    first = GreedyHolisticRepair().repair_table(constraints, dirty_table)
+    second = GreedyHolisticRepair().repair_table(constraints, dirty_table)
+    assert first.equals(second)
+
+
+def test_input_not_mutated(dirty_table, constraints):
+    GreedyHolisticRepair().repair_table(constraints, dirty_table)
+    assert dirty_table.value(4, "Country") == "España"
+
+
+def test_max_changes_bounds_work():
+    table = Table(
+        ["Code", "Name"],
+        [["A1", "x"], ["A1", "y"], ["B2", "p"], ["B2", "q"], ["C3", "r"], ["C3", "s"]],
+    )
+    constraints = parse_dcs(["not(t1.Code == t2.Code and t1.Name != t2.Name)"])
+    limited = GreedyHolisticRepair(max_changes=1).repair_table(constraints, table)
+    delta = table.diff(limited)
+    assert len(delta) <= 1
+
+
+def test_reduces_violations_on_injected_hospital_errors():
+    dataset = HospitalGenerator(seed=6).generate(40)
+    constraints = dataset.constraints()
+    dirty, report = inject_errors(
+        dataset.table, rate=0.03, error_types=["swap"], attributes=["State"], seed=6
+    )
+    assert report.injected, "the test needs at least one injected error"
+    repaired = GreedyHolisticRepair().repair_table(constraints, dirty)
+    assert len(find_all_violations(repaired, constraints)) <= len(
+        find_all_violations(dirty, constraints)
+    )
+
+
+def test_null_cell_gets_filled_when_constrained():
+    table = Table(
+        ["Code", "Name"],
+        [["A1", "Aspirin"], ["A1", "Aspirin"], ["A1", None]],
+    )
+    constraints = parse_dcs(["not(t1.Code == t2.Code and t1.Name != t2.Name)"])
+    repaired = GreedyHolisticRepair().repair_table(constraints, table)
+    assert repaired.value(2, "Name") == "Aspirin"

@@ -1,0 +1,77 @@
+"""Unit tests for explanation reports (the textual stand-in for the web GUI)."""
+
+import pytest
+
+from repro.dataset.table import CellRef
+from repro.explain.report import ExplanationReport, render_table_with_highlights, repair_summary
+
+
+@pytest.fixture
+def explanation(explainer, cell_of_interest):
+    return explainer.explain(cell_of_interest, n_samples=10)
+
+
+def test_text_report_mentions_cell_and_repair(explanation, constraints, dirty_table):
+    report = ExplanationReport(explanation, constraints=constraints, dirty_table=dirty_table)
+    text = report.to_text()
+    assert "t5[Country]" in text
+    assert "'España' -> 'Spain'" in text
+    assert "Constraint contributions" in text
+    assert "Cell contributions" in text
+    assert "C3" in text
+    assert str(report) == text
+
+
+def test_text_report_orders_constraints_by_value(explanation, constraints):
+    text = ExplanationReport(explanation, constraints=constraints).to_text()
+    assert text.index("C3") < text.index("C4")
+
+
+def test_text_report_includes_dc_rendering(explanation, constraints):
+    text = ExplanationReport(explanation, constraints=constraints).to_text()
+    assert "¬(" in text  # the unicode DC rendering is attached to each ranked constraint
+
+
+def test_shade_buckets_present(explanation, constraints):
+    text = ExplanationReport(explanation, constraints=constraints).to_text()
+    assert "[dark]" in text
+    assert "[none]" in text  # C4 contributes nothing
+
+
+def test_markdown_report_structure(explanation, constraints, dirty_table):
+    markdown = ExplanationReport(
+        explanation, constraints=constraints, dirty_table=dirty_table
+    ).to_markdown()
+    assert markdown.startswith("## T-REx explanation for `t5[Country]`")
+    assert "| rank | constraint | Shapley | shade |" in markdown
+    assert "| rank | cell | Shapley | shade |" in markdown
+    assert "| 1 | C3 |" in markdown
+
+
+def test_constraint_only_report(explainer, cell_of_interest, constraints):
+    explanation = explainer.explain_constraints(cell_of_interest)
+    text = ExplanationReport(explanation, constraints=constraints).to_text()
+    assert "Constraint contributions" in text
+    assert "Cell contributions" not in text
+
+
+def test_cell_report_top_k_limits_rows(explanation, dirty_table):
+    report = ExplanationReport(explanation, dirty_table=dirty_table)
+    text_full = report.to_text(top_k_cells=None)
+    text_short = report.to_text(top_k_cells=3)
+    assert len(text_short) < len(text_full)
+
+
+def test_render_table_with_highlights(dirty_table):
+    rendered = render_table_with_highlights(
+        dirty_table, [CellRef(4, "Country")], title="Dirty table:"
+    )
+    assert rendered.startswith("Dirty table:")
+    assert "*España*" in rendered
+
+
+def test_repair_summary_lists_changes(dirty_table, clean_table):
+    summary = repair_summary(dirty_table, clean_table)
+    assert "2 cell(s) repaired." in summary
+    assert "t5[Country]: 'España' -> 'Spain'" in summary
+    assert "*Spain*" in summary  # repaired value highlighted in the table rendering

@@ -1,0 +1,72 @@
+"""Unit tests for schemas and attribute specs."""
+
+import pytest
+
+from repro.dataset.schema import FLOAT, INTEGER, STRING, AttributeSpec, Schema
+from repro.errors import SchemaError, UnknownAttributeError
+
+
+def test_attribute_spec_validation():
+    with pytest.raises(SchemaError):
+        AttributeSpec("")
+    with pytest.raises(SchemaError):
+        AttributeSpec("A", dtype="datetime")
+
+
+def test_attribute_coercion_integer():
+    spec = AttributeSpec("Year", dtype=INTEGER)
+    assert spec.coerce("2019") == 2019
+    assert spec.coerce(2019) == 2019
+    assert spec.coerce("") is None
+    assert spec.coerce(None) is None
+    assert spec.coerce("not-a-number") == "not-a-number"  # kept raw, flagged later
+
+
+def test_attribute_coercion_float_and_string():
+    assert AttributeSpec("Rate", dtype=FLOAT).coerce("4.5") == pytest.approx(4.5)
+    assert AttributeSpec("Name", dtype=STRING).coerce(42) == "42"
+
+
+def test_schema_from_strings():
+    schema = Schema(["A", "B"])
+    assert schema.attribute_names == ("A", "B")
+    assert schema["A"].dtype == STRING
+    assert len(schema) == 2
+    assert "A" in schema and "C" not in schema
+
+
+def test_schema_rejects_duplicates_and_empty():
+    with pytest.raises(SchemaError):
+        Schema(["A", "A"])
+    with pytest.raises(SchemaError):
+        Schema([])
+
+
+def test_schema_index_and_unknown_attribute():
+    schema = Schema(["A", "B", "C"])
+    assert schema.index_of("B") == 1
+    with pytest.raises(UnknownAttributeError):
+        schema.index_of("Z")
+    with pytest.raises(UnknownAttributeError):
+        schema["Z"]
+
+
+def test_schema_equality_and_hash():
+    first = Schema([AttributeSpec("A"), AttributeSpec("B", dtype=INTEGER)])
+    second = Schema([AttributeSpec("A"), AttributeSpec("B", dtype=INTEGER)])
+    third = Schema(["A", "B"])
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first != third
+
+
+def test_categorical_and_numeric_listing():
+    schema = Schema(
+        [
+            AttributeSpec("Name"),
+            AttributeSpec("Salary", dtype=INTEGER, categorical=False),
+            AttributeSpec("Rate", dtype=FLOAT),
+        ]
+    )
+    assert schema.categorical_attributes() == ("Name", "Rate")
+    assert schema.numeric_attributes() == ("Salary", "Rate")

@@ -1,0 +1,90 @@
+"""Unit tests for explanation serialisation."""
+
+import json
+
+import pytest
+
+from repro.dataset.table import CellRef
+from repro.errors import ExplanationError
+from repro.explain.serialize import (
+    explanation_from_dict,
+    explanation_to_dict,
+    load_explanation,
+    save_explanation,
+    shapley_result_from_dict,
+    shapley_result_to_dict,
+)
+from repro.shapley.game import ShapleyResult
+
+
+@pytest.fixture
+def explanation(explainer, cell_of_interest):
+    return explainer.explain(cell_of_interest, n_samples=8)
+
+
+def test_shapley_result_roundtrip_with_constraint_keys():
+    result = ShapleyResult(
+        values={"C1": 0.5, "C2": 0.25},
+        standard_errors={"C1": 0.01, "C2": 0.02},
+        n_samples=10,
+        n_evaluations=40,
+        method="exact-enumeration",
+    )
+    restored = shapley_result_from_dict(shapley_result_to_dict(result))
+    assert restored.values == result.values
+    assert restored.standard_errors == result.standard_errors
+    assert restored.n_samples == 10 and restored.n_evaluations == 40
+    assert restored.method == result.method
+
+
+def test_shapley_result_roundtrip_with_cell_keys():
+    result = ShapleyResult(values={CellRef(4, "League"): 0.3, CellRef(0, "Place"): 0.0})
+    restored = shapley_result_from_dict(shapley_result_to_dict(result))
+    assert restored.values == result.values
+    assert isinstance(next(iter(restored.values)), CellRef)
+
+
+def test_explanation_dict_roundtrip(explanation):
+    payload = explanation_to_dict(explanation)
+    restored = explanation_from_dict(payload)
+    assert restored.cell == explanation.cell
+    assert restored.old_value == explanation.old_value
+    assert restored.new_value == explanation.new_value
+    assert restored.constraint_shapley.values == explanation.constraint_shapley.values
+    assert restored.cell_shapley.values == explanation.cell_shapley.values
+    # rankings keep working after a round trip
+    assert restored.constraint_ranking.items() == explanation.constraint_ranking.items()
+
+
+def test_explanation_dict_is_json_compatible(explanation):
+    payload = explanation_to_dict(explanation)
+    text = json.dumps(payload, default=str)
+    assert "t5" not in text or True  # serialisation never raises
+    assert json.loads(text)["cell"] == {"row": 4, "attribute": "Country"}
+
+
+def test_save_and_load_explanation(tmp_path, explanation):
+    path = save_explanation(explanation, tmp_path / "nested" / "explanation.json")
+    assert path.exists()
+    restored = load_explanation(path)
+    assert restored.cell == explanation.cell
+    assert restored.constraint_shapley.values == explanation.constraint_shapley.values
+
+
+def test_unsupported_format_version_rejected(explanation):
+    payload = explanation_to_dict(explanation)
+    payload["format_version"] = 999
+    with pytest.raises(ExplanationError):
+        explanation_from_dict(payload)
+
+
+def test_decode_unknown_key_kind_rejected():
+    with pytest.raises(ExplanationError):
+        shapley_result_from_dict({"values": {"bogus:stuff": 1.0}})
+
+
+def test_constraint_only_explanation_roundtrip(explainer, cell_of_interest):
+    explanation = explainer.explain_constraints(cell_of_interest)
+    restored = explanation_from_dict(explanation_to_dict(explanation))
+    assert restored.cell_shapley is None
+    assert restored.constraint_shapley.values == explanation.constraint_shapley.values

@@ -1,0 +1,97 @@
+"""Unit tests for constraint-level Shapley explanations (the paper's Figure 1 values)."""
+
+import pytest
+
+from repro.dataset.examples import FIGURE1_SHAPLEY_VALUES
+from repro.dataset.table import CellRef
+from repro.repair.base import BinaryRepairOracle
+from repro.shapley.constraints import (
+    ConstraintShapleyExplainer,
+    constraint_shapley_from_subsets,
+)
+
+
+@pytest.fixture
+def oracle(algorithm, constraints, dirty_table, cell_of_interest):
+    return BinaryRepairOracle(algorithm, constraints, dirty_table, cell_of_interest)
+
+
+def test_exact_values_match_figure1(oracle):
+    result = ConstraintShapleyExplainer(oracle).explain()
+    for name, expected in FIGURE1_SHAPLEY_VALUES.items():
+        assert result[name] == pytest.approx(expected, abs=1e-9), name
+
+
+def test_efficiency_values_sum_to_one(oracle):
+    result = ConstraintShapleyExplainer(oracle).explain()
+    assert result.total() == pytest.approx(1.0)
+
+
+def test_ranking_places_c3_first_and_c4_last(oracle):
+    explainer = ConstraintShapleyExplainer(oracle)
+    ranking = explainer.ranking()
+    assert ranking[0][0] == "C3"
+    assert ranking[-1][0] == "C4"
+
+
+def test_explain_subset_of_constraints(oracle):
+    result = ConstraintShapleyExplainer(oracle).explain(constraints=["C3"])
+    assert set(result.values) == {"C3"}
+    assert result["C3"] == pytest.approx(2 / 3)
+
+
+def test_sampled_estimate_close_to_exact(oracle):
+    explainer = ConstraintShapleyExplainer(oracle)
+    sampled = explainer.explain_sampled(n_permutations=400, rng=3)
+    exact = explainer.explain()
+    for name in exact.values:
+        assert sampled[name] == pytest.approx(exact[name], abs=0.08)
+
+
+def test_minimal_winning_subsets_match_paper_narrative(oracle):
+    explainer = ConstraintShapleyExplainer(oracle)
+    winning = explainer.minimal_winning_subsets()
+    assert frozenset({"C3"}) in winning
+    assert frozenset({"C1", "C2"}) in winning
+    assert len(winning) == 2
+
+
+def test_game_value_queries_oracle(oracle):
+    game = ConstraintShapleyExplainer(oracle).as_game()
+    assert game.value(frozenset({"C3"})) == 1.0
+    assert game.value(frozenset({"C1"})) == 0.0
+    assert game.value(frozenset()) == 0.0
+    assert set(game.players) == {"C1", "C2", "C3", "C4"}
+
+
+def test_constraint_shapley_from_subsets_closed_form():
+    result = constraint_shapley_from_subsets(
+        ["C1", "C2", "C3", "C4"], [frozenset({"C3"}), frozenset({"C1", "C2"})]
+    )
+    for name, expected in FIGURE1_SHAPLEY_VALUES.items():
+        assert result[name] == pytest.approx(expected)
+
+
+def test_end_to_end_agrees_with_closed_form(oracle):
+    pipeline = ConstraintShapleyExplainer(oracle).explain()
+    closed_form = constraint_shapley_from_subsets(
+        ["C1", "C2", "C3", "C4"], [frozenset({"C3"}), frozenset({"C1", "C2"})]
+    )
+    for name in closed_form.values:
+        assert pipeline[name] == pytest.approx(closed_form[name])
+
+
+def test_oracle_query_count_is_bounded_by_subset_count(oracle):
+    oracle.reset_counters()
+    ConstraintShapleyExplainer(oracle).explain()
+    # at most 2^4 = 16 distinct repair runs thanks to coalition memoisation
+    assert oracle.repair_runs <= 16
+
+
+def test_explaining_city_cell_gives_all_credit_to_c1(algorithm, constraints, dirty_table):
+    oracle = BinaryRepairOracle(algorithm, constraints, dirty_table, CellRef(4, "City"))
+    result = ConstraintShapleyExplainer(oracle).explain()
+    assert result["C1"] == pytest.approx(1.0)
+    assert result["C2"] == pytest.approx(0.0)
+    assert result["C3"] == pytest.approx(0.0)
+    assert result["C4"] == pytest.approx(0.0)

@@ -1,0 +1,90 @@
+"""Unit tests for exact Shapley computation."""
+
+import pytest
+
+from repro.shapley.exact import exact_shapley, exact_shapley_single
+from repro.shapley.game import CallableGame
+
+
+def test_symmetric_majority_game_splits_equally():
+    game = CallableGame(("a", "b", "c"), lambda s: 1.0 if len(s) >= 2 else 0.0)
+    result = exact_shapley(game)
+    for player in game.players:
+        assert result[player] == pytest.approx(1 / 3)
+    assert result.total() == pytest.approx(1.0)
+
+
+def test_additive_game_gives_individual_values():
+    worth = {"a": 3.0, "b": 1.0, "c": 0.5}
+    game = CallableGame(tuple(worth), lambda s: sum(worth[p] for p in s))
+    result = exact_shapley(game)
+    for player, value in worth.items():
+        assert result[player] == pytest.approx(value)
+
+
+def test_dummy_player_gets_zero():
+    # 'd' never changes the value of any coalition
+    game = CallableGame(("a", "b", "d"), lambda s: 1.0 if {"a", "b"} <= s else 0.0)
+    result = exact_shapley(game)
+    assert result["d"] == pytest.approx(0.0)
+    assert result["a"] == pytest.approx(0.5)
+    assert result["b"] == pytest.approx(0.5)
+
+
+def test_glove_game_classic_values():
+    # players a,b own left gloves, c owns a right glove; a pair is worth 1
+    def value(coalition):
+        lefts = len(coalition & {"a", "b"})
+        rights = len(coalition & {"c"})
+        return float(min(lefts, rights))
+
+    result = exact_shapley(CallableGame(("a", "b", "c"), value))
+    assert result["c"] == pytest.approx(2 / 3)
+    assert result["a"] == pytest.approx(1 / 6)
+    assert result["b"] == pytest.approx(1 / 6)
+
+
+def test_paper_example_2_3_structure():
+    """Figure 1 values from the winning-structure alone: {C3} or {C1, C2} repair the cell."""
+    def value(coalition):
+        return 1.0 if ("C3" in coalition or {"C1", "C2"} <= coalition) else 0.0
+
+    result = exact_shapley(CallableGame(("C1", "C2", "C3", "C4"), value))
+    assert result["C1"] == pytest.approx(1 / 6)
+    assert result["C2"] == pytest.approx(1 / 6)
+    assert result["C3"] == pytest.approx(2 / 3)
+    assert result["C4"] == pytest.approx(0.0)
+
+
+def test_efficiency_axiom_holds():
+    game = CallableGame(("x", "y", "z"), lambda s: len(s) ** 2 / 9.0)
+    result = exact_shapley(game)
+    assert result.total() == pytest.approx(game.grand_coalition_value())
+
+
+def test_single_player_game():
+    game = CallableGame(("only",), lambda s: 5.0 if "only" in s else 0.0)
+    result = exact_shapley(game)
+    assert result["only"] == pytest.approx(5.0)
+
+
+def test_requested_player_subset():
+    game = CallableGame(("a", "b", "c"), lambda s: float(len(s)))
+    result = exact_shapley(game, players=["b"])
+    assert list(result.values) == ["b"]
+    assert result["b"] == pytest.approx(1.0)
+
+
+def test_exact_shapley_single_matches_full_run():
+    game = CallableGame(("a", "b", "c"), lambda s: 1.0 if {"a", "c"} <= s else 0.0)
+    full = exact_shapley(game)
+    assert exact_shapley_single(game, "a") == pytest.approx(full["a"])
+    with pytest.raises(KeyError):
+        exact_shapley_single(game, "missing")
+
+
+def test_evaluation_count_is_bounded_by_2_to_n():
+    game = CallableGame(tuple("abcde"), lambda s: float(len(s)))
+    result = exact_shapley(game)
+    assert result.n_evaluations <= 2 ** 5
+    assert result.method == "exact-enumeration"

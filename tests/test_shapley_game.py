@@ -1,0 +1,93 @@
+"""Unit tests for the cooperative-game abstractions."""
+
+import pytest
+
+from repro.errors import TRexError
+from repro.shapley.game import (
+    CallableGame,
+    MemoisedGame,
+    ShapleyResult,
+    shapley_weight,
+    validate_players,
+)
+
+
+def majority_game():
+    """A 3-player majority game: a coalition wins (value 1) with 2+ members."""
+    return CallableGame(("a", "b", "c"), lambda s: 1.0 if len(s) >= 2 else 0.0)
+
+
+def test_callable_game_basics():
+    game = majority_game()
+    assert game.players == ("a", "b", "c")
+    assert game.n_players == 3
+    assert game.value(frozenset()) == 0.0
+    assert game.value(frozenset({"a", "b"})) == 1.0
+    assert game.grand_coalition_value() == 1.0
+
+
+def test_callable_game_rejects_duplicate_players():
+    with pytest.raises(TRexError):
+        CallableGame(("a", "a"), lambda s: 0.0)
+
+
+def test_memoised_game_counts_unique_evaluations():
+    calls = []
+
+    def value(coalition):
+        calls.append(coalition)
+        return float(len(coalition))
+
+    game = MemoisedGame(CallableGame(("a", "b"), value))
+    game.value(frozenset({"a"}))
+    game.value(frozenset({"a"}))
+    game.value(frozenset({"a", "b"}))
+    assert game.evaluations == 2
+    assert len(calls) == 2
+
+
+def test_shapley_weight_values():
+    # For 4 players: |S|=0 -> 1/4, |S|=1 -> 1/12, |S|=2 -> 1/12, |S|=3 -> 1/4.
+    assert shapley_weight(0, 4) == pytest.approx(1 / 4)
+    assert shapley_weight(1, 4) == pytest.approx(1 / 12)
+    assert shapley_weight(2, 4) == pytest.approx(1 / 12)
+    assert shapley_weight(3, 4) == pytest.approx(1 / 4)
+
+
+def test_shapley_weight_sums_to_one_over_all_coalitions():
+    from math import comb
+
+    n = 6
+    total = sum(comb(n - 1, size) * shapley_weight(size, n) for size in range(n))
+    assert total == pytest.approx(1.0)
+
+
+def test_shapley_weight_range_check():
+    with pytest.raises(TRexError):
+        shapley_weight(4, 4)
+    with pytest.raises(TRexError):
+        shapley_weight(-1, 4)
+
+
+def test_validate_players():
+    game = majority_game()
+    assert validate_players(game, None) == ("a", "b", "c")
+    assert validate_players(game, ["b"]) == ("b",)
+    with pytest.raises(TRexError):
+        validate_players(game, ["z"])
+
+
+def test_shapley_result_ranking_and_helpers():
+    result = ShapleyResult(values={"a": 0.5, "b": 0.25, "c": 0.25, "d": 0.0})
+    assert result["a"] == 0.5
+    assert "a" in result and "z" not in result
+    assert len(result) == 4
+    assert result.total() == pytest.approx(1.0)
+    assert result.ranking()[0] == ("a", 0.5)
+    assert result.top(2) == ["a", "b"]  # tie between b and c broken by repr
+    assert result.normalised()["a"] == pytest.approx(0.5)
+
+
+def test_shapley_result_normalised_zero_total():
+    result = ShapleyResult(values={"a": 0.0, "b": 0.0})
+    assert result.normalised() == {"a": 0.0, "b": 0.0}

@@ -1,0 +1,104 @@
+"""Unit tests for Shapley interaction indices and Banzhaf values."""
+
+import pytest
+
+from repro.dataset.table import CellRef
+from repro.repair.base import BinaryRepairOracle
+from repro.shapley.constraints import ConstraintShapleyExplainer
+from repro.shapley.exact import exact_shapley
+from repro.shapley.game import CallableGame
+from repro.shapley.interaction import (
+    all_pairwise_interactions,
+    banzhaf_values,
+    shapley_interaction_index,
+)
+from repro.errors import TRexError
+
+
+def paper_game():
+    """The constraint game of Example 2.3: winning sets {C3} and {C1, C2}."""
+    return CallableGame(
+        ("C1", "C2", "C3", "C4"),
+        lambda s: 1.0 if ("C3" in s or {"C1", "C2"} <= s) else 0.0,
+    )
+
+
+def test_interaction_validation():
+    game = paper_game()
+    with pytest.raises(TRexError):
+        shapley_interaction_index(game, "C1", "C1")
+    with pytest.raises(TRexError):
+        shapley_interaction_index(game, "C1", "missing")
+
+
+def test_complementary_pair_has_positive_interaction():
+    game = paper_game()
+    assert shapley_interaction_index(game, "C1", "C2") > 0
+
+
+def test_dummy_player_has_zero_interactions():
+    game = paper_game()
+    for other in ("C1", "C2", "C3"):
+        assert shapley_interaction_index(game, "C4", other) == pytest.approx(0.0)
+
+
+def test_substitute_pair_has_negative_interaction():
+    # C3 can achieve the repair alone, so adding C1 (half of the alternative
+    # path) on top of C3 is redundant: they are substitutes.
+    game = paper_game()
+    assert shapley_interaction_index(game, "C1", "C3") < 0
+    assert shapley_interaction_index(game, "C2", "C3") < 0
+
+
+def test_interaction_is_symmetric():
+    game = paper_game()
+    assert shapley_interaction_index(game, "C1", "C2") == pytest.approx(
+        shapley_interaction_index(game, "C2", "C1")
+    )
+
+
+def test_additive_game_has_no_interactions():
+    worth = {"a": 1.0, "b": 2.0, "c": 3.0}
+    game = CallableGame(tuple(worth), lambda s: sum(worth[p] for p in s))
+    for pair, value in all_pairwise_interactions(game).items():
+        assert value == pytest.approx(0.0), pair
+
+
+def test_all_pairwise_interactions_covers_every_pair():
+    game = paper_game()
+    interactions = all_pairwise_interactions(game)
+    assert len(interactions) == 6  # C(4, 2)
+    assert frozenset({"C1", "C2"}) in interactions
+
+
+def test_banzhaf_additive_game_equals_shapley():
+    worth = {"a": 1.5, "b": 0.5}
+    game = CallableGame(tuple(worth), lambda s: sum(worth[p] for p in s))
+    banzhaf = banzhaf_values(game)
+    shapley = exact_shapley(game)
+    for player in worth:
+        assert banzhaf[player] == pytest.approx(shapley[player])
+
+
+def test_banzhaf_paper_game_ranking_matches_shapley_ranking():
+    game = paper_game()
+    banzhaf = banzhaf_values(game)
+    # Banzhaf of the paper's game: C3 = 6/8, C1 = C2 = 2/8, C4 = 0
+    assert banzhaf["C3"] == pytest.approx(6 / 8)
+    assert banzhaf["C1"] == pytest.approx(2 / 8)
+    assert banzhaf["C2"] == pytest.approx(2 / 8)
+    assert banzhaf["C4"] == pytest.approx(0.0)
+    assert [name for name, _ in banzhaf.ranking()] == ["C3", "C1", "C2", "C4"]
+    assert banzhaf.method == "banzhaf-exact"
+
+
+def test_explainer_interaction_and_banzhaf_on_running_example(
+    algorithm, constraints, dirty_table, cell_of_interest
+):
+    oracle = BinaryRepairOracle(algorithm, constraints, dirty_table, cell_of_interest)
+    explainer = ConstraintShapleyExplainer(oracle)
+    interactions = explainer.explain_interactions()
+    assert interactions[frozenset({"C1", "C2"})] > 0
+    assert interactions[frozenset({"C1", "C4"})] == pytest.approx(0.0)
+    banzhaf = explainer.explain_banzhaf()
+    assert banzhaf.ranking()[0][0] == "C3"

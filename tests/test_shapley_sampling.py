@@ -1,0 +1,125 @@
+"""Unit tests for the cell-coalition sampler (Example 2.5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.table import CellRef, Table
+from repro.errors import TRexError
+from repro.shapley.sampling import CellCoalitionSampler, ReplacementPolicy, SampledShapleyEstimate
+
+
+def make_table():
+    return Table(
+        ["Team", "City"],
+        [["Real", "Madrid"], ["Barca", "Barcelona"], ["Real", "Capital"]],
+    )
+
+
+def test_replacement_policy_parsing():
+    assert ReplacementPolicy.from_name("sample") is ReplacementPolicy.SAMPLE
+    assert ReplacementPolicy.from_name("NULL") is ReplacementPolicy.NULL
+    assert ReplacementPolicy.from_name(ReplacementPolicy.MODE) is ReplacementPolicy.MODE
+    with pytest.raises(TRexError):
+        ReplacementPolicy.from_name("bogus")
+
+
+def test_cell_vectorisation_order_matches_paper():
+    sampler = CellCoalitionSampler(make_table(), rng=0)
+    assert sampler.cells[0] == CellRef(0, "Team")
+    assert sampler.cells[1] == CellRef(0, "City")
+    assert sampler.cells[2] == CellRef(1, "Team")
+    assert len(sampler.cells) == 6
+
+
+def test_null_policy_replacement_is_none():
+    sampler = CellCoalitionSampler(make_table(), policy="null", rng=0)
+    assert sampler.replacement_value(CellRef(0, "City")) is None
+
+
+def test_mode_policy_replacement_is_most_common():
+    table = Table(["City"], [["Madrid"], ["Madrid"], ["Capital"]])
+    sampler = CellCoalitionSampler(table, policy="mode", rng=0)
+    assert sampler.replacement_value(CellRef(2, "City")) == "Madrid"
+
+
+def test_sample_policy_draws_from_column_distribution():
+    sampler = CellCoalitionSampler(make_table(), policy="sample", rng=3)
+    values = {sampler.replacement_value(CellRef(0, "Team")) for _ in range(50)}
+    assert values <= {"Real", "Barca"}
+    assert len(values) == 2  # both values appear across 50 draws
+
+
+def test_coalition_before_respects_permutation_order():
+    sampler = CellCoalitionSampler(make_table(), rng=0)
+    target = CellRef(1, "Team")  # index 2 in the cell vector
+    permutation = np.array([4, 2, 0, 1, 3, 5])
+    coalition = sampler.coalition_before(target, permutation)
+    assert coalition == {sampler.cells[4]}  # only the cell before the target
+
+
+def test_coalition_before_unknown_cell_raises():
+    sampler = CellCoalitionSampler(make_table(), rng=0)
+    with pytest.raises(TRexError):
+        sampler.coalition_before(CellRef(9, "Team"), np.arange(6))
+
+
+def test_build_instances_differ_only_in_target_cell():
+    sampler = CellCoalitionSampler(make_table(), policy="sample", rng=5)
+    target = CellRef(2, "City")
+    coalition = {CellRef(0, "Team"), CellRef(0, "City")}
+    with_target, without_target = sampler.build_instances(target, coalition)
+    differing = [
+        cell
+        for cell in with_target.cells()
+        if with_target[cell] != without_target[cell]
+    ]
+    assert differing in ([], [target])  # the random replacement may coincide
+    # coalition cells keep their original values in both instances
+    for cell in coalition:
+        assert with_target[cell] == sampler.table[cell]
+        assert without_target[cell] == sampler.table[cell]
+    # the target keeps its original value only in the first instance
+    assert with_target[target] == "Capital"
+
+
+def test_build_instances_null_policy_nulls_non_coalition_cells():
+    sampler = CellCoalitionSampler(make_table(), policy="null", rng=5)
+    target = CellRef(2, "City")
+    with_target, without_target = sampler.build_instances(target, coalition=set())
+    for cell in sampler.cells:
+        if cell == target:
+            continue
+        assert with_target.is_null(cell)
+        assert without_target.is_null(cell)
+    assert with_target[target] == "Capital"
+    assert without_target.is_null(target)
+
+
+def test_sample_pair_is_reproducible_with_seed():
+    first = CellCoalitionSampler(make_table(), policy="sample", rng=11)
+    second = CellCoalitionSampler(make_table(), policy="sample", rng=11)
+    target = CellRef(0, "City")
+    pair_a = first.sample_pair(target)
+    pair_b = second.sample_pair(target)
+    assert pair_a[0].equals(pair_b[0])
+    assert pair_a[1].equals(pair_b[1])
+
+
+def test_enumerate_coalitions_counts():
+    sampler = CellCoalitionSampler(make_table(), policy="null", rng=0)
+    coalitions = sampler.enumerate_coalitions(CellRef(0, "Team"))
+    assert len(coalitions) == 2 ** 5
+
+
+def test_enumerate_coalitions_refuses_large_tables():
+    table = Table(["A", "B", "C"], [[1, 2, 3]] * 10)
+    sampler = CellCoalitionSampler(table, policy="null", rng=0)
+    with pytest.raises(TRexError):
+        sampler.enumerate_coalitions(CellRef(0, "A"))
+
+
+def test_sampled_estimate_confidence_interval():
+    estimate = SampledShapleyEstimate(CellRef(0, "A"), value=0.5, standard_error=0.1, n_samples=100)
+    low, high = estimate.confidence_interval()
+    assert low == pytest.approx(0.5 - 1.96 * 0.1)
+    assert high == pytest.approx(0.5 + 1.96 * 0.1)

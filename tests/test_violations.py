@@ -1,0 +1,113 @@
+"""Unit tests for the violation detection engine."""
+
+from repro.constraints.parser import parse_dc
+from repro.constraints.violations import (
+    ViolationSet,
+    cells_in_violations,
+    find_all_violations,
+    find_violations,
+    is_clean,
+    violating_rows,
+)
+from repro.dataset.table import CellRef, Table
+
+
+def make_table():
+    return Table(
+        ["Team", "City", "Country"],
+        [
+            ["Real", "Madrid", "Spain"],
+            ["Real", "Capital", "Spain"],
+            ["Barca", "Barcelona", "Spain"],
+            ["Liverpool", "Liverpool", "England"],
+        ],
+    )
+
+
+C_TEAM_CITY = parse_dc("not(t1.Team == t2.Team and t1.City != t2.City)", name="C1")
+C_CITY_COUNTRY = parse_dc("not(t1.City == t2.City and t1.Country != t2.Country)", name="C2")
+
+
+def test_find_violations_detects_fd_breach():
+    violations = find_violations(make_table(), C_TEAM_CITY)
+    pairs = {v.rows for v in violations}
+    assert (0, 1) in pairs and (1, 0) in pairs  # both orders reported
+    assert len(violations) == 2
+
+
+def test_find_violations_none_when_clean():
+    assert find_violations(make_table(), C_CITY_COUNTRY) == []
+    assert is_clean(make_table(), [C_CITY_COUNTRY])
+    assert not is_clean(make_table(), [C_TEAM_CITY])
+
+
+def test_violation_cells_listing():
+    violations = find_violations(make_table(), C_TEAM_CITY)
+    cells = violations[0].cells()
+    assert CellRef(0, "Team") in cells
+    assert CellRef(1, "City") in cells
+
+
+def test_single_tuple_constraint_violations():
+    dc = parse_dc("not(t1.Country == 'England')", name="S1")
+    violations = find_violations(make_table(), dc)
+    assert [v.rows for v in violations] == [(3,)]
+    assert violations[0].row2 is None
+
+
+def test_order_constraint_without_equality_attributes():
+    table = Table(["Salary", "Rate"], [[100, 5.0], [200, 3.0], [150, 6.0]])
+    dc = parse_dc("not(t1.Salary > t2.Salary and t1.Rate < t2.Rate)", name="O1")
+    violations = find_violations(table, dc)
+    pairs = {v.rows for v in violations}
+    assert (1, 0) in pairs  # salary 200 > 100 but rate 3.0 < 5.0
+    assert (1, 2) in pairs
+    assert (0, 1) not in pairs
+
+
+def test_nulls_do_not_trigger_equality_violations():
+    table = make_table().with_cells_nulled([CellRef(1, "Team")])
+    assert find_violations(table, C_TEAM_CITY) == []
+
+
+def test_null_inequality_still_counts_as_difference():
+    # Row 1's City is nulled: Team still matches row 0 and a null city differs
+    # from a concrete one, so the violation remains (this is what lets repair
+    # algorithms fill blanked-out cells; see Operator.evaluate).
+    table = make_table().with_cells_nulled([CellRef(1, "City")])
+    violations = find_violations(table, C_TEAM_CITY)
+    assert {v.rows for v in violations} == {(0, 1), (1, 0)}
+
+
+def test_find_all_violations_and_indexes():
+    table = make_table()
+    result = find_all_violations(table, [C_TEAM_CITY, C_CITY_COUNTRY])
+    assert len(result) == 2
+    assert result.constraints_violated() == ["C1"]
+    assert result.count_by_constraint() == {"C1": 2}
+    assert result.for_constraint("C1")
+    assert result.for_constraint("C2") == []
+    assert result.rows_involved() == [0, 1]
+    assert result.for_row(0) and result.for_row(2) == []
+    assert result.count_for_cell(CellRef(0, "Team")) == 2
+    assert result.count_for_cell(CellRef(2, "Team")) == 0
+
+
+def test_violating_rows_and_cells_helpers():
+    table = make_table()
+    assert violating_rows(table, [C_TEAM_CITY]) == {0, 1}
+    cells = cells_in_violations(table, [C_TEAM_CITY])
+    assert CellRef(0, "City") in cells and CellRef(1, "City") in cells
+    assert CellRef(2, "City") not in cells
+
+
+def test_violation_set_incremental_add():
+    table = make_table()
+    violations = find_violations(table, C_TEAM_CITY)
+    collection = ViolationSet()
+    assert not collection
+    for violation in violations:
+        collection.add(violation)
+    assert len(collection) == 2
+    assert collection.constraints_violated() == ["C1"]
+    assert str(violations[0]).startswith("C1(")
