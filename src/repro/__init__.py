@@ -41,6 +41,7 @@ from repro.dataset import (
     Schema,
     Table,
     CellRef,
+    PerturbationView,
     RepairDelta,
     read_csv,
     write_csv,
@@ -65,6 +66,8 @@ from repro.constraints import (
     format_dc,
     find_violations,
     find_all_violations,
+    find_all_violations_auto,
+    IncrementalViolationDetector,
     FunctionalDependency,
     ConditionalFunctionalDependency,
     discover_fds,
@@ -128,6 +131,7 @@ __all__ = [
     "Schema",
     "Table",
     "CellRef",
+    "PerturbationView",
     "RepairDelta",
     "read_csv",
     "write_csv",
@@ -151,6 +155,8 @@ __all__ = [
     "format_dc",
     "find_violations",
     "find_all_violations",
+    "find_all_violations_auto",
+    "IncrementalViolationDetector",
     "FunctionalDependency",
     "ConditionalFunctionalDependency",
     "discover_fds",

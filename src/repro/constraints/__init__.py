@@ -9,6 +9,20 @@ attribute of the other tuple or with a constant using one of
 ``=, ≠, <, ≤, >, ≥``.  This subpackage provides the constraint language
 (S3 in DESIGN.md), the violation detection engine (S4), functional
 dependencies as syntactic sugar, and a small discovery module (S5).
+
+Violation detection comes in two flavours:
+
+* the **full-rescan reference path** (:mod:`~repro.constraints.violations`) —
+  :func:`find_violations` / :func:`find_all_violations` rebuild indexes and
+  scan every candidate pair from scratch; and
+* the **incremental path** (:mod:`~repro.constraints.incremental`) — an
+  :class:`IncrementalViolationDetector` per base snapshot that, given a
+  sparse :class:`~repro.dataset.table.PerturbationView` delta, retracts the
+  violations involving touched rows and re-checks only those rows against
+  delta-maintained equality indexes.  :func:`find_all_violations_auto`
+  dispatches between the two; the Shapley/repair hot loop runs almost
+  entirely on the incremental path and is cross-checked against the
+  reference path by the test-suite.
 """
 
 from repro.constraints.predicates import Operator, Predicate
@@ -21,6 +35,13 @@ from repro.constraints.violations import (
     find_all_violations,
     violating_rows,
     cells_in_violations,
+)
+from repro.constraints.incremental import (
+    IncrementalViolationDetector,
+    detector_for,
+    find_violations_auto,
+    find_all_violations_auto,
+    find_all_violations_fast,
 )
 from repro.constraints.fd import FunctionalDependency, ConditionalFunctionalDependency
 from repro.constraints.discovery import discover_fds, discover_dcs
@@ -38,6 +59,11 @@ __all__ = [
     "find_all_violations",
     "violating_rows",
     "cells_in_violations",
+    "IncrementalViolationDetector",
+    "detector_for",
+    "find_violations_auto",
+    "find_all_violations_auto",
+    "find_all_violations_fast",
     "FunctionalDependency",
     "ConditionalFunctionalDependency",
     "discover_fds",

@@ -52,6 +52,9 @@ class DenialConstraint:
         object.__setattr__(
             self, "_single_tuple", all(p.is_single_tuple for p in predicates)
         )
+        # constraints key the incremental detector's state dicts, so the deep
+        # (name, predicates) hash is computed once up front
+        object.__setattr__(self, "_hash", hash((name, predicates)))
 
     # -- structure ----------------------------------------------------------------
 
@@ -157,7 +160,7 @@ class DenialConstraint:
         return self.name == other.name and self.predicates == other.predicates
 
     def __hash__(self) -> int:
-        return hash((self.name, self.predicates))
+        return self._hash
 
     def __str__(self) -> str:
         body = " and ".join(str(p) for p in self.predicates)

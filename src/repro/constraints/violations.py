@@ -1,4 +1,4 @@
-"""Violation detection engine.
+"""Violation detection engine — the full-rescan reference path.
 
 Given a table and a set of denial constraints, find every violating tuple
 (pair).  Two-tuple constraints with at least one ``t1.A == t2.A`` predicate
@@ -7,7 +7,12 @@ the equality key can violate); other constraints fall back to a pair scan.
 
 The detector is used by every repair algorithm and — indirectly, through the
 black-box oracle — by every Shapley evaluation, so it is the hottest code
-path of the library.
+path of the library.  The Shapley hot path therefore runs on the *incremental*
+engine instead (:mod:`repro.constraints.incremental`), which maintains
+violations under sparse cell deltas; the functions here remain the
+from-scratch reference implementation that the incremental path is
+cross-checked against, and the fallback for everything that is not a
+:class:`~repro.dataset.table.PerturbationView`.
 """
 
 from __future__ import annotations
@@ -46,15 +51,18 @@ class Violation:
 
 
 class ViolationSet:
-    """All violations of a constraint set on one table snapshot."""
+    """All violations of a constraint set on one table snapshot.
+
+    The per-constraint / per-row / per-cell lookup indexes are built lazily on
+    first query: the hot path (incremental detection inside the Shapley
+    sampling loop) only ever iterates and counts, so it never pays for them.
+    """
 
     def __init__(self, violations: Iterable[Violation] = ()):
         self._violations: list[Violation] = list(violations)
-        self._by_constraint: dict[str, list[Violation]] = defaultdict(list)
-        self._by_row: dict[int, list[Violation]] = defaultdict(list)
-        self._by_cell: dict[CellRef, list[Violation]] = defaultdict(list)
-        for violation in self._violations:
-            self._register(violation)
+        self._by_constraint: dict[str, list[Violation]] | None = None
+        self._by_row: dict[int, list[Violation]] | None = None
+        self._by_cell: dict[CellRef, list[Violation]] | None = None
 
     def _register(self, violation: Violation) -> None:
         self._by_constraint[violation.constraint.name].append(violation)
@@ -63,9 +71,18 @@ class ViolationSet:
         for cell in violation.cells():
             self._by_cell[cell].append(violation)
 
+    def _ensure_indexes(self) -> None:
+        if self._by_constraint is None:
+            self._by_constraint = defaultdict(list)
+            self._by_row = defaultdict(list)
+            self._by_cell = defaultdict(list)
+            for violation in self._violations:
+                self._register(violation)
+
     def add(self, violation: Violation) -> None:
         self._violations.append(violation)
-        self._register(violation)
+        if self._by_constraint is not None:
+            self._register(violation)
 
     # -- queries -------------------------------------------------------------------
 
@@ -79,27 +96,35 @@ class ViolationSet:
         return iter(self._violations)
 
     def for_constraint(self, name: str) -> list[Violation]:
+        self._ensure_indexes()
         return list(self._by_constraint.get(name, ()))
 
     def for_row(self, row: int) -> list[Violation]:
+        self._ensure_indexes()
         return list(self._by_row.get(row, ()))
 
     def for_cell(self, cell: CellRef) -> list[Violation]:
+        self._ensure_indexes()
         return list(self._by_cell.get(cell, ()))
 
     def constraints_violated(self) -> list[str]:
+        self._ensure_indexes()
         return sorted(self._by_constraint)
 
     def rows_involved(self) -> list[int]:
+        self._ensure_indexes()
         return sorted(self._by_row)
 
     def cells_involved(self) -> list[CellRef]:
+        self._ensure_indexes()
         return sorted(self._by_cell, key=lambda c: (c.row, c.attribute))
 
     def count_by_constraint(self) -> dict[str, int]:
+        self._ensure_indexes()
         return {name: len(violations) for name, violations in self._by_constraint.items()}
 
     def count_for_cell(self, cell: CellRef) -> int:
+        self._ensure_indexes()
         return len(self._by_cell.get(cell, ()))
 
 
@@ -110,9 +135,28 @@ def _violations_single_tuple(table: Table, constraint: DenialConstraint) -> Iter
             yield Violation(constraint, (row_id,))
 
 
+def lazy_row_reader(table: Table):
+    """A memoised ``row_of(row_id) -> dict`` over ``table``.
+
+    Row dicts are materialised lazily, on first use: equality-partitioned
+    detection typically visits only the rows inside multi-row groups (and the
+    incremental detector only the touched rows), so most rows never need a
+    dict at all.
+    """
+    rows_cache: dict[int, dict] = {}
+    table_row = table.row
+
+    def row_of(row_id: int) -> dict:
+        row = rows_cache.get(row_id)
+        if row is None:
+            row = rows_cache[row_id] = table_row(row_id)
+        return row
+
+    return row_of
+
+
 def _violations_two_tuple(table: Table, constraint: DenialConstraint) -> Iterator[Violation]:
     equality_attributes = constraint.equality_attributes()
-    rows_cache = [table.row(i) for i in range(table.n_rows)]
 
     if equality_attributes:
         index = MultiColumnIndex(table.store, equality_attributes)
@@ -120,12 +164,16 @@ def _violations_two_tuple(table: Table, constraint: DenialConstraint) -> Iterato
     else:
         groups = [list(range(table.n_rows))]
 
+    row_of = lazy_row_reader(table)
+
     for group in groups:
         for position, row_i in enumerate(group):
+            row_data_i = row_of(row_i)
             for row_j in group[position + 1 :]:
-                if constraint.is_violated_by(rows_cache[row_i], rows_cache[row_j]):
+                row_data_j = row_of(row_j)
+                if constraint.is_violated_by(row_data_i, row_data_j):
                     yield Violation(constraint, (row_i, row_j))
-                if constraint.is_violated_by(rows_cache[row_j], rows_cache[row_i]):
+                if constraint.is_violated_by(row_data_j, row_data_i):
                     yield Violation(constraint, (row_j, row_i))
 
 

@@ -17,7 +17,7 @@ one.  This subpackage provides:
 """
 
 from repro.dataset.schema import AttributeSpec, Schema
-from repro.dataset.table import CellRef, RepairDelta, Table
+from repro.dataset.table import CellRef, PerturbationView, RepairDelta, Table
 from repro.dataset.io import read_csv, write_csv, table_from_records
 from repro.dataset.examples import (
     la_liga_clean_table,
@@ -36,6 +36,7 @@ __all__ = [
     "AttributeSpec",
     "Schema",
     "CellRef",
+    "PerturbationView",
     "RepairDelta",
     "Table",
     "read_csv",

@@ -13,13 +13,20 @@ terms of:
 
 from __future__ import annotations
 
+import re
+
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, NamedTuple, Sequence
 
 from repro.dataset.schema import AttributeSpec, Schema
 from repro.engine.stats import TableStatistics
-from repro.engine.storage import NULL, ColumnStore, is_null
+from repro.engine.storage import NULL, ColumnStore, Fingerprint, is_null, values_differ
+from repro.engine.view import OverlayStore
 from repro.errors import SchemaError, UnknownAttributeError, UnknownRowError
+
+#: The paper's cell notation: ``t<row>[<attribute>]`` with a non-empty
+#: attribute and nothing before or after.
+_CELL_REF_PATTERN = re.compile(r"t(\d+)\[([^\[\]]+)\]\Z")
 
 
 class CellRef(NamedTuple):
@@ -35,16 +42,23 @@ class CellRef(NamedTuple):
     def parse(cls, text: str) -> "CellRef":
         """Parse the paper's ``t5[Country]`` notation (1-based row index)."""
         text = text.strip()
-        if not text.startswith("t") or "[" not in text or not text.endswith("]"):
-            raise SchemaError(f"cannot parse cell reference {text!r}")
-        row_part, _, attr_part = text[1:-1].partition("[")
-        try:
-            row = int(row_part) - 1
-        except ValueError as exc:
-            raise SchemaError(f"cannot parse cell reference {text!r}") from exc
+        match = _CELL_REF_PATTERN.fullmatch(text)
+        if match is None:
+            if re.fullmatch(r"t\d+\[\]", text):
+                raise SchemaError(
+                    f"cell reference {text!r} has an empty attribute name"
+                )
+            if re.match(r"t\d+\[[^\[\]]+\]", text):
+                raise SchemaError(
+                    f"cell reference {text!r} has trailing characters after ']'"
+                )
+            raise SchemaError(
+                f"cannot parse cell reference {text!r}: expected 't<row>[<attribute>]'"
+            )
+        row = int(match.group(1)) - 1
         if row < 0:
             raise SchemaError(f"cell reference {text!r} has a non-positive row index")
-        return cls(row=row, attribute=attr_part)
+        return cls(row=row, attribute=match.group(2))
 
 
 @dataclass(frozen=True)
@@ -116,6 +130,7 @@ class Table:
         self.name = name
         self._store = ColumnStore.from_rows(schema.attribute_names, rows)
         self._stats: TableStatistics | None = None
+        self._version = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -127,11 +142,12 @@ class Table:
 
     @classmethod
     def _from_store(cls, schema: Schema, store: ColumnStore, name: str) -> "Table":
-        table = cls.__new__(cls)
+        table = Table.__new__(Table)
         table.schema = schema
         table.name = name
         table._store = store
         table._stats = None
+        table._version = 0
         return table
 
     # -- shape -----------------------------------------------------------------
@@ -192,13 +208,35 @@ class Table:
 
     # -- mutation / transformation ----------------------------------------------
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped by every :meth:`set_value`.
+
+        Snapshot-derived caches (the incremental violation detector, for one)
+        record the version they were built against and rebuild when it moves.
+        """
+        return self._version
+
     def set_value(self, row: int, attribute: str, value: Any) -> None:
-        """In-place cell update (invalidates cached statistics)."""
+        """In-place cell update (delta-maintains cached statistics)."""
+        old_value = self._store.value(row, attribute)
         self._store.set_value(row, attribute, value)
-        self._stats = None
+        self._version += 1
+        if self._stats is not None:
+            self._stats.apply_cell_update(row, attribute, old_value, value)
 
     def copy(self, name: str | None = None) -> "Table":
         return Table._from_store(self.schema, self._store.copy(), name or self.name)
+
+    def mutable_snapshot(self, name: str | None = None) -> "Table":
+        """An independent snapshot that is cheap to mutate.
+
+        For a plain table this is a full :meth:`copy`; a
+        :class:`PerturbationView` overrides it to fork only its sparse delta,
+        which is what lets the repair algorithms scribble on perturbed
+        instances without ever materialising them.
+        """
+        return self.copy(name=name)
 
     def with_values(self, assignments: Mapping[CellRef, Any], name: str | None = None) -> "Table":
         """A copy of the table with the given cells replaced."""
@@ -206,6 +244,18 @@ class Table:
         for cell, value in assignments.items():
             clone.set_value(cell.row, cell.attribute, value)
         return clone
+
+    def perturbed(self, assignments: Mapping[CellRef, Any], name: str | None = None,
+                  trusted: bool = False) -> "PerturbationView":
+        """A copy-on-write view with the given cells replaced (no column copies).
+
+        The view satisfies the full ``Table`` read interface; building it costs
+        O(|assignments|) instead of O(cells).  ``trusted=True`` skips per-cell
+        address validation (internal hot-path callers whose cells are known
+        valid).  This is the entry point of the incremental evaluation engine —
+        see :class:`PerturbationView`.
+        """
+        return PerturbationView(self, assignments, name=name, trusted=trusted)
 
     def with_cells_nulled(self, cells: Iterable[CellRef], name: str | None = None) -> "Table":
         """A copy with the given cells set to null.
@@ -251,8 +301,13 @@ class Table:
                 changes.append(CellChange(cell, old_value, new_value))
         return RepairDelta(changes)
 
-    def fingerprint(self) -> tuple:
-        """Hashable snapshot used to memoise black-box repair calls."""
+    def fingerprint(self) -> Fingerprint:
+        """Hashable snapshot used to memoise black-box repair calls.
+
+        Cached until the next mutation; for a :class:`PerturbationView` the
+        fingerprint is derived from the base's cached fingerprint plus the
+        sparse delta, so perturbed instances hash in O(|delta|).
+        """
         return self._store.fingerprint()
 
     # -- validation / rendering ----------------------------------------------------
@@ -300,3 +355,105 @@ class Table:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Table({self.name!r}, {self.n_rows} rows x {self.n_columns} columns)"
+
+
+class PerturbationView(Table):
+    """A copy-on-write perturbation of a base table.
+
+    The view layers a sparse ``{CellRef: value}`` delta over the base table's
+    column store (:class:`~repro.engine.view.OverlayStore`) and satisfies the
+    complete ``Table`` read interface — ``value``/``row``/``column``/``stats``/
+    ``fingerprint``/``diff`` all see the perturbed contents — without copying
+    a single column.  This is what the Shapley sampling loop builds per
+    coalition instead of materialised table copies.
+
+    Properties of the delta:
+
+    * **normalised** — entries whose value equals the base cell (null-aware)
+      are dropped, so equal contents always carry equal deltas and equal
+      :meth:`~Table.fingerprint` keys;
+    * **rooted** — building a view over another view re-roots onto the
+      underlying plain table and merges the deltas, so ``view.base`` is always
+      a plain :class:`Table` (the invariant the incremental violation detector
+      keys its caches on);
+    * **composable** — :meth:`with_values` (and therefore
+      :meth:`~Table.with_cells_nulled`) returns a sibling view over the same
+      base with a merged delta, and :meth:`mutable_snapshot` forks the delta so
+      repair algorithms can scribble on an instance in O(|delta|).
+
+    The base table must not be mutated while views over it are alive.
+    """
+
+    def __init__(self, base: Table, assignments: Mapping[CellRef, Any] = (),
+                 name: str | None = None, trusted: bool = False):
+        if isinstance(base, PerturbationView):
+            root = base._base
+            delta: dict[CellRef, Any] = dict(base._delta)
+        else:
+            root = base
+            delta = {}
+        self._base = root
+        self._delta = delta
+        self.schema = root.schema
+        self.name = name or root.name
+        items = assignments.items() if isinstance(assignments, Mapping) else assignments
+        root_value = root.value
+        if trusted:
+            # fast path for internal callers whose cell addresses are known
+            # valid (e.g. the coalition sampler, which enumerates table.cells())
+            for cell, value in items:
+                if values_differ(root_value(cell[0], cell[1]), value):
+                    delta[cell] = value
+                else:
+                    delta.pop(cell, None)
+        else:
+            for cell, value in items:
+                if not isinstance(cell, CellRef):
+                    cell = CellRef(*cell)
+                root.validate_cell(cell)
+                if values_differ(root_value(cell.row, cell.attribute), value):
+                    delta[cell] = value
+                else:
+                    delta.pop(cell, None)
+        # the overlay shares (does not copy) the delta dict, so in-place
+        # set_value calls routed through Table.set_value stay visible here
+        self._store = OverlayStore(root.store, delta)
+        self._stats = None
+        self._version = 0
+
+    # -- view-specific introspection --------------------------------------------
+
+    @property
+    def base(self) -> Table:
+        """The plain table this view perturbs (never another view)."""
+        return self._base
+
+    @property
+    def delta(self) -> dict[CellRef, Any]:
+        """The normalised sparse delta as a ``{CellRef: value}`` mapping."""
+        return {CellRef(row, attribute): value
+                for (row, attribute), value in self._delta.items()}
+
+    def delta_by_column(self) -> dict[str, dict[int, Any]]:
+        """The delta grouped per column, ``{attribute: {row: value}}`` (read-only).
+
+        Cheaper than :attr:`delta` on the hot path: the grouping is cached by
+        the overlay store and no :class:`CellRef` objects are built.
+        """
+        return self._store.delta_by_column()
+
+    # -- overridden transformations ---------------------------------------------
+
+    def with_values(self, assignments: Mapping[CellRef, Any], name: str | None = None) -> "PerturbationView":
+        """A sibling view over the same base with the assignments merged in."""
+        return PerturbationView(self, assignments, name=name or self.name)
+
+    def mutable_snapshot(self, name: str | None = None) -> "PerturbationView":
+        """Fork the delta (O(|delta|)) instead of copying columns (O(cells))."""
+        return PerturbationView(self, {}, name=name or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PerturbationView({self.name!r}, {self.n_rows} rows x "
+            f"{self.n_columns} columns, {len(self._delta)} perturbed cells)"
+        )

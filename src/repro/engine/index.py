@@ -1,4 +1,4 @@
-"""Hash indexes over columns.
+"""Hash indexes over columns, maintainable under sparse cell deltas.
 
 Violation detection for denial constraints with equality predicates
 (``t1[A] = t2[A]``) is driven by hash partitioning: rows are grouped by the
@@ -6,18 +6,51 @@ value of the equality attribute, and only rows inside a group can possibly
 violate the constraint.  This turns the quadratic pair scan into work
 proportional to the sum of squared group sizes, which is what makes the
 Shapley sampling loop (thousands of repair invocations) tractable.
+
+Both index classes additionally support *delta maintenance*
+(:meth:`~HashIndex.apply_delta` / :meth:`~HashIndex.revert_delta`): given the
+sparse cell delta of a perturbed table instance, only the touched row ids are
+moved between groups, so the incremental violation detector
+(:mod:`repro.constraints.incremental`) can reuse one index across thousands
+of perturbations instead of rebuilding it from scratch per instance.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import defaultdict
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
-from repro.engine.storage import ColumnStore, is_null
+from repro.engine.storage import is_null
+
+
+def _group_remove(groups: dict, key: Any, row: int) -> None:
+    """Remove ``row`` from its (sorted) group, dropping the group if emptied."""
+    rows = groups.get(key)
+    if rows is None:
+        return
+    position = bisect_left(rows, row)
+    if position < len(rows) and rows[position] == row:
+        del rows[position]
+    if not rows:
+        del groups[key]
+
+
+def _group_insert(groups: dict, key: Any, row: int) -> None:
+    """Insert ``row`` into its group, keeping the row ids sorted."""
+    rows = groups.get(key)
+    if rows is None:
+        groups[key] = [row]
+    else:
+        insort(rows, row)
 
 
 class HashIndex:
     """Maps each value of one column to the sorted list of row ids holding it.
+
+    Group row ids are kept sorted ascending — guaranteed at build time and
+    preserved by :meth:`apply_delta` / :meth:`revert_delta` (insertions use
+    binary search).
 
     Null cells are excluded from the index: a null never matches an equality
     predicate (this mirrors SQL semantics and is what the paper's cell-coalition
@@ -26,7 +59,7 @@ class HashIndex:
 
     __slots__ = ("attribute", "_groups")
 
-    def __init__(self, store: ColumnStore, attribute: str):
+    def __init__(self, store, attribute: str):
         self.attribute = attribute
         groups: dict[Any, list[int]] = defaultdict(list)
         column = store.column(attribute)
@@ -34,7 +67,11 @@ class HashIndex:
             if is_null(value):
                 continue
             groups[value].append(row_id)
-        self._groups: dict[Any, list[int]] = dict(groups)
+        # enumeration order is ascending, so the append-built groups are
+        # already sorted; sort defensively to make the invariant explicit
+        self._groups: dict[Any, list[int]] = {
+            value: sorted(rows) for value, rows in groups.items()
+        }
 
     def rows_with_value(self, value: Any) -> list[int]:
         """Row ids whose cell equals ``value`` (empty list if none)."""
@@ -53,26 +90,67 @@ class HashIndex:
     def __len__(self) -> int:
         return len(self._groups)
 
+    # -- delta maintenance -----------------------------------------------------
+
+    def apply_delta(self, changes: Mapping[int, tuple[Any, Any]]) -> None:
+        """Move touched rows between groups for ``{row: (old_value, new_value)}``.
+
+        Null values mean "absent from the index" on that side, so a cell
+        nulled out by a perturbation simply leaves its group.  Only the rows
+        in ``changes`` are touched — cost is O(|changes| · log group) instead
+        of a full rebuild.
+        """
+        groups = self._groups
+        for row, (old_value, new_value) in changes.items():
+            if not is_null(old_value):
+                _group_remove(groups, old_value, row)
+            if not is_null(new_value):
+                _group_insert(groups, new_value, row)
+
+    def revert_delta(self, changes: Mapping[int, tuple[Any, Any]]) -> None:
+        """Undo a previous :meth:`apply_delta` with the same ``changes``."""
+        groups = self._groups
+        for row, (old_value, new_value) in changes.items():
+            if not is_null(new_value):
+                _group_remove(groups, new_value, row)
+            if not is_null(old_value):
+                _group_insert(groups, old_value, row)
+
 
 class MultiColumnIndex:
     """Index on a tuple of columns, used by multi-equality constraints.
 
+    Group row ids are kept sorted ascending, exactly like :class:`HashIndex`.
     Rows containing a null in any of the indexed columns are skipped for the
     same reason as in :class:`HashIndex`.
     """
 
-    __slots__ = ("attributes", "_groups")
+    __slots__ = ("attributes", "_groups", "_build_keys")
 
-    def __init__(self, store: ColumnStore, attributes: Iterable[str]):
+    def __init__(self, store, attributes: Iterable[str]):
         self.attributes = tuple(attributes)
         groups: dict[tuple, list[int]] = defaultdict(list)
         columns = [store.column(attr) for attr in self.attributes]
+        build_keys: list[tuple | None] = []
         for row_id in range(store.n_rows):
             key = tuple(column[row_id] for column in columns)
             if any(is_null(part) for part in key):
+                build_keys.append(None)
                 continue
+            build_keys.append(key)
             groups[key].append(row_id)
-        self._groups = dict(groups)
+        self._groups = {key: sorted(rows) for key, rows in groups.items()}
+        #: per-row key at construction time (None when a component was null);
+        #: NOT updated by apply_delta — it records the base snapshot's keys
+        self._build_keys = build_keys
+
+    def build_key_of(self, row: int) -> tuple | None:
+        """The row's key in the store the index was built over.
+
+        Unaffected by :meth:`apply_delta` — the incremental detector uses this
+        as an O(1) lookup of base-snapshot keys while a delta is applied.
+        """
+        return self._build_keys[row]
 
     def rows_with_key(self, key: tuple) -> list[int]:
         if any(is_null(part) for part in key):
@@ -85,3 +163,28 @@ class MultiColumnIndex:
 
     def __len__(self) -> int:
         return len(self._groups)
+
+    # -- delta maintenance -----------------------------------------------------
+
+    def apply_delta(self, changes: Mapping[int, tuple[tuple | None, tuple | None]]) -> None:
+        """Move touched rows between groups for ``{row: (old_key, new_key)}``.
+
+        ``None`` on either side means the row is absent from the index on that
+        side (its key contains a null).  Only the rows in ``changes`` are
+        touched.
+        """
+        groups = self._groups
+        for row, (old_key, new_key) in changes.items():
+            if old_key is not None:
+                _group_remove(groups, old_key, row)
+            if new_key is not None:
+                _group_insert(groups, new_key, row)
+
+    def revert_delta(self, changes: Mapping[int, tuple[tuple | None, tuple | None]]) -> None:
+        """Undo a previous :meth:`apply_delta` with the same ``changes``."""
+        groups = self._groups
+        for row, (old_key, new_key) in changes.items():
+            if new_key is not None:
+                _group_remove(groups, new_key, row)
+            if old_key is not None:
+                _group_insert(groups, old_key, row)

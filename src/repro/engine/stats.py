@@ -25,10 +25,14 @@ from repro.config import make_rng
 from repro.engine.storage import ColumnStore, is_null
 
 
+_UNSET = object()
+_NO_WINNER = object()  # memoised "no co-occurrence evidence" marker
+
+
 class ColumnStatistics:
     """Marginal value distribution of a single column."""
 
-    __slots__ = ("attribute", "_counts", "_total")
+    __slots__ = ("attribute", "_counts", "_total", "_most_common")
 
     def __init__(self, store: ColumnStore, attribute: str):
         self.attribute = attribute
@@ -38,6 +42,7 @@ class ColumnStatistics:
                 counts[value] += 1
         self._counts = counts
         self._total = sum(counts.values())
+        self._most_common = _UNSET
 
     @property
     def total(self) -> int:
@@ -53,15 +58,20 @@ class ColumnStatistics:
         return self._counts.get(value, 0) / self._total
 
     def most_common(self, default: Any = None) -> Any:
-        """The modal value, ties broken deterministically by string order."""
+        """The modal value, ties broken deterministically by string order.
+
+        Memoised until the next :meth:`apply_update` — repair rules ask for
+        the mode once per violating tuple.
+        """
         if not self._counts:
             return default
-        best_count = max(self._counts.values())
-        candidates = sorted(
-            (value for value, count in self._counts.items() if count == best_count),
-            key=repr,
-        )
-        return candidates[0]
+        if self._most_common is _UNSET:
+            best_count = max(self._counts.values())
+            self._most_common = min(
+                (value for value, count in self._counts.items() if count == best_count),
+                key=repr,
+            )
+        return self._most_common
 
     def domain(self) -> list[Any]:
         """Distinct non-null values, deterministically ordered."""
@@ -84,6 +94,25 @@ class ColumnStatistics:
             return values[int(rng.choice(len(values), p=weights))]
         picks = rng.choice(len(values), size=size, p=weights)
         return [values[int(i)] for i in picks]
+
+    def apply_update(self, old_value: Any, new_value: Any) -> None:
+        """Delta-maintain the counts for one cell changing ``old -> new``.
+
+        Zero-count entries are removed so :meth:`domain`, :meth:`items` and
+        :meth:`most_common` see exactly what a from-scratch rebuild would.
+        """
+        if not is_null(old_value):
+            count = self._counts.get(old_value, 0)
+            if count:
+                if count == 1:
+                    del self._counts[old_value]
+                else:
+                    self._counts[old_value] = count - 1
+                self._total -= 1
+        if not is_null(new_value):
+            self._counts[new_value] += 1
+            self._total += 1
+        self._most_common = _UNSET
 
     def entropy(self) -> float:
         """Shannon entropy of the column distribution (bits)."""
@@ -108,6 +137,9 @@ class CooccurrenceStatistics:
     def __init__(self, store: ColumnStore):
         self._store = store
         self._pair_counts: dict[tuple[str, str], dict[Hashable, Counter]] = {}
+        #: memo for most_probable, keyed (given, target, given_value);
+        #: selectively invalidated by apply_cell_update
+        self._argmax_memo: dict[tuple, Any] = {}
 
     def _counts_for(self, given: str, target: str) -> dict[Hashable, Counter]:
         key = (given, target)
@@ -143,14 +175,19 @@ class CooccurrenceStatistics:
         with a non-null target (e.g. the city is itself an unseen typo).
         Ties are broken deterministically by string order.
         """
-        counts = self._counts_for(given, target).get(given_value)
-        if not counts:
-            return default
-        best = max(counts.values())
-        candidates = sorted(
-            (value for value, count in counts.items() if count == best), key=repr
-        )
-        return candidates[0]
+        memo_key = (given, target, given_value)
+        winner = self._argmax_memo.get(memo_key, _UNSET)
+        if winner is _UNSET:
+            counts = self._counts_for(given, target).get(given_value)
+            if not counts:
+                winner = _NO_WINNER
+            else:
+                best = max(counts.values())
+                winner = min(
+                    (value for value, count in counts.items() if count == best), key=repr
+                )
+            self._argmax_memo[memo_key] = winner
+        return default if winner is _NO_WINNER else winner
 
     def cooccurrence_count(
         self, attr_a: str, value_a: Any, attr_b: str, value_b: Any
@@ -161,14 +198,77 @@ class CooccurrenceStatistics:
             return 0
         return counts.get(value_b, 0)
 
+    # -- delta maintenance -----------------------------------------------------
+
+    @staticmethod
+    def _adjust(counts: dict[Hashable, Counter], given_value: Any,
+                target_value: Any, delta: int) -> None:
+        if is_null(given_value) or is_null(target_value):
+            return
+        counter = counts.get(given_value)
+        if delta > 0:
+            if counter is None:
+                counter = counts[given_value] = Counter()
+            counter[target_value] += delta
+            return
+        if counter is None:
+            return
+        counter[target_value] += delta
+        if counter[target_value] <= 0:
+            del counter[target_value]
+        if not counter:
+            del counts[given_value]
+
+    def apply_cell_update(self, row: int, attribute: str,
+                          old_value: Any, new_value: Any) -> None:
+        """Delta-maintain every cached pair distribution touching ``attribute``.
+
+        Must be called *after* the store has been updated: the changed cell's
+        old/new values are passed in, all sibling cells are read from the
+        (already-current) store.
+        """
+        memo = self._argmax_memo
+        for (given, target), counts in self._pair_counts.items():
+            if given == attribute and target == attribute:
+                self._adjust(counts, old_value, old_value, -1)
+                self._adjust(counts, new_value, new_value, +1)
+                memo.pop((given, target, old_value), None)
+                memo.pop((given, target, new_value), None)
+            elif given == attribute:
+                sibling = self._store.value(row, target)
+                self._adjust(counts, old_value, sibling, -1)
+                self._adjust(counts, new_value, sibling, +1)
+                memo.pop((given, target, old_value), None)
+                memo.pop((given, target, new_value), None)
+            elif target == attribute:
+                sibling = self._store.value(row, given)
+                self._adjust(counts, sibling, old_value, -1)
+                self._adjust(counts, sibling, new_value, +1)
+                memo.pop((given, target, sibling), None)
+
 
 class TableStatistics:
-    """Bundle of marginal + pairwise statistics for one table snapshot."""
+    """Bundle of marginal + pairwise statistics for one table snapshot.
+
+    Statistics are delta-maintained: when the owning table mutates one cell it
+    calls :meth:`apply_cell_update` instead of throwing the whole bundle away,
+    so repair loops that interleave statistics lookups with cell writes (the
+    Algorithm-1 fixpoint, the greedy repairer) pay O(pairs cached) per write
+    instead of an O(rows) rebuild per lookup.
+    """
 
     def __init__(self, store: ColumnStore):
         self._store = store
         self._marginals: dict[str, ColumnStatistics] = {}
         self.cooccurrence = CooccurrenceStatistics(store)
+
+    def apply_cell_update(self, row: int, attribute: str,
+                          old_value: Any, new_value: Any) -> None:
+        """Delta-maintain all built statistics for one cell changing values."""
+        marginal = self._marginals.get(attribute)
+        if marginal is not None:
+            marginal.apply_update(old_value, new_value)
+        self.cooccurrence.apply_cell_update(row, attribute, old_value, new_value)
 
     def marginal(self, attribute: str) -> ColumnStatistics:
         if attribute not in self._marginals:

@@ -28,6 +28,40 @@ def is_null(value: Any) -> bool:
     return False
 
 
+def values_differ(old: Any, new: Any) -> bool:
+    """Null-aware cell inequality: two nulls never differ (``None`` vs ``nan``)."""
+    if old is new:
+        return False
+    return old != new and not (is_null(old) and is_null(new))
+
+
+class Fingerprint:
+    """A hashable content snapshot with its hash computed exactly once.
+
+    Fingerprints are dictionary keys in the repair oracle's memoisation cache,
+    so the same fingerprint object is hashed on every lookup; caching the hash
+    turns each lookup into an O(1) integer comparison (falling back to a full
+    data comparison only on hash collision).
+    """
+
+    __slots__ = ("data", "_hash")
+
+    def __init__(self, data: tuple):
+        self.data = data
+        self._hash = hash(data)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Fingerprint):
+            return self._hash == other._hash and self.data == other.data
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Fingerprint(hash={self._hash})"
+
+
 class ColumnStore:
     """A minimal columnar store: ordered named columns of equal length.
 
@@ -36,7 +70,7 @@ class ColumnStore:
     addressing, column scans and cheap whole-table copies.
     """
 
-    __slots__ = ("_columns", "_names", "_n_rows")
+    __slots__ = ("_columns", "_names", "_n_rows", "_fingerprint")
 
     def __init__(self, columns: Mapping[str, Sequence[Any]]):
         if not columns:
@@ -50,6 +84,7 @@ class ColumnStore:
         self._columns: dict[str, np.ndarray] = {
             name: np.array(list(values), dtype=object) for name, values in columns.items()
         }
+        self._fingerprint: Fingerprint | None = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -123,6 +158,7 @@ class ColumnStore:
         self._check_column(name)
         self._check_row(row)
         self._columns[name][row] = value
+        self._fingerprint = None
 
     def copy(self) -> "ColumnStore":
         """Return a deep-enough copy (fresh arrays, shared immutable values)."""
@@ -130,22 +166,37 @@ class ColumnStore:
         clone._names = self._names
         clone._n_rows = self._n_rows
         clone._columns = {name: col.copy() for name, col in self._columns.items()}
+        clone._fingerprint = self._fingerprint  # same content, same fingerprint
         return clone
 
     # -- comparison / hashing helpers -------------------------------------------
 
-    def fingerprint(self) -> tuple:
-        """A hashable snapshot of the whole store, used for oracle memoisation."""
-        return tuple(
-            (name, tuple(self._columns[name].tolist())) for name in self._names
-        )
+    def fingerprint(self) -> Fingerprint:
+        """A hashable snapshot of the whole store, used for oracle memoisation.
 
-    def equals(self, other: "ColumnStore") -> bool:
-        if self._names != other._names or self._n_rows != other._n_rows:
-            return False
-        return all(
-            list(self._columns[name]) == list(other._columns[name]) for name in self._names
-        )
+        The fingerprint is computed lazily and cached until the next mutation,
+        so repeated oracle queries against the same snapshot pay for the full
+        column walk only once.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = Fingerprint(
+                tuple((name, tuple(self._columns[name].tolist())) for name in self._names)
+            )
+        return self._fingerprint
+
+    def equals(self, other) -> bool:
+        """Content equality with any store exposing the read interface
+        (:class:`ColumnStore` or :class:`~repro.engine.view.OverlayStore`)."""
+        return stores_equal(self, other)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ColumnStore({self.n_rows} rows x {self.n_columns} columns)"
+
+
+def stores_equal(left, right) -> bool:
+    """Column-by-column content equality between any two stores exposing the
+    read interface (``column_names``/``n_rows``/``column``)."""
+    names = tuple(left.column_names)
+    if names != tuple(right.column_names) or left.n_rows != right.n_rows:
+        return False
+    return all(list(left.column(name)) == list(right.column(name)) for name in names)

@@ -1,0 +1,225 @@
+"""Copy-on-write overlay storage.
+
+The Shapley sampling loop evaluates tens of thousands of *perturbed* table
+instances, each differing from the dirty table in a sparse set of cells.
+Materialising each instance as a full :class:`~repro.engine.storage.ColumnStore`
+copy makes every oracle query pay O(cells) before any real work starts.
+
+:class:`OverlayStore` removes that cost: it satisfies the ``ColumnStore`` read
+interface while holding only a sparse ``{(row, attribute): value}`` delta on
+top of a shared, immutable base store.  Reads consult the delta first and fall
+through to the base; writes go into the delta (the base is never touched);
+fingerprints — the repair oracle's memoisation keys — are derived from the
+base's cached fingerprint plus the sorted delta, so hashing a perturbed
+instance is O(|delta|) instead of O(cells).
+
+The delta dictionary is *shared* with the owning
+:class:`~repro.dataset.table.PerturbationView` and is kept normalised: it
+never contains an entry whose value equals the base cell (null-aware), which
+makes equal contents produce equal fingerprints regardless of how the delta
+was built.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.engine.storage import (
+    ColumnStore,
+    Fingerprint,
+    stores_equal,
+    values_differ,
+)
+from repro.errors import UnknownAttributeError, UnknownRowError
+
+_MISSING = object()
+
+
+class OverlayStore:
+    """A sparse cell delta layered over a base :class:`ColumnStore`.
+
+    Parameters
+    ----------
+    base:
+        The shared base store.  It must not be mutated while overlays built on
+        it are alive (the library's views are only ever built over frozen
+        snapshots such as the dirty table).
+    delta:
+        Mapping ``(row, attribute) -> value`` of overridden cells.  The mapping
+        is *shared*, not copied: the owning view normalises it on construction
+        and :meth:`set_value` keeps it normalised afterwards.
+    """
+
+    __slots__ = ("_base", "_delta", "_by_row", "_by_column", "_materialized", "_fingerprint")
+
+    def __init__(self, base: ColumnStore, delta: dict):
+        self._base = base
+        self._delta = delta
+        self._by_row: dict[int, dict[str, Any]] | None = None
+        self._by_column: dict[str, dict[int, Any]] | None = None
+        self._materialized: dict[str, np.ndarray] = {}
+        self._fingerprint: Fingerprint | None = None
+
+    # -- basic introspection ---------------------------------------------------
+
+    @property
+    def base(self) -> ColumnStore:
+        return self._base
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self._base.column_names
+
+    @property
+    def n_rows(self) -> int:
+        return self._base.n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return self._base.n_columns
+
+    def __len__(self) -> int:
+        return self._base.n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._base
+
+    # -- delta bookkeeping ------------------------------------------------------
+
+    def _grouped(self) -> tuple[dict[int, dict[str, Any]], dict[str, dict[int, Any]]]:
+        """The delta split by row and by column (built lazily, rebuilt on write)."""
+        if self._by_row is None:
+            by_row: dict[int, dict[str, Any]] = {}
+            by_column: dict[str, dict[int, Any]] = {}
+            for (row, name), value in self._delta.items():
+                by_row.setdefault(row, {})[name] = value
+                by_column.setdefault(name, {})[row] = value
+            self._by_row = by_row
+            self._by_column = by_column
+        return self._by_row, self._by_column
+
+    def delta_by_column(self) -> dict[str, dict[int, Any]]:
+        """The delta grouped per column: ``{attribute: {row: value}}``.
+
+        The returned mapping is the overlay's internal cache — callers must
+        treat it as read-only.  This is the incremental detector's zero-copy
+        window onto the delta (no per-cell objects are built).
+        """
+        return self._grouped()[1]
+
+    # -- access ---------------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        """The column with the delta applied (read-only; cached per column)."""
+        cached = self._materialized.get(name)
+        if cached is not None:
+            return cached
+        _, by_column = self._grouped()
+        overrides = by_column.get(name)
+        if not overrides:
+            column = self._base.column(name)
+        else:
+            column = self._base.column(name).copy()
+            for row, value in overrides.items():
+                column[row] = value
+            column.flags.writeable = False
+        self._materialized[name] = column
+        return column
+
+    def value(self, row: int, name: str) -> Any:
+        value = self._delta.get((row, name), _MISSING)
+        if value is not _MISSING:
+            return value
+        return self._base.value(row, name)
+
+    def row(self, row: int) -> tuple[Any, ...]:
+        base_row = self._base.row(row)
+        by_row, _ = self._grouped()
+        overrides = by_row.get(row)
+        if not overrides:
+            return base_row
+        return tuple(
+            overrides.get(name, value)
+            for name, value in zip(self._base.column_names, base_row)
+        )
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    # -- mutation --------------------------------------------------------------
+
+    def set_value(self, row: int, name: str, value: Any) -> None:
+        """Write into the delta (the base store is never modified).
+
+        Writing a value equal to the base cell removes the delta entry, so the
+        delta stays normalised and fingerprints of equal contents stay equal.
+        """
+        if name not in self._base:
+            raise UnknownAttributeError(name, self._base.column_names)
+        if not 0 <= row < self._base.n_rows:
+            raise UnknownRowError(row, self._base.n_rows)
+        key = (row, name)
+        if values_differ(self._base.value(row, name), value):
+            self._delta[key] = value
+            if self._by_row is not None:
+                self._by_row.setdefault(row, {})[name] = value
+                self._by_column.setdefault(name, {})[row] = value
+        else:
+            self._delta.pop(key, None)
+            if self._by_row is not None:
+                row_group = self._by_row.get(row)
+                if row_group is not None:
+                    row_group.pop(name, None)
+                    if not row_group:
+                        del self._by_row[row]
+                column_group = self._by_column.get(name)
+                if column_group is not None:
+                    column_group.pop(row, None)
+                    if not column_group:
+                        del self._by_column[name]
+        self._materialized.pop(name, None)
+        self._fingerprint = None
+
+    def copy(self) -> ColumnStore:
+        """Materialise the overlay into an independent plain :class:`ColumnStore`."""
+        clone = ColumnStore.__new__(ColumnStore)
+        clone._names = self._base.column_names
+        clone._n_rows = self._base.n_rows
+        clone._columns = {
+            name: self.column(name).copy() for name in self._base.column_names
+        }
+        clone._fingerprint = None
+        return clone
+
+    # -- comparison / hashing helpers -------------------------------------------
+
+    def fingerprint(self) -> Fingerprint:
+        """Delta-derived memoisation key: O(|delta|) given a fingerprinted base.
+
+        Two overlays over equal bases with equal effective contents produce
+        equal fingerprints (the delta is normalised); an overlay never equals a
+        plain store's fingerprint, which only costs the oracle a cache miss,
+        never a wrong answer.
+        """
+        if self._fingerprint is None:
+            delta_items = tuple(
+                (row, name, self._delta[(row, name)])
+                for row, name in sorted(self._delta.keys())
+            )
+            self._fingerprint = Fingerprint(
+                ("overlay", self._base.fingerprint(), delta_items)
+            )
+        return self._fingerprint
+
+    def equals(self, other) -> bool:
+        """Content equality with any store exposing the read interface."""
+        return stores_equal(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"OverlayStore({self.n_rows} rows x {self.n_columns} columns, "
+            f"{len(self._delta)} overridden cells)"
+        )

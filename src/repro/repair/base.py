@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.constraints.dc import DenialConstraint, constraint_set_names
-from repro.dataset.table import CellRef, RepairDelta, Table
+from repro.dataset.table import CellRef, PerturbationView, RepairDelta, Table
+from repro.engine.storage import NULL
 from repro.repair.cache import OracleCache
 
 
@@ -105,6 +106,13 @@ class BinaryRepairOracle:
         by running the full repair once.
     use_cache:
         Memoise oracle answers keyed by (constraint subset, table fingerprint).
+    incremental:
+        Route the oracle's own perturbations (constraint-subset queries, cell
+        coalitions) through :class:`~repro.dataset.table.PerturbationView`
+        overlays so the repair algorithms evaluate them with the incremental
+        violation detector.  Results are identical either way (the benchmark
+        ``bench_incremental_vs_full.py`` cross-checks this); pass ``False`` to
+        force the full-rescan reference path.
     """
 
     def __init__(
@@ -115,12 +123,15 @@ class BinaryRepairOracle:
         cell: CellRef,
         target_value: Any = None,
         use_cache: bool = True,
+        incremental: bool = True,
     ):
         self.algorithm = algorithm
         self.constraints = list(constraints)
         self.dirty_table = dirty_table
         self.cell = dirty_table.validate_cell(cell)
+        self.incremental = incremental
         self._cache = OracleCache() if use_cache else None
+        self._dirty_view: PerturbationView | None = None
         self.calls = 0          # number of oracle queries (cached or not)
         self.repair_runs = 0    # number of actual black-box repair invocations
 
@@ -157,9 +168,22 @@ class BinaryRepairOracle:
 
     # -- convenience entry points ----------------------------------------------------
 
+    def _dirty_as_view(self) -> PerturbationView:
+        """The dirty table wrapped in an (empty-delta) copy-on-write view.
+
+        Repairing a view routes the algorithms through the incremental
+        violation detector: the first detection pass returns the dirty table's
+        cached base violations, and every subsequent pass re-checks only the
+        rows the repair has touched so far.
+        """
+        if self._dirty_view is None:
+            self._dirty_view = self.dirty_table.perturbed({})
+        return self._dirty_view
+
     def query_constraint_subset(self, subset: Iterable[DenialConstraint]) -> int:
         """Vary the constraint set, keep the dirty table fixed (Section 2.2)."""
-        return self.query(list(subset), self.dirty_table)
+        table = self._dirty_as_view() if self.incremental else self.dirty_table
+        return self.query(list(subset), table)
 
     def query_table(self, table: Table) -> int:
         """Vary the table (cell coalitions), keep the full constraint set fixed."""
@@ -170,9 +194,17 @@ class BinaryRepairOracle:
 
         Cells outside the coalition are nulled, per the paper's definition of
         the cell characteristic function (``S ⊆ T^d`` means all other cells
-        are null).
+        are null).  On the incremental path the restriction is a sparse
+        null-overlay view instead of a materialised copy.
         """
-        restricted = self.dirty_table.restricted_to_coalition(coalition)
+        if self.incremental:
+            keep = set(coalition)
+            restricted = self.dirty_table.perturbed(
+                {cell: NULL for cell in self.dirty_table.cells() if cell not in keep},
+                trusted=True,
+            )
+        else:
+            restricted = self.dirty_table.restricted_to_coalition(coalition)
         return self.query(self.constraints, restricted)
 
     # -- bookkeeping ------------------------------------------------------------------

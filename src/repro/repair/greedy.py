@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.constraints.dc import DenialConstraint
-from repro.constraints.violations import find_all_violations
+from repro.constraints.incremental import find_all_violations_fast
 from repro.dataset.table import CellRef, Table
 from repro.engine.storage import is_null
 from repro.errors import RepairError
@@ -80,20 +80,25 @@ class GreedyHolisticRepair(RepairAlgorithm):
 
     def _total_violations_if(self, table: Table, constraints: Sequence[DenialConstraint],
                              cell: CellRef, value: Any) -> int:
-        """Total number of violations in the table if ``cell`` were set to ``value``."""
-        trial = table.with_values({cell: value})
-        return len(find_all_violations(trial, constraints))
+        """Total number of violations in the table if ``cell`` were set to ``value``.
+
+        The trial is a one-cell copy-on-write view, so the incremental
+        detector only retracts and re-checks violations involving the one
+        touched row instead of copying the table and rescanning it.
+        """
+        trial = table.perturbed({cell: value})
+        return len(find_all_violations_fast(trial, constraints))
 
     # -- main loop --------------------------------------------------------------------
 
     def repair_table(self, constraints: Sequence[DenialConstraint], table: Table) -> Table:
-        current = table.copy(name=f"{table.name}_repaired")
+        current = table.mutable_snapshot(name=f"{table.name}_repaired")
         constraints = list(constraints)
         if not constraints:
             return current
 
         for _ in range(self.max_changes):
-            violations = find_all_violations(current, constraints)
+            violations = find_all_violations_fast(current, constraints)
             if not violations:
                 break
             total_before = len(violations)

@@ -21,7 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.constraints.dc import DenialConstraint
-from repro.constraints.violations import find_all_violations
+from repro.constraints.incremental import find_all_violations_auto
 from repro.dataset.table import CellRef, Table
 from repro.engine.storage import is_null
 
@@ -74,7 +74,8 @@ class ErrorDetector:
 
     def _detect_constraint_cells(self, table: Table,
                                  constraints: Sequence[DenialConstraint]) -> set[CellRef]:
-        violations = find_all_violations(table, constraints)
+        # perturbation views are evaluated incrementally against their base
+        violations = find_all_violations_auto(table, constraints)
         return set(violations.cells_involved())
 
     def _detect_null_cells(self, table: Table) -> set[CellRef]:

@@ -108,7 +108,9 @@ class HoloCleanRepair(RepairAlgorithm):
     # -- RepairAlgorithm interface ----------------------------------------------------------
 
     def repair_table(self, constraints: Sequence[DenialConstraint], table: Table) -> Table:
-        current = table.copy(name=f"{table.name}_repaired")
+        # views stay views (with_values composes their delta), so detection in
+        # every pass runs on the incremental path
+        current = table.mutable_snapshot(name=f"{table.name}_repaired")
         constraints = list(constraints)
         if not constraints:
             return current

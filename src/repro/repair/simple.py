@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.constraints.dc import DenialConstraint
-from repro.constraints.violations import find_violations
+from repro.constraints.incremental import find_violations_auto
 from repro.dataset.table import Table
 from repro.engine.storage import is_null
 from repro.errors import RepairError
@@ -123,23 +123,32 @@ class SimpleRuleRepair(RepairAlgorithm):
         self.rules = dict(rules or {})
         self.derive_missing = derive_missing
         self.max_iterations = max_iterations
+        self._derived_rules: dict[DenialConstraint, RepairRule | None] = {}
 
     def _rule_for(self, constraint: DenialConstraint) -> RepairRule | None:
         if constraint.name in self.rules:
             return self.rules[constraint.name]
         if self.derive_missing:
-            return default_rules_for(constraint)
+            # rule derivation is pure shape analysis; cache it per constraint
+            # (the Shapley loop re-runs the repair thousands of times)
+            if constraint not in self._derived_rules:
+                self._derived_rules[constraint] = default_rules_for(constraint)
+            return self._derived_rules[constraint]
         return None
 
     def repair_table(self, constraints: Sequence[DenialConstraint], table: Table) -> Table:
-        current = table.copy(name=f"{table.name}_repaired")
+        # A perturbation view is snapshotted as a sibling view (its sparse
+        # delta is forked, no columns are copied) and its violations are
+        # delta-maintained against the base table by find_violations_auto;
+        # plain tables take the original copy + full-rescan path.
+        current = table.mutable_snapshot(name=f"{table.name}_repaired")
         for _ in range(self.max_iterations):
             changed = False
             for constraint in constraints:
                 rule = self._rule_for(constraint)
                 if rule is None or rule.target not in current.schema:
                     continue
-                violations = find_violations(current, constraint)
+                violations = find_violations_auto(current, constraint)
                 # Collect the violating tuples first so that a repair applied to
                 # one tuple does not hide the violations of tuples found later
                 # in the same pass.

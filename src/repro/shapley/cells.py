@@ -5,6 +5,13 @@ fixed; since a table has far too many cells for exact enumeration, the
 estimator of Example 2.5 (permutation sampling with column-distribution
 replacements, :mod:`repro.shapley.sampling`) is used.  An exact enumerator is
 also provided for tiny tables so the estimator can be validated.
+
+By default each sampled instance is evaluated on the incremental engine: the
+coalition is a sparse copy-on-write delta on the dirty table and the
+with/without pair a one-cell sub-delta, so the repair oracle's violation
+detection is delta-maintained instead of rescanning (see
+:mod:`repro.constraints.incremental`).  ``incremental=False`` restores the
+materialised full-rescan reference path with bit-identical estimates.
 """
 
 from __future__ import annotations
@@ -55,6 +62,17 @@ class CellShapleyExplainer:
     rng:
         Seed or generator; drives both the permutation and the replacement
         sampling.
+    incremental:
+        When ``True`` (default) every sampled coalition is evaluated as a
+        sparse :class:`~repro.dataset.table.PerturbationView` delta on the
+        dirty table, and the with/without pair as a one-cell sub-delta — the
+        incremental engine's hot path.  ``False`` materialises full table
+        copies instead.  Estimates are identical for a fixed seed; only the
+        wall-clock differs.  Note this flag only governs the sampled
+        instances built here; the oracle's own perturbations (cell-coalition
+        and constraint-subset queries) follow the oracle's ``incremental``
+        flag — construct the :class:`BinaryRepairOracle` with
+        ``incremental=False`` as well to force the reference path end to end.
     """
 
     def __init__(
@@ -62,11 +80,16 @@ class CellShapleyExplainer:
         oracle: BinaryRepairOracle,
         policy: ReplacementPolicy | str = ReplacementPolicy.SAMPLE,
         rng=None,
+        incremental: bool = True,
     ):
         self.oracle = oracle
         self.policy = ReplacementPolicy.from_name(policy)
+        self.incremental = bool(incremental)
         self._rng = make_rng(rng)
-        self.sampler = CellCoalitionSampler(oracle.dirty_table, policy=self.policy, rng=self._rng)
+        self.sampler = CellCoalitionSampler(
+            oracle.dirty_table, policy=self.policy, rng=self._rng,
+            materialize=not self.incremental,
+        )
 
     # -- single-cell estimate ------------------------------------------------------------
 

@@ -51,3 +51,77 @@ def test_multi_column_index_skips_rows_with_any_null():
 def test_multi_column_index_null_key_lookup_is_empty():
     index = MultiColumnIndex(make_store(), ["City", "Country"])
     assert index.rows_with_key((None, "Spain")) == []
+
+
+# -- sortedness + delta maintenance ------------------------------------------------
+
+
+def assert_groups_sorted(index):
+    for _, rows in index.groups():
+        assert rows == sorted(rows)
+
+
+def test_hash_index_groups_are_sorted_regression():
+    # the docstring promises sorted row ids; build from a store whose
+    # enumeration could tempt insertion order to diverge, then stress the
+    # invariant through delta maintenance
+    index = HashIndex(make_store(), "City")
+    assert_groups_sorted(index)
+    index.apply_delta({3: (None, "Madrid")})   # null cell gains a value
+    assert index.rows_with_value("Madrid") == [0, 1, 3, 4]
+    assert_groups_sorted(index)
+    index.revert_delta({3: (None, "Madrid")})
+    assert index.rows_with_value("Madrid") == [0, 1, 4]
+
+
+def test_hash_index_apply_and_revert_delta_roundtrip():
+    index = HashIndex(make_store(), "City")
+    before = {value: rows for value, rows in index.groups()}
+    changes = {
+        0: ("Madrid", "Barcelona"),   # move between groups
+        2: ("Barcelona", None),       # nulled out: leaves the index
+        3: (None, "Paris"),           # new value: fresh group
+    }
+    index.apply_delta(changes)
+    assert index.rows_with_value("Madrid") == [1, 4]
+    assert index.rows_with_value("Barcelona") == [0]
+    assert index.rows_with_value("Paris") == [3]
+    assert_groups_sorted(index)
+    index.revert_delta(changes)
+    assert {value: rows for value, rows in index.groups()} == before
+
+
+def test_hash_index_delta_drops_empty_groups():
+    index = HashIndex(make_store(), "City")
+    index.apply_delta({2: ("Barcelona", "Madrid")})
+    assert index.rows_with_value("Barcelona") == []
+    assert "Barcelona" not in index.values()
+    index.revert_delta({2: ("Barcelona", "Madrid")})
+    assert index.rows_with_value("Barcelona") == [2]
+
+
+def test_multi_column_index_apply_and_revert_delta():
+    index = MultiColumnIndex(make_store(), ["City", "Country"])
+    before = {key: rows for key, rows in index.groups()}
+    changes = {
+        1: (("Madrid", "Spain"), ("Barcelona", "Spain")),
+        2: (("Barcelona", "Spain"), None),   # key gained a null component
+        4: (None, ("Madrid", "Spain")),      # key became fully non-null
+    }
+    index.apply_delta(changes)
+    assert index.rows_with_key(("Madrid", "Spain")) == [0, 4]
+    assert index.rows_with_key(("Barcelona", "Spain")) == [1]
+    assert_groups_sorted(index)
+    index.revert_delta(changes)
+    assert {key: rows for key, rows in index.groups()} == before
+
+
+def test_multi_column_index_build_key_of():
+    index = MultiColumnIndex(make_store(), ["City", "Country"])
+    assert index.build_key_of(0) == ("Madrid", "Spain")
+    assert index.build_key_of(3) is None   # null city
+    assert index.build_key_of(4) is None   # null country
+    # build keys record the base snapshot even while a delta is applied
+    index.apply_delta({0: (("Madrid", "Spain"), None)})
+    assert index.build_key_of(0) == ("Madrid", "Spain")
+    index.revert_delta({0: (("Madrid", "Spain"), None)})

@@ -1,0 +1,175 @@
+"""PerturbationView: the copy-on-write overlay must be indistinguishable from
+a materialised ``with_values`` copy on every read method."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CellRef, PerturbationView, Table
+from repro.engine.storage import NULL, Fingerprint
+from repro.errors import UnknownAttributeError, UnknownRowError
+
+
+def make_table():
+    return Table(
+        ["Team", "City", "Points"],
+        [
+            ("Real", "Madrid", 3),
+            ("Barca", "Barcelona", 1),
+            ("Betis", "Seville", 0),
+            ("Atletico", "Madrid", None),
+        ],
+        name="league",
+    )
+
+
+DELTA = {
+    CellRef(0, "City"): "Lisbon",
+    CellRef(2, "Points"): 9,
+    CellRef(3, "Team"): NULL,
+}
+
+
+def assert_reads_equal(view: Table, reference: Table):
+    assert view.n_rows == reference.n_rows
+    assert view.n_columns == reference.n_columns
+    assert view.n_cells == reference.n_cells
+    assert view.attributes == reference.attributes
+    assert list(view.cells()) == list(reference.cells())
+    for cell in reference.cells():
+        assert view[cell] == reference[cell] or (
+            view.is_null(cell) and reference.is_null(cell)
+        )
+        assert view.is_null(cell) == reference.is_null(cell)
+    for row in range(reference.n_rows):
+        assert view.row(row) == reference.row(row)
+        assert view.row_tuple(row) == reference.row_tuple(row)
+    for attribute in reference.attributes:
+        assert list(view.column(attribute)) == list(reference.column(attribute))
+    assert view.cell_values() == reference.cell_values()
+    assert view.to_records() == reference.to_records()
+    assert view.to_text() == reference.to_text()
+    assert view.equals(reference) and reference.equals(view)
+    assert not view.diff(reference) and not reference.diff(view)
+
+
+def test_view_reads_match_materialized_copy():
+    base = make_table()
+    view = base.perturbed(DELTA)
+    reference = base.with_values(DELTA)
+    assert isinstance(view, PerturbationView)
+    assert not isinstance(reference, PerturbationView)
+    assert_reads_equal(view, reference)
+    # the base is untouched
+    assert base.value(0, "City") == "Madrid"
+    assert base.value(2, "Points") == 0
+
+
+def test_view_delta_is_normalised():
+    base = make_table()
+    view = base.perturbed({CellRef(0, "City"): "Madrid",    # equals base
+                           CellRef(1, "Points"): 7})
+    assert view.delta == {CellRef(1, "Points"): 7}
+    # null-to-null assignments are no-ops too
+    view2 = base.perturbed({CellRef(3, "Points"): None})
+    assert view2.delta == {}
+    assert view2.fingerprint() == base.perturbed({}).fingerprint()
+
+
+def test_view_composition_reroots_on_the_plain_base():
+    base = make_table()
+    first = base.perturbed({CellRef(0, "City"): "Lisbon"})
+    second = first.with_values({CellRef(1, "City"): "Girona"})
+    third = second.perturbed({CellRef(0, "City"): "Madrid"})  # back to base value
+    assert second.base is base
+    assert third.base is base
+    assert second.delta == {CellRef(0, "City"): "Lisbon", CellRef(1, "City"): "Girona"}
+    assert third.delta == {CellRef(1, "City"): "Girona"}
+    # the paper's coalition helper flows through views as well
+    nulled = first.with_cells_nulled([CellRef(2, "Team")])
+    assert isinstance(nulled, PerturbationView)
+    assert nulled.is_null(CellRef(2, "Team"))
+    assert nulled.value(0, "City") == "Lisbon"
+
+
+def test_view_set_value_is_copy_on_write_and_renormalises():
+    base = make_table()
+    view = base.perturbed({CellRef(0, "City"): "Lisbon"})
+    view.set_value(1, "Points", 42)
+    assert view.value(1, "Points") == 42
+    assert base.value(1, "Points") == 1
+    # writing the base value back removes the delta entry
+    view.set_value(0, "City", "Madrid")
+    assert view.delta == {CellRef(1, "Points"): 42}
+    with pytest.raises(UnknownAttributeError):
+        view.set_value(0, "Stadium", "x")
+    with pytest.raises(UnknownRowError):
+        view.set_value(99, "City", "x")
+
+
+def test_view_mutable_snapshot_is_isolated():
+    base = make_table()
+    view = base.perturbed(DELTA)
+    snapshot = view.mutable_snapshot(name="scratch")
+    snapshot.set_value(1, "City", "Valencia")
+    assert view.value(1, "City") == "Barcelona"
+    assert snapshot.value(1, "City") == "Valencia"
+    assert snapshot.base is base
+    assert snapshot.name == "scratch"
+
+
+def test_view_copy_materialises_to_plain_table():
+    base = make_table()
+    view = base.perturbed(DELTA)
+    copy = view.copy()
+    assert type(copy) is Table
+    assert_reads_equal(view, copy)
+
+
+def test_view_fingerprints_delta_based():
+    base = make_table()
+    view_a = base.perturbed({CellRef(0, "City"): "Lisbon"})
+    view_b = base.perturbed({CellRef(0, "City"): "Lisbon"})
+    view_c = base.perturbed({CellRef(0, "City"): "Porto"})
+    assert isinstance(view_a.fingerprint(), Fingerprint)
+    assert view_a.fingerprint() == view_b.fingerprint()
+    assert view_a.fingerprint() != view_c.fingerprint()
+    assert view_a.fingerprint() != base.fingerprint()
+    assert hash(view_a.fingerprint()) == hash(view_b.fingerprint())
+    # equal content reached through different construction orders
+    view_d = base.perturbed({CellRef(1, "Points"): 5}).with_values(
+        {CellRef(0, "City"): "Lisbon", CellRef(1, "Points"): 1}  # Points back to base
+    )
+    assert view_d.fingerprint() == view_a.fingerprint()
+
+
+def test_view_stats_match_materialized_stats():
+    base = make_table()
+    view = base.perturbed(DELTA)
+    reference = base.with_values(DELTA)
+    for attribute in base.attributes:
+        view_marginal = view.stats.marginal(attribute)
+        ref_marginal = reference.stats.marginal(attribute)
+        assert dict(view_marginal.items()) == dict(ref_marginal.items())
+        assert view_marginal.total == ref_marginal.total
+        assert view_marginal.most_common() == ref_marginal.most_common()
+    assert view.stats.most_probable_given("City", "Team", "Real") == \
+        reference.stats.most_probable_given("City", "Team", "Real")
+
+
+def test_view_validates_assignment_addresses():
+    base = make_table()
+    with pytest.raises(UnknownAttributeError):
+        base.perturbed({CellRef(0, "Stadium"): "x"})
+    with pytest.raises(UnknownRowError):
+        base.perturbed({CellRef(99, "City"): "x"})
+
+
+def test_restricted_to_coalition_on_view_stays_a_view():
+    base = make_table()
+    view = base.perturbed({CellRef(0, "City"): "Lisbon"})
+    keep = {CellRef(0, "City"), CellRef(1, "Team")}
+    restricted = view.restricted_to_coalition(keep)
+    assert isinstance(restricted, PerturbationView)
+    reference = base.with_values({CellRef(0, "City"): "Lisbon"}).restricted_to_coalition(keep)
+    assert_reads_equal(restricted, reference)

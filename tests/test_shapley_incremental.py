@@ -1,0 +1,103 @@
+"""The Shapley explainers must be bit-identical on both evaluation paths.
+
+The incremental engine (copy-on-write views + delta-maintained violation
+detection) changes how perturbed instances are represented and evaluated, but
+never what the black-box oracle answers: for a fixed seed the cell and
+constraint explainers produce exactly the same values, standard errors and
+rankings as the materialise-and-rescan reference path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BinaryRepairOracle,
+    CellRef,
+    CellShapleyExplainer,
+    ConstraintShapleyExplainer,
+    GreedyHolisticRepair,
+    SimpleRuleRepair,
+    la_liga_constraints,
+    la_liga_dirty_table,
+    paper_algorithm_1,
+)
+
+CELL_OF_INTEREST = CellRef(4, "Country")
+
+
+def make_oracle(incremental: bool, algorithm=None):
+    return BinaryRepairOracle(
+        algorithm or paper_algorithm_1(),
+        la_liga_constraints(),
+        la_liga_dirty_table(),
+        CELL_OF_INTEREST,
+        incremental=incremental,
+    )
+
+
+@pytest.mark.parametrize("policy", ["null", "sample", "mode"])
+def test_cell_explainer_identical_across_paths(policy):
+    probes = [CellRef(4, "City"), CellRef(0, "Country"), CellRef(2, "Team")]
+    results = {}
+    for incremental in (False, True):
+        explainer = CellShapleyExplainer(
+            make_oracle(incremental), policy=policy, rng=23, incremental=incremental
+        )
+        results[incremental] = explainer.explain(cells=probes, n_samples=25)
+    assert results[True].values == results[False].values
+    assert results[True].standard_errors == results[False].standard_errors
+    assert results[True].n_samples == results[False].n_samples
+
+
+def test_cell_estimates_identical_with_greedy_black_box():
+    results = {}
+    for incremental in (False, True):
+        oracle = make_oracle(incremental, algorithm=GreedyHolisticRepair(max_changes=20))
+        explainer = CellShapleyExplainer(oracle, policy="null", rng=7,
+                                         incremental=incremental)
+        results[incremental] = explainer.estimate_cell(CellRef(4, "City"), n_samples=15)
+    assert results[True].value == results[False].value
+    assert results[True].standard_error == results[False].standard_error
+
+
+def test_constraint_explainer_identical_across_paths():
+    results = {}
+    for incremental in (False, True):
+        explainer = ConstraintShapleyExplainer(make_oracle(incremental))
+        results[incremental] = explainer.explain()
+    assert results[True].values == results[False].values
+    assert results[True].ranking() == results[False].ranking()
+
+
+def test_constraint_explainer_sampled_identical_across_paths():
+    results = {}
+    for incremental in (False, True):
+        explainer = ConstraintShapleyExplainer(make_oracle(incremental))
+        results[incremental] = explainer.explain_sampled(n_permutations=40, rng=11)
+    assert results[True].values == results[False].values
+
+
+def test_exact_cell_value_identical_across_paths():
+    results = {}
+    for incremental in (False, True):
+        oracle = BinaryRepairOracle(
+            SimpleRuleRepair(),
+            la_liga_constraints()[:2],
+            la_liga_dirty_table(),
+            CELL_OF_INTEREST,
+            incremental=incremental,
+        )
+        explainer = CellShapleyExplainer(oracle, policy="null", rng=3,
+                                         incremental=incremental)
+        # tiny probe table is too wide for full enumeration, so restrict to a
+        # 2x2 slice through the coalition API instead: compare raw coalition
+        # queries on both paths
+        coalition = [CellRef(4, "City"), CellRef(4, "Country"), CellRef(2, "City")]
+        results[incremental] = (
+            oracle.query_cell_coalition(coalition),
+            oracle.query_cell_coalition([]),
+            oracle.query_constraint_subset(oracle.constraints),
+            explainer.oracle.target_value,
+        )
+    assert results[True] == results[False]

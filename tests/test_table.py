@@ -133,6 +133,24 @@ def test_cellref_parse_rejects_garbage():
         CellRef.parse("tX[Country]")
 
 
+def test_cellref_parse_rejects_empty_attribute():
+    with pytest.raises(SchemaError, match="empty attribute"):
+        CellRef.parse("t5[]")
+
+
+def test_cellref_parse_rejects_trailing_characters():
+    with pytest.raises(SchemaError, match="trailing characters"):
+        CellRef.parse("t5[A]extra")
+    with pytest.raises(SchemaError, match="trailing characters"):
+        CellRef.parse("t5[A][B]")
+
+
+def test_cellref_parse_rejects_malformed_brackets():
+    for text in ("t5[A", "t5A]", "t5[[A]]", "t[A]", "5[A]", "t5"):
+        with pytest.raises(SchemaError):
+            CellRef.parse(text)
+
+
 def test_to_text_highlights_cells():
     table = make_table()
     text = table.to_text(highlight=[CellRef(2, "City")])
