@@ -68,6 +68,8 @@ from repro.constraints import (
     find_all_violations,
     find_all_violations_auto,
     IncrementalViolationDetector,
+    RepairWalk,
+    repair_walk_for,
     FunctionalDependency,
     ConditionalFunctionalDependency,
     discover_fds,
@@ -157,6 +159,8 @@ __all__ = [
     "find_all_violations",
     "find_all_violations_auto",
     "IncrementalViolationDetector",
+    "RepairWalk",
+    "repair_walk_for",
     "FunctionalDependency",
     "ConditionalFunctionalDependency",
     "discover_fds",

@@ -38,7 +38,9 @@ from repro.constraints.violations import (
 )
 from repro.constraints.incremental import (
     IncrementalViolationDetector,
+    RepairWalk,
     detector_for,
+    repair_walk_for,
     find_violations_auto,
     find_all_violations_auto,
     find_all_violations_fast,
@@ -60,7 +62,9 @@ __all__ = [
     "violating_rows",
     "cells_in_violations",
     "IncrementalViolationDetector",
+    "RepairWalk",
     "detector_for",
+    "repair_walk_for",
     "find_violations_auto",
     "find_all_violations_auto",
     "find_all_violations_fast",

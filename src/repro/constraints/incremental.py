@@ -44,11 +44,13 @@ from repro.constraints.violations import (
 )
 from repro.dataset.table import CellRef, PerturbationView, Table
 from repro.engine.index import MultiColumnIndex
-from repro.engine.storage import is_null
+from repro.engine.storage import is_null, values_differ
 
 __all__ = [
     "IncrementalViolationDetector",
+    "RepairWalk",
     "detector_for",
+    "repair_walk_for",
     "find_violations_auto",
     "find_all_violations_auto",
     "find_all_violations_fast",
@@ -217,54 +219,66 @@ class IncrementalViolationDetector:
         # no per-cell objects are built
         delta_columns = view.delta_by_column()
         result = ViolationSet()
-        if not delta_columns:
-            for constraint in constraints:
-                for violation in self._state(constraint).base_violations:
-                    result.add(violation)
-            return result
-
         for constraint in constraints:
-            state = self._state(constraint)
-            plan = state.plan
-            touched: set[int] = set()
-            for attribute in plan.mentioned:
-                overrides = delta_columns.get(attribute)
-                if overrides:
-                    touched.update(overrides)
-            if not touched:
-                for violation in state.base_violations:
-                    result.add(violation)
-                continue
-            if plan.kind == "single":
-                check = plan.residual_check
-                for violation in state.base_violations:
-                    if violation.rows[0] not in touched:
-                        result.add(violation)
-                for row_id in sorted(touched):
-                    row = view.row(row_id)
-                    if check(row, row):
-                        result.add(Violation(constraint, (row_id,)))
-                continue
-            if plan.kind == "pairs":
-                # no equality predicate to partition on: full rescan of this
-                # constraint on the view
-                for violation in find_violations(view, constraint):
-                    result.add(violation)
-                continue
-            for violation in state.base_violations:
-                rows = violation.rows
-                if rows[0] in touched or rows[1] in touched:
-                    continue
+            for violation in self.violations_for_view_constraint(
+                view, constraint, delta_columns
+            ):
                 result.add(violation)
-            self._recheck_equality(view, state, touched, delta_columns, result)
         return result
+
+    def violations_for_view_constraint(
+        self,
+        view: PerturbationView,
+        constraint: DenialConstraint,
+        delta_columns: Mapping[str, Mapping[int, Any]] | None = None,
+        row_of=None,
+    ) -> list[Violation]:
+        """Single-constraint base→view detection (the per-constraint core).
+
+        ``row_of`` optionally supplies a shared row reader (see
+        :func:`~repro.constraints.violations.find_violations`); a repair walk
+        passes its persistent cache so the two instances of an oracle pair
+        share one.  The view must be rooted on this detector's base snapshot.
+        """
+        if delta_columns is None:
+            delta_columns = view.delta_by_column()
+        state = self._state(constraint)
+        plan = state.plan
+        touched: set[int] = set()
+        for attribute in plan.mentioned:
+            overrides = delta_columns.get(attribute)
+            if overrides:
+                touched.update(overrides)
+        if not touched:
+            return list(state.base_violations)
+        if plan.kind == "single":
+            check = plan.residual_check
+            out = [v for v in state.base_violations if v.rows[0] not in touched]
+            if row_of is None:
+                row_of = view.row
+            for row_id in sorted(touched):
+                row = row_of(row_id)
+                if check(row, row):
+                    out.append(Violation(constraint, (row_id,)))
+            return out
+        if plan.kind == "pairs":
+            # no equality predicate to partition on: full rescan of this
+            # constraint on the view
+            return find_violations(view, constraint, row_of=row_of)
+        out = [
+            violation
+            for violation in state.base_violations
+            if violation.rows[0] not in touched and violation.rows[1] not in touched
+        ]
+        self._recheck_equality(view, state, touched, delta_columns, out, row_of=row_of)
+        return out
 
     # -- the equality-partition re-check ------------------------------------------
 
     def _recheck_equality(self, view: PerturbationView, state: _ConstraintState,
                           touched: set[int],
                           delta_columns: Mapping[str, Mapping[int, Any]],
-                          result: ViolationSet) -> None:
+                          out: list[Violation], row_of=None) -> None:
         plan = state.plan
         index = state.index
         eq_attrs = plan.eq_attrs
@@ -326,7 +340,8 @@ class IncrementalViolationDetector:
         if index_changes:
             index.apply_delta(index_changes)
         try:
-            row_of = lazy_row_reader(view)
+            if row_of is None:
+                row_of = lazy_row_reader(view)
             groups = index._groups  # read-only peek: skip the defensive copies
 
             for row_i in sorted(touched):
@@ -345,8 +360,8 @@ class IncrementalViolationDetector:
                         if row_j == row_i or (row_j in touched and row_j < row_i):
                             continue  # touched pairs are handled by the lower id
                         if class_i != class_of(row_j):
-                            result.add(Violation(constraint, (row_i, row_j)))
-                            result.add(Violation(constraint, (row_j, row_i)))
+                            out.append(Violation(constraint, (row_i, row_j)))
+                            out.append(Violation(constraint, (row_j, row_i)))
                 else:
                     check = plan.residual_check
                     row_data_i = row_of(row_i)
@@ -355,12 +370,488 @@ class IncrementalViolationDetector:
                             continue
                         row_data_j = row_of(row_j)
                         if check(row_data_i, row_data_j):
-                            result.add(Violation(constraint, (row_i, row_j)))
+                            out.append(Violation(constraint, (row_i, row_j)))
                         if check(row_data_j, row_data_i):
-                            result.add(Violation(constraint, (row_j, row_i)))
+                            out.append(Violation(constraint, (row_j, row_i)))
         finally:
             if index_changes:
                 index.revert_delta(index_changes)
+
+
+# -- second-order incrementality: view→view deltas along one repair walk ----------
+
+
+class _WalkIndex:
+    """A forked equality index kept synchronised with one repair walk's view."""
+
+    __slots__ = ("index", "keys", "log_pos")
+
+    def __init__(self, index: MultiColumnIndex, keys: dict[int, tuple | None],
+                 log_pos: int):
+        self.index = index
+        #: current view key per row, for rows whose key may differ from the
+        #: base build-time key (absent rows fall back to ``build_key_of``)
+        self.keys = keys
+        self.log_pos = log_pos
+
+
+class _WalkConstraint:
+    """Per-constraint violation state at one point of the walk's write log."""
+
+    __slots__ = ("violations", "log_pos")
+
+    def __init__(self, violations: list[Violation], log_pos: int):
+        self.violations = violations
+        self.log_pos = log_pos
+
+
+class RepairWalk:
+    """Second-order incremental violation maintenance over one repair walk.
+
+    The base→view path (:meth:`IncrementalViolationDetector.violations_for_view`)
+    re-derives each detection from the base snapshot: per pass it recomputes
+    the full delta's index moves, applies them, re-checks *every* touched row
+    and reverts.  A repair loop calls detection once per constraint per pass
+    on a view whose delta barely changes between passes, so almost all of that
+    work repeats.
+
+    ``RepairWalk`` instead maintains violations across the walk's own passes
+    (view→view deltas):
+
+    * equality indexes are *forked* once per walk
+      (:meth:`~repro.engine.index.MultiColumnIndex.fork`) with the view's full
+      delta applied and then kept applied — later passes only move the rows
+      the repair wrote;
+    * per-constraint violation lists carry over from the previous pass:
+      a pass retracts and re-checks only the rows written since that
+      constraint's last sync (read off the view's
+      :attr:`~repro.engine.view.OverlayStore.change_log`);
+    * row dicts are cached across passes, and the *pristine* (unwritten) rows
+      are shared with any walk forked off this one — the two instances of a
+      with/without oracle pair differ in a single cell, so one row cache
+      serves both (rows a walk writes go to a walk-local cache instead).
+
+    :meth:`fork_onto` is the paired-oracle entry point: it clones the primed
+    state onto a sibling view that differs in a known set of cells and
+    re-derives only those cells' rows, which is how the second instance of a
+    pair starts mid-walk instead of from the base snapshot.
+
+    The walk produces exactly the multiset of violations the reference
+    full-rescan path produces at every point (property-tested); it never
+    mutates the detector's shared per-base state.
+    """
+
+    __slots__ = ("view", "detector", "constraints", "_log", "_cstates",
+                 "_windexes", "_dirty_rows", "_local_rows", "_pristine_rows",
+                 "_row_log_pos")
+
+    def __init__(self, view: PerturbationView, constraints: Iterable[DenialConstraint],
+                 detector: IncrementalViolationDetector):
+        self.view = view
+        self.detector = detector
+        self.constraints = list(constraints)
+        self._log = view.change_log
+        self._cstates: dict[DenialConstraint, _WalkConstraint] = {}
+        self._windexes: dict[tuple[str, ...], _WalkIndex] = {}
+        #: rows written during this walk (or differing from the walk this one
+        #: was forked off) — their row dicts live in the walk-local cache
+        self._dirty_rows: set[int] = set()
+        self._local_rows: dict[int, Mapping[str, Any]] = {}
+        #: rows untouched by any walk of the pair — shared across forks
+        self._pristine_rows: dict[int, Mapping[str, Any]] = {}
+        self._row_log_pos = len(self._log)
+
+    # -- row cache ----------------------------------------------------------------
+
+    def _row_of(self, row_id: int) -> Mapping[str, Any]:
+        if row_id in self._dirty_rows:
+            row = self._local_rows.get(row_id)
+            if row is None:
+                row = self._local_rows[row_id] = self.view.row(row_id)
+            return row
+        row = self._pristine_rows.get(row_id)
+        if row is None:
+            row = self._pristine_rows[row_id] = self.view.row(row_id)
+        return row
+
+    def _consume_writes(self) -> None:
+        """Mark rows written since the last call dirty and drop their cached dicts."""
+        log = self._log
+        position = self._row_log_pos
+        if position == len(log):
+            return
+        for row, _attribute in log[position:]:
+            self._dirty_rows.add(row)
+            self._local_rows.pop(row, None)
+        self._row_log_pos = len(log)
+
+    # -- index maintenance ---------------------------------------------------------
+
+    def _value_of(self, row_id: int, attribute: str):
+        """Current view value via override dict + base column (no call chain)."""
+        overrides = self.view.delta_by_column().get(attribute)
+        if overrides is not None and row_id in overrides:
+            return overrides[row_id]
+        return self.detector._column(attribute)[row_id]
+
+    def _view_key(self, eq_attrs: tuple[str, ...], row_id: int,
+                  eq_overrides=None) -> tuple | None:
+        if eq_overrides is None:
+            delta_columns = self.view.delta_by_column()
+            eq_overrides = [delta_columns.get(attribute) for attribute in eq_attrs]
+        column_of = self.detector._column
+        key = []
+        for attribute, overrides in zip(eq_attrs, eq_overrides):
+            if overrides is not None and row_id in overrides:
+                value = overrides[row_id]
+            else:
+                value = column_of(attribute)[row_id]
+            if is_null(value):
+                return None
+            key.append(value)
+        return tuple(key)
+
+    def _windex(self, eq_attrs: tuple[str, ...]) -> _WalkIndex:
+        walk_index = self._windexes.get(eq_attrs)
+        if walk_index is None:
+            # Built from scratch in one ascending row pass (groups come out
+            # sorted) instead of forking the base index and replaying the full
+            # delta: on the heavily nulled coalition views most rows just drop
+            # out of the index, so per-row bisect moves would dominate.
+            base_index = self.detector._index_for(eq_attrs)
+            build_key_of = base_index.build_key_of
+            delta_columns = self.view.delta_by_column()
+            eq_overrides = [delta_columns.get(attribute) for attribute in eq_attrs]
+            overridden: set[int] = set()
+            for overrides in eq_overrides:
+                if overrides:
+                    overridden.update(overrides)
+            keys: dict[int, tuple | None] = {}
+            groups: dict[tuple, list[int]] = {}
+            for row_id in range(self.view.n_rows):
+                if row_id in overridden:
+                    key = keys[row_id] = self._view_key(eq_attrs, row_id, eq_overrides)
+                else:
+                    key = build_key_of(row_id)
+                if key is None:
+                    continue
+                rows = groups.get(key)
+                if rows is None:
+                    groups[key] = [row_id]
+                else:
+                    rows.append(row_id)
+            index = MultiColumnIndex.__new__(MultiColumnIndex)
+            index.attributes = base_index.attributes
+            index._groups = groups
+            index._build_keys = base_index._build_keys
+            walk_index = self._windexes[eq_attrs] = _WalkIndex(index, keys, len(self._log))
+        else:
+            self._sync_windex(walk_index, eq_attrs)
+        return walk_index
+
+    def _sync_windex(self, walk_index: _WalkIndex, eq_attrs: tuple[str, ...]) -> None:
+        log = self._log
+        if walk_index.log_pos == len(log):
+            return
+        rows = {row for row, attribute in log[walk_index.log_pos:]
+                if attribute in eq_attrs}
+        walk_index.log_pos = len(log)
+        if rows:
+            self._move_index_rows(walk_index, eq_attrs, rows)
+
+    def _move_index_rows(self, walk_index: _WalkIndex, eq_attrs: tuple[str, ...],
+                         rows: Iterable[int]) -> None:
+        keys = walk_index.keys
+        index = walk_index.index
+        delta_columns = self.view.delta_by_column()
+        eq_overrides = [delta_columns.get(attribute) for attribute in eq_attrs]
+        changes: dict[int, tuple[tuple | None, tuple | None]] = {}
+        for row_id in rows:
+            old_key = keys[row_id] if row_id in keys else index.build_key_of(row_id)
+            new_key = keys[row_id] = self._view_key(eq_attrs, row_id, eq_overrides)
+            if old_key != new_key:
+                changes[row_id] = (old_key, new_key)
+        if changes:
+            index.apply_delta(changes)
+
+    # -- violation maintenance -------------------------------------------------------
+
+    def violations_for(self, constraint: DenialConstraint) -> list[Violation]:
+        """Current violations of one constraint (synced to the view's writes)."""
+        self._consume_writes()
+        state = self._cstates.get(constraint)
+        if state is None:
+            state = self._prime_constraint(constraint)
+        else:
+            self._sync_constraint(constraint, state)
+        return state.violations
+
+    def all_violations(self) -> ViolationSet:
+        """Current violations of every constraint of the walk."""
+        result = ViolationSet()
+        for constraint in self.constraints:
+            for violation in self.violations_for(constraint):
+                result.add(violation)
+        return result
+
+    def prime(self) -> "RepairWalk":
+        """Force state construction for every constraint (pre-fork hook)."""
+        for constraint in self.constraints:
+            self.violations_for(constraint)
+        return self
+
+    def _prime_constraint(self, constraint: DenialConstraint) -> _WalkConstraint:
+        """First detection: base→view retract + re-check, walk-local.
+
+        The derivation is exactly one :meth:`_retract_recheck` step seeded
+        with the base snapshot's violations and the full delta's touched rows
+        — the same step later passes run against the previous pass's state.
+        The walk's index is only built when some touched row actually keeps a
+        non-null equality key; whatever *is* built is kept for later passes
+        and the pair fork instead of being applied and reverted per
+        detection (contrast
+        :meth:`IncrementalViolationDetector.violations_for_view_constraint`).
+        """
+        detector_state = self.detector._state(constraint)
+        plan = detector_state.plan
+        delta_columns = self.view.delta_by_column()
+        touched: set[int] = set()
+        for attribute in plan.mentioned:
+            overrides = delta_columns.get(attribute)
+            if overrides:
+                touched.update(overrides)
+        state = _WalkConstraint(list(detector_state.base_violations), len(self._log))
+        if touched:
+            self._retract_recheck(constraint, plan, touched, state)
+        self._cstates[constraint] = state
+        return state
+
+    def _sync_constraint(self, constraint: DenialConstraint, state: _WalkConstraint) -> None:
+        log = self._log
+        if state.log_pos == len(log):
+            return
+        plan = self.detector._state(constraint).plan
+        mentioned = plan.mentioned
+        changed = {row for row, attribute in log[state.log_pos:]
+                   if attribute in mentioned}
+        state.log_pos = len(log)
+        if changed:
+            self._retract_recheck(constraint, plan, changed, state)
+
+    def _retract_recheck(self, constraint: DenialConstraint, plan: _ConstraintPlan,
+                         changed: set[int], state: _WalkConstraint) -> None:
+        """Re-derive ``state.violations`` after ``changed`` rows moved (view→view)."""
+        if plan.kind == "pairs":
+            state.violations = find_violations(self.view, constraint, row_of=self._row_of)
+            return
+        if plan.kind == "single":
+            check = plan.residual_check
+            kept = [v for v in state.violations if v.rows[0] not in changed]
+            for row_id in sorted(changed):
+                row = self._row_of(row_id)
+                if check(row, row):
+                    kept.append(Violation(constraint, (row_id,)))
+            state.violations = kept
+            return
+        kept = [v for v in state.violations
+                if v.rows[0] not in changed and v.rows[1] not in changed]
+        self._recheck_rows(constraint, plan, changed, kept)
+        state.violations = kept
+
+    def _recheck_rows(self, constraint: DenialConstraint, plan: _ConstraintPlan,
+                      touched: set[int], out: list[Violation]) -> None:
+        """Append the violations the ``touched`` rows participate in (eq-kind).
+
+        Mirrors :meth:`IncrementalViolationDetector._recheck_equality`, but
+        against the walk's forked (already-applied) index and persistent row
+        cache instead of apply/revert on the shared base index.
+        """
+        walk_index = self._windex(plan.eq_attrs)
+        groups = walk_index.index._groups
+        keys = walk_index.keys
+        build_key_of = walk_index.index.build_key_of
+        ne_attr = plan.single_ne_attr
+        check = plan.residual_check
+        row_of = self._row_of
+        if ne_attr is not None:
+            ne_column = self.detector._column(ne_attr)
+            ne_overrides = self.view.delta_by_column().get(ne_attr)
+
+            def class_of(row_id: int):
+                if ne_overrides is not None and row_id in ne_overrides:
+                    value = ne_overrides[row_id]
+                else:
+                    value = ne_column[row_id]
+                return _NULL_CLASS if is_null(value) else value
+
+        for row_i in sorted(touched):
+            key = keys[row_i] if row_i in keys else build_key_of(row_i)
+            if key is None:
+                continue  # a null component can never satisfy the eq-join
+            partners = groups.get(key)
+            if partners is None or len(partners) <= 1:
+                continue
+            if ne_attr is not None:
+                class_i = class_of(row_i)
+                for row_j in partners:
+                    if row_j == row_i or (row_j in touched and row_j < row_i):
+                        continue  # touched pairs are handled by the lower id
+                    if class_i != class_of(row_j):
+                        out.append(Violation(constraint, (row_i, row_j)))
+                        out.append(Violation(constraint, (row_j, row_i)))
+            else:
+                row_data_i = row_of(row_i)
+                for row_j in partners:
+                    if row_j == row_i or (row_j in touched and row_j < row_i):
+                        continue
+                    row_data_j = row_of(row_j)
+                    if check(row_data_i, row_data_j):
+                        out.append(Violation(constraint, (row_i, row_j)))
+                    if check(row_data_j, row_data_i):
+                        out.append(Violation(constraint, (row_j, row_i)))
+
+    # -- one-cell trials (greedy candidate scoring) -----------------------------------
+
+    def count_if(self, cell: CellRef, value: Any) -> int:
+        """Total violation count if ``cell`` were set to ``value`` (state untouched).
+
+        Equals ``len(find_all_violations(trial))`` for the materialised trial
+        table, but only the one touched row is re-checked.
+        """
+        self._consume_writes()
+        row_id, attribute = cell.row, cell.attribute
+        total = 0
+        for constraint in self.constraints:
+            plan = self.detector._state(constraint).plan
+            if attribute not in plan.mentioned:
+                total += len(self.violations_for(constraint))
+                continue
+            if plan.kind == "pairs":
+                trial = self.view.perturbed({cell: value}, trusted=True)
+                total += len(find_violations(trial, constraint))
+                continue
+            current = self.violations_for(constraint)
+            total += sum(1 for v in current if row_id not in v.rows)
+            total += self._count_row_if(constraint, plan, row_id, attribute, value)
+        return total
+
+    def _count_row_if(self, constraint: DenialConstraint, plan: _ConstraintPlan,
+                      row_id: int, attribute: str, value: Any) -> int:
+        if plan.kind == "single":
+            row = dict(self._row_of(row_id))
+            row[attribute] = value
+            return 1 if plan.residual_check(row, row) else 0
+        walk_index = self._windex(plan.eq_attrs)
+        eq_attrs = plan.eq_attrs
+        value_of = self._value_of
+        if attribute in eq_attrs:
+            parts: list | None = []
+            for eq_attr in eq_attrs:
+                part = value if eq_attr == attribute else value_of(row_id, eq_attr)
+                if is_null(part):
+                    parts = None
+                    break
+                parts.append(part)
+            key = tuple(parts) if parts is not None else None
+        else:
+            keys = walk_index.keys
+            key = keys[row_id] if row_id in keys else walk_index.index.build_key_of(row_id)
+        if key is None:
+            return 0
+        partners = walk_index.index._groups.get(key)
+        if not partners:
+            return 0
+        count = 0
+        ne_attr = plan.single_ne_attr
+        if ne_attr is not None:
+            value_i = value if attribute == ne_attr else value_of(row_id, ne_attr)
+            class_i = _NULL_CLASS if is_null(value_i) else value_i
+            for row_j in partners:
+                if row_j == row_id:
+                    continue
+                value_j = value_of(row_j, ne_attr)
+                class_j = _NULL_CLASS if is_null(value_j) else value_j
+                if class_i != class_j:
+                    count += 2  # both ordered directions violate
+            return count
+        check = plan.residual_check
+        row_i = dict(self._row_of(row_id))
+        row_i[attribute] = value
+        for row_j in partners:
+            if row_j == row_id:
+                continue
+            row_data_j = self._row_of(row_j)
+            if check(row_i, row_data_j):
+                count += 1
+            if check(row_data_j, row_i):
+                count += 1
+        return count
+
+    # -- pair forking -------------------------------------------------------------------
+
+    def fork_onto(self, view: PerturbationView,
+                  differing_cells: Iterable[CellRef]) -> "RepairWalk":
+        """Clone the primed state onto a sibling view differing in known cells.
+
+        ``view`` must share this walk's base table and differ from this walk's
+        *current* view content only at (a subset of) ``differing_cells`` —
+        which is exactly the with/without pair contract: call right after
+        :meth:`prime`, before the owning repair loop writes anything.  Only
+        the differing cells' rows are retracted and re-checked; everything
+        else (violation lists, forked indexes, the pristine row cache) carries
+        over.
+        """
+        clone = RepairWalk.__new__(RepairWalk)
+        clone.view = view
+        clone.detector = self.detector
+        clone.constraints = list(self.constraints)
+        clone._log = view.change_log
+        clone._row_log_pos = len(clone._log)
+        clone._pristine_rows = self._pristine_rows  # shared row cache (see class doc)
+        clone._local_rows = {}
+        clone._dirty_rows = set()
+        log_pos = len(clone._log)
+        clone._cstates = {
+            constraint: _WalkConstraint(list(state.violations), log_pos)
+            for constraint, state in self._cstates.items()
+        }
+        clone._windexes = {
+            eq_attrs: _WalkIndex(walk_index.index.fork(), dict(walk_index.keys), log_pos)
+            for eq_attrs, walk_index in self._windexes.items()
+        }
+
+        my_value = self.view.value
+        other_value = view.value
+        changed = [cell for cell in differing_cells
+                   if values_differ(my_value(cell.row, cell.attribute),
+                                    other_value(cell.row, cell.attribute))]
+        if not changed:
+            return clone
+        clone._dirty_rows.update(cell.row for cell in changed)
+        for eq_attrs, walk_index in clone._windexes.items():
+            rows = {cell.row for cell in changed if cell.attribute in eq_attrs}
+            if rows:
+                clone._move_index_rows(walk_index, eq_attrs, rows)
+        for constraint, state in clone._cstates.items():
+            plan = clone.detector._state(constraint).plan
+            rows = {cell.row for cell in changed if cell.attribute in plan.mentioned}
+            if rows:
+                clone._retract_recheck(constraint, plan, rows, state)
+        return clone
+
+
+def repair_walk_for(table: Table,
+                    constraints: Sequence[DenialConstraint]) -> RepairWalk | None:
+    """A :class:`RepairWalk` over ``table``, or ``None`` off the view hot path.
+
+    Repair algorithms call this on their working snapshot: a
+    :class:`PerturbationView` gets second-order maintenance, everything else
+    (plain tables, the reference path) returns ``None`` and the caller falls
+    back to per-pass detection.
+    """
+    if isinstance(table, PerturbationView):
+        return RepairWalk(table, constraints, detector_for(table.base))
+    return None
 
 
 # -- detector registry and dispatch helpers ---------------------------------------

@@ -155,7 +155,8 @@ def lazy_row_reader(table: Table):
     return row_of
 
 
-def _violations_two_tuple(table: Table, constraint: DenialConstraint) -> Iterator[Violation]:
+def _violations_two_tuple(table: Table, constraint: DenialConstraint,
+                          row_of=None) -> Iterator[Violation]:
     equality_attributes = constraint.equality_attributes()
 
     if equality_attributes:
@@ -164,7 +165,8 @@ def _violations_two_tuple(table: Table, constraint: DenialConstraint) -> Iterato
     else:
         groups = [list(range(table.n_rows))]
 
-    row_of = lazy_row_reader(table)
+    if row_of is None:
+        row_of = lazy_row_reader(table)
 
     for group in groups:
         for position, row_i in enumerate(group):
@@ -177,17 +179,23 @@ def _violations_two_tuple(table: Table, constraint: DenialConstraint) -> Iterato
                     yield Violation(constraint, (row_j, row_i))
 
 
-def find_violations(table: Table, constraint: DenialConstraint) -> list[Violation]:
+def find_violations(table: Table, constraint: DenialConstraint,
+                    row_of=None) -> list[Violation]:
     """All violations of a single constraint on ``table``.
 
     For two-tuple constraints both orders of each violating pair are reported
     (the DC quantifies over ordered pairs); symmetric constraints therefore
     report each unordered pair twice, which keeps per-tuple violation counts
     consistent across constraint shapes.
+
+    ``row_of`` optionally supplies a shared ``row_id -> dict`` reader so
+    callers evaluating many near-identical instances (the paired oracle's
+    with/without walks) can reuse one row cache instead of rebuilding it per
+    instance; it must reflect the current contents of ``table``.
     """
     if constraint.is_single_tuple:
         return list(_violations_single_tuple(table, constraint))
-    return list(_violations_two_tuple(table, constraint))
+    return list(_violations_two_tuple(table, constraint, row_of=row_of))
 
 
 def find_all_violations(table: Table, constraints: Sequence[DenialConstraint]) -> ViolationSet:

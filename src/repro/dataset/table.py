@@ -28,6 +28,9 @@ from repro.errors import SchemaError, UnknownAttributeError, UnknownRowError
 #: attribute and nothing before or after.
 _CELL_REF_PATTERN = re.compile(r"t(\d+)\[([^\[\]]+)\]\Z")
 
+#: sentinel for "no delta entry — the cell carries the base value"
+_BASE = object()
+
 
 class CellRef(NamedTuple):
     """Address of one table cell, ``t_row[attribute]`` in the paper's notation."""
@@ -246,16 +249,20 @@ class Table:
         return clone
 
     def perturbed(self, assignments: Mapping[CellRef, Any], name: str | None = None,
-                  trusted: bool = False) -> "PerturbationView":
+                  trusted: bool = False, prenormalized: bool = False) -> "PerturbationView":
         """A copy-on-write view with the given cells replaced (no column copies).
 
         The view satisfies the full ``Table`` read interface; building it costs
         O(|assignments|) instead of O(cells).  ``trusted=True`` skips per-cell
         address validation (internal hot-path callers whose cells are known
-        valid).  This is the entry point of the incremental evaluation engine —
-        see :class:`PerturbationView`.
+        valid); ``prenormalized=True`` additionally adopts ``assignments`` as
+        the view's delta verbatim — the caller guarantees it is already
+        normalised (no entry equal to its base cell) and never mutated again.
+        This is the entry point of the incremental evaluation engine — see
+        :class:`PerturbationView`.
         """
-        return PerturbationView(self, assignments, name=name, trusted=trusted)
+        return PerturbationView(self, assignments, name=name, trusted=trusted,
+                                prenormalized=prenormalized)
 
     def with_cells_nulled(self, cells: Iterable[CellRef], name: str | None = None) -> "Table":
         """A copy with the given cells set to null.
@@ -279,6 +286,17 @@ class Table:
         if self._stats is None:
             self._stats = TableStatistics(self._store)
         return self._stats
+
+    def adopt_statistics(self, stats: TableStatistics) -> None:
+        """Install externally derived statistics for this snapshot.
+
+        ``stats`` must describe exactly this table's current contents — e.g. a
+        :meth:`~repro.engine.stats.TableStatistics.fork` of a sibling
+        instance's statistics with the differing cells applied, which is how
+        the paired oracle avoids re-scanning columns for the second instance
+        of a pair.  Subsequent :meth:`set_value` calls keep them maintained.
+        """
+        self._stats = stats
 
     @property
     def store(self) -> ColumnStore:
@@ -385,20 +403,25 @@ class PerturbationView(Table):
     """
 
     def __init__(self, base: Table, assignments: Mapping[CellRef, Any] = (),
-                 name: str | None = None, trusted: bool = False):
+                 name: str | None = None, trusted: bool = False,
+                 prenormalized: bool = False):
         if isinstance(base, PerturbationView):
             root = base._base
             delta: dict[CellRef, Any] = dict(base._delta)
+            prenormalized = False  # merging into an existing delta needs the loop
         else:
             root = base
             delta = {}
         self._base = root
-        self._delta = delta
         self.schema = root.schema
         self.name = name or root.name
         items = assignments.items() if isinstance(assignments, Mapping) else assignments
         root_value = root.value
-        if trusted:
+        if prenormalized:
+            # the caller built an already-normalised delta (e.g. the coalition
+            # sampler's precomputed null/mode overlay); adopt it verbatim
+            delta = dict(assignments)
+        elif trusted:
             # fast path for internal callers whose cell addresses are known
             # valid (e.g. the coalition sampler, which enumerates table.cells())
             for cell, value in items:
@@ -415,6 +438,7 @@ class PerturbationView(Table):
                     delta[cell] = value
                 else:
                     delta.pop(cell, None)
+        self._delta = delta
         # the overlay shares (does not copy) the delta dict, so in-place
         # set_value calls routed through Table.set_value stay visible here
         self._store = OverlayStore(root.store, delta)
@@ -441,6 +465,44 @@ class PerturbationView(Table):
         the overlay store and no :class:`CellRef` objects are built.
         """
         return self._store.delta_by_column()
+
+    @property
+    def change_log(self) -> list:
+        """Append-only ``(row, attribute)`` log of every write to this view.
+
+        Second-order violation maintenance
+        (:class:`~repro.constraints.incremental.RepairWalk`) reads it to
+        derive view→view deltas between a repair loop's passes.
+        """
+        return self._store.change_log
+
+    def differing_cells(self, other: "PerturbationView") -> list[CellRef]:
+        """Cells whose effective content differs between two sibling views.
+
+        Both views must share the same base table.  Because both deltas are
+        normalised over that base, a cell differs exactly when its delta
+        *entry* differs (present in one view only, or present in both with
+        different values) — one C-level symmetric difference over the delta
+        items.  This is how the paired oracle derives the one-cell sub-delta
+        separating a with/without instance pair without trusting the caller.
+        """
+        if not isinstance(other, PerturbationView) or other._base is not self._base:
+            raise SchemaError(
+                "differing_cells requires two views over the same base table"
+            )
+        try:
+            changed = {cell for cell, _ in self._delta.items() ^ other._delta.items()}
+        except TypeError:
+            # unhashable cell values: fall back to a per-cell comparison
+            changed = set()
+            for cell in self._delta.keys() | other._delta.keys():
+                mine = self._delta.get(cell, _BASE)
+                theirs = other._delta.get(cell, _BASE)
+                if mine is _BASE or theirs is _BASE or values_differ(mine, theirs):
+                    changed.add(cell)
+        cells = [cell if isinstance(cell, CellRef) else CellRef(*cell) for cell in changed]
+        cells.sort(key=lambda cell: (cell.row, cell.attribute))
+        return cells
 
     # -- overridden transformations ---------------------------------------------
 

@@ -152,6 +152,21 @@ class MultiColumnIndex:
         """
         return self._build_keys[row]
 
+    def fork(self) -> "MultiColumnIndex":
+        """An independent copy sharing the (immutable) build-time keys.
+
+        A fork can have deltas applied and *kept* applied for the lifetime of
+        a repair walk, while the original keeps serving the apply/revert
+        pattern of per-instance detection.  Cost is O(groups + rows in
+        groups); the ``_build_keys`` list is shared because it is never
+        mutated after construction.
+        """
+        clone = MultiColumnIndex.__new__(MultiColumnIndex)
+        clone.attributes = self.attributes
+        clone._groups = {key: list(rows) for key, rows in self._groups.items()}
+        clone._build_keys = self._build_keys
+        return clone
+
     def rows_with_key(self, key: tuple) -> list[int]:
         if any(is_null(part) for part in key):
             return []

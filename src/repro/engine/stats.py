@@ -114,6 +114,20 @@ class ColumnStatistics:
             self._total += 1
         self._most_common = _UNSET
 
+    def fork(self) -> "ColumnStatistics":
+        """An independent copy (counts and memo included).
+
+        Forked statistics diverge from the original through
+        :meth:`apply_update` — the paired oracle forks the first instance's
+        statistics onto the second instead of re-scanning its columns.
+        """
+        clone = ColumnStatistics.__new__(ColumnStatistics)
+        clone.attribute = self.attribute
+        clone._counts = Counter(self._counts)
+        clone._total = self._total
+        clone._most_common = self._most_common
+        return clone
+
     def entropy(self) -> float:
         """Shannon entropy of the column distribution (bits)."""
         if self._total == 0:
@@ -198,6 +212,29 @@ class CooccurrenceStatistics:
             return 0
         return counts.get(value_b, 0)
 
+    def warm(self, given: str, target: str) -> None:
+        """Force the ``(given, target)`` pair distribution to be built now.
+
+        Used before :meth:`fork` so the forked copy carries the pair tables
+        the repair rules will need instead of re-scanning per instance.
+        """
+        self._counts_for(given, target)
+
+    def fork(self, store: ColumnStore) -> "CooccurrenceStatistics":
+        """An independent copy reading sibling cells from ``store``.
+
+        Only the pair tables built so far are copied; unbuilt pairs are built
+        lazily from ``store`` as usual.
+        """
+        clone = CooccurrenceStatistics.__new__(CooccurrenceStatistics)
+        clone._store = store
+        clone._pair_counts = {
+            key: {given_value: Counter(counter) for given_value, counter in counts.items()}
+            for key, counts in self._pair_counts.items()
+        }
+        clone._argmax_memo = dict(self._argmax_memo)
+        return clone
+
     # -- delta maintenance -----------------------------------------------------
 
     @staticmethod
@@ -274,6 +311,24 @@ class TableStatistics:
         if attribute not in self._marginals:
             self._marginals[attribute] = ColumnStatistics(self._store, attribute)
         return self._marginals[attribute]
+
+    def fork(self, store: ColumnStore) -> "TableStatistics":
+        """An independent copy of everything built so far, bound to ``store``.
+
+        ``store`` must hold the same contents the forked statistics describe;
+        divergence is then applied through :meth:`apply_cell_update`.  The
+        paired oracle uses this to derive the second instance's statistics
+        from the first's (the two differ in one cell) instead of re-scanning
+        columns per instance; delta maintenance guarantees the fork equals a
+        from-scratch rebuild at every point.
+        """
+        clone = TableStatistics.__new__(TableStatistics)
+        clone._store = store
+        clone._marginals = {
+            attribute: marginal.fork() for attribute, marginal in self._marginals.items()
+        }
+        clone.cooccurrence = self.cooccurrence.fork(store)
+        return clone
 
     def most_common(self, attribute: str, default: Any = None) -> Any:
         return self.marginal(attribute).most_common(default)

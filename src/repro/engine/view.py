@@ -52,7 +52,8 @@ class OverlayStore:
         and :meth:`set_value` keeps it normalised afterwards.
     """
 
-    __slots__ = ("_base", "_delta", "_by_row", "_by_column", "_materialized", "_fingerprint")
+    __slots__ = ("_base", "_delta", "_by_row", "_by_column", "_materialized",
+                 "_fingerprint", "change_log")
 
     def __init__(self, base: ColumnStore, delta: dict):
         self._base = base
@@ -61,6 +62,12 @@ class OverlayStore:
         self._by_column: dict[str, dict[int, Any]] | None = None
         self._materialized: dict[str, np.ndarray] = {}
         self._fingerprint: Fingerprint | None = None
+        #: append-only ``(row, attribute)`` log of every :meth:`set_value`,
+        #: including writes that restore the base value.  Second-order
+        #: violation maintenance (:class:`~repro.constraints.incremental.RepairWalk`)
+        #: reads it at independent positions to derive view→view deltas
+        #: without ever snapshotting the delta dict.
+        self.change_log: list[tuple[int, str]] = []
 
     # -- basic introspection ---------------------------------------------------
 
@@ -161,6 +168,7 @@ class OverlayStore:
             raise UnknownAttributeError(name, self._base.column_names)
         if not 0 <= row < self._base.n_rows:
             raise UnknownRowError(row, self._base.n_rows)
+        self.change_log.append((row, name))
         key = (row, name)
         if values_differ(self._base.value(row, name), value):
             self._delta[key] = value

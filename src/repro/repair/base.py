@@ -54,9 +54,39 @@ class RepairAlgorithm(abc.ABC):
     #: Human-readable algorithm name used in reports and benchmarks.
     name: str = "repair"
 
+    #: lifetime count of :meth:`repair_pair` calls that actually shared one
+    #: detection walk between the two instances.  The base implementation
+    #: never shares, so it never increments; overrides increment it exactly
+    #: when they fork state instead of running two independent repairs, which
+    #: is how the oracle keeps its ``pair_walks`` statistic honest.
+    shared_pair_walks: int = 0
+
     @abc.abstractmethod
     def repair_table(self, constraints: Sequence[DenialConstraint], table: Table) -> Table:
         """Return a repaired copy of ``table`` under ``constraints``."""
+
+    def repair_pair(
+        self,
+        constraints: Sequence[DenialConstraint],
+        with_table: Table,
+        without_table: Table,
+        differing_cells: Sequence[CellRef] = (),
+    ) -> tuple[Table, Table]:
+        """Repair two nearly identical instances (an oracle with/without pair).
+
+        ``differing_cells`` names the cells whose contents may differ between
+        the two instances (for the cell-Shapley sampling loop: exactly the
+        target cell).  The base implementation runs two independent repairs;
+        algorithms that walk an explicit detection state (the simple and
+        greedy repairers) override it to prime the state once and fork it at
+        the differing cells.  Overrides must return exactly what two
+        independent :meth:`repair_table` calls would.
+        """
+        del differing_cells  # the independent fallback has nothing to share
+        return (
+            self.repair_table(list(constraints), with_table),
+            self.repair_table(list(constraints), without_table),
+        )
 
     # -- convenience API ----------------------------------------------------------
 
@@ -113,6 +143,16 @@ class BinaryRepairOracle:
         violation detector.  Results are identical either way (the benchmark
         ``bench_incremental_vs_full.py`` cross-checks this); pass ``False`` to
         force the full-rescan reference path.
+    paired:
+        Allow :meth:`query_pair` to evaluate a with/without instance pair in
+        one shared repair walk (:meth:`RepairAlgorithm.repair_pair`): the
+        detection state is primed on the first instance and forked at the
+        single differing cell for the second.  ``False`` forces every pair
+        onto two independent repairs.  Answers are identical either way.
+    cache_size:
+        LRU bound for the oracle cache (defaults to
+        :class:`~repro.repair.cache.OracleCache`'s generous built-in limit);
+        ignored when ``use_cache`` is false.
     """
 
     def __init__(
@@ -124,16 +164,23 @@ class BinaryRepairOracle:
         target_value: Any = None,
         use_cache: bool = True,
         incremental: bool = True,
+        paired: bool = True,
+        cache_size: int | None = None,
     ):
         self.algorithm = algorithm
         self.constraints = list(constraints)
         self.dirty_table = dirty_table
         self.cell = dirty_table.validate_cell(cell)
         self.incremental = incremental
-        self._cache = OracleCache() if use_cache else None
+        self.paired = paired
+        if use_cache:
+            self._cache = OracleCache(cache_size) if cache_size is not None else OracleCache()
+        else:
+            self._cache = None
         self._dirty_view: PerturbationView | None = None
         self.calls = 0          # number of oracle queries (cached or not)
         self.repair_runs = 0    # number of actual black-box repair invocations
+        self.pair_walks = 0     # number of pairs evaluated in one shared walk
 
         if target_value is None:
             reference_clean = algorithm.repair_table(self.constraints, dirty_table)
@@ -166,6 +213,88 @@ class BinaryRepairOracle:
         self._cache.put(key, value)
         return value
 
+    # -- paired query --------------------------------------------------------------
+
+    def query_pair(
+        self,
+        constraints: Sequence[DenialConstraint],
+        with_table: Table,
+        without_table: Table,
+    ) -> tuple[int, int]:
+        """Evaluate a with/without instance pair, sharing one repair walk.
+
+        Answers are exactly those of two :meth:`query` calls on the same
+        tables (property-tested); only the work is shared — the pair of
+        nearly identical repairs runs as one primed walk plus a fork at the
+        differing cell when the instances are sibling views and the ``paired``
+        and ``incremental`` flags allow it.  Pair results are additionally
+        memoised under a fingerprint-pair key so a recurring coalition costs
+        one cache lookup.
+        """
+        constraints = list(constraints)
+        self.calls += 2
+        key_with = key_without = pair_key = None
+        value_with = value_without = None
+        if self._cache is not None:
+            names = constraint_set_names(constraints)
+            fingerprint_with = with_table.fingerprint()
+            fingerprint_without = without_table.fingerprint()
+            key_with = (names, fingerprint_with)
+            key_without = (names, fingerprint_without)
+            pair_key = ("pair", names, fingerprint_with, fingerprint_without)
+            pair = self._cache.get(pair_key)
+            if pair is not None:
+                return pair
+            value_with = self._cache.get(key_with)
+            value_without = self._cache.get(key_without)
+
+        if value_with is None and value_without is None:
+            value_with, value_without = self._evaluate_pair(
+                constraints, with_table, without_table
+            )
+        else:
+            if value_with is None:
+                value_with = self._evaluate(constraints, with_table)
+            if value_without is None:
+                value_without = self._evaluate(constraints, without_table)
+
+        if self._cache is not None:
+            self._cache.put(key_with, value_with)
+            self._cache.put(key_without, value_without)
+            self._cache.put(pair_key, (value_with, value_without))
+        return value_with, value_without
+
+    def _evaluate_pair(
+        self,
+        constraints: Sequence[DenialConstraint],
+        with_table: Table,
+        without_table: Table,
+    ) -> tuple[int, int]:
+        if (
+            self.paired
+            and self.incremental
+            and isinstance(with_table, PerturbationView)
+            and isinstance(without_table, PerturbationView)
+            and with_table.base is without_table.base
+        ):
+            differing = with_table.differing_cells(without_table)
+            walks_before = self.algorithm.shared_pair_walks
+            clean_with, clean_without = self.algorithm.repair_pair(
+                constraints, with_table, without_table, differing
+            )
+            self.repair_runs += 2
+            if self.algorithm.shared_pair_walks > walks_before:
+                self.pair_walks += 1
+            cell, target = self.cell, self.target_value
+            return (
+                1 if clean_with[cell] == target else 0,
+                1 if clean_without[cell] == target else 0,
+            )
+        return (
+            self._evaluate(constraints, with_table),
+            self._evaluate(constraints, without_table),
+        )
+
     # -- convenience entry points ----------------------------------------------------
 
     def _dirty_as_view(self) -> PerturbationView:
@@ -188,6 +317,14 @@ class BinaryRepairOracle:
     def query_table(self, table: Table) -> int:
         """Vary the table (cell coalitions), keep the full constraint set fixed."""
         return self.query(self.constraints, table)
+
+    def query_table_pair(self, with_table: Table, without_table: Table) -> tuple[int, int]:
+        """Paired variant of :meth:`query_table` — one shared repair walk.
+
+        This is the cell-Shapley sampling loop's entry point: the two
+        instances of one Monte-Carlo sample differ in exactly the target cell.
+        """
+        return self.query_pair(self.constraints, with_table, without_table)
 
     def query_cell_coalition(self, coalition: Iterable[CellRef]) -> int:
         """Evaluate the oracle on the table restricted to ``coalition``.
@@ -217,9 +354,14 @@ class BinaryRepairOracle:
     def cache_misses(self) -> int:
         return self._cache.misses if self._cache is not None else 0
 
+    @property
+    def cache_evictions(self) -> int:
+        return self._cache.evictions if self._cache is not None else 0
+
     def reset_counters(self) -> None:
         self.calls = 0
         self.repair_runs = 0
+        self.pair_walks = 0
         if self._cache is not None:
             self._cache.reset_counters()
 
@@ -227,6 +369,8 @@ class BinaryRepairOracle:
         return {
             "oracle_calls": self.calls,
             "repair_runs": self.repair_runs,
+            "pair_walks": self.pair_walks,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
         }

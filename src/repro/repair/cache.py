@@ -29,6 +29,10 @@ class OracleCache:
         self._entries: OrderedDict[Hashable, int] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: lifetime count of LRU evictions — a non-zero value on a bounded
+        #: cache is the signal that million-sample runs are cycling the cache
+        #: rather than growing it
+        self.evictions = 0
 
     def get(self, key: Hashable) -> int | None:
         if key in self._entries:
@@ -43,6 +47,7 @@ class OracleCache:
         self._entries.move_to_end(key)
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -57,6 +62,7 @@ class OracleCache:
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def hit_rate(self) -> float:

@@ -22,7 +22,11 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.constraints.dc import DenialConstraint
-from repro.constraints.incremental import find_all_violations_fast
+from repro.constraints.incremental import (
+    RepairWalk,
+    find_all_violations_fast,
+    repair_walk_for,
+)
 from repro.dataset.table import CellRef, Table
 from repro.engine.storage import is_null
 from repro.errors import RepairError
@@ -40,17 +44,27 @@ class GreedyHolisticRepair(RepairAlgorithm):
     max_candidates:
         At most this many candidate values (by descending frequency) are
         scored per repaired cell.
+    second_order:
+        Maintain violations across the greedy steps with a
+        :class:`~repro.constraints.incremental.RepairWalk` when repairing a
+        :class:`~repro.dataset.table.PerturbationView`: each step retracts and
+        re-checks only the cell the previous step wrote, and candidate trials
+        re-check a single row instead of re-deriving the whole delta.
+        ``False`` restores first-order per-step detection.  Results are
+        identical either way.
     """
 
     name = "greedy-holistic"
 
-    def __init__(self, max_changes: int = 200, max_candidates: int = 20):
+    def __init__(self, max_changes: int = 200, max_candidates: int = 20,
+                 second_order: bool = True):
         if max_changes <= 0:
             raise RepairError(f"max_changes must be positive, got {max_changes}")
         if max_candidates <= 0:
             raise RepairError(f"max_candidates must be positive, got {max_candidates}")
         self.max_changes = max_changes
         self.max_candidates = max_candidates
+        self.second_order = bool(second_order)
 
     # -- candidate scoring ---------------------------------------------------------
 
@@ -96,9 +110,50 @@ class GreedyHolisticRepair(RepairAlgorithm):
         constraints = list(constraints)
         if not constraints:
             return current
+        walk = repair_walk_for(current, constraints) if self.second_order else None
+        return self._repair_loop(constraints, current, walk)
 
+    def repair_pair(
+        self,
+        constraints: Sequence[DenialConstraint],
+        with_table: Table,
+        without_table: Table,
+        differing_cells: Sequence[CellRef] = (),
+    ) -> tuple[Table, Table]:
+        """Repair the with/without pair of an oracle query in one shared walk.
+
+        Detection state is primed once on the first instance and forked at the
+        differing cells for the second (see
+        :meth:`~repro.constraints.incremental.RepairWalk.fork_onto`).  Outputs
+        are identical to two independent :meth:`repair_table` calls.
+        """
+        constraints = list(constraints)
+        if not constraints:
+            return (with_table.mutable_snapshot(name=f"{with_table.name}_repaired"),
+                    without_table.mutable_snapshot(name=f"{without_table.name}_repaired"))
+        with_work = with_table.mutable_snapshot(name=f"{with_table.name}_repaired")
+        walk_with = repair_walk_for(with_work, constraints) if self.second_order else None
+        if walk_with is None:
+            return (
+                self._repair_loop(constraints, with_work, None),
+                self.repair_table(constraints, without_table),
+            )
+        walk_with.prime()
+        self.shared_pair_walks += 1
+        without_work = without_table.mutable_snapshot(name=f"{without_table.name}_repaired")
+        walk_without = walk_with.fork_onto(without_work, differing_cells)
+        return (
+            self._repair_loop(constraints, with_work, walk_with),
+            self._repair_loop(constraints, without_work, walk_without),
+        )
+
+    def _repair_loop(self, constraints: list[DenialConstraint], current: Table,
+                     walk: RepairWalk | None) -> Table:
         for _ in range(self.max_changes):
-            violations = find_all_violations_fast(current, constraints)
+            if walk is not None:
+                violations = walk.all_violations()
+            else:
+                violations = find_all_violations_fast(current, constraints)
             if not violations:
                 break
             total_before = len(violations)
@@ -118,7 +173,10 @@ class GreedyHolisticRepair(RepairAlgorithm):
                 for candidate in self._candidate_values(current, cell):
                     if candidate == current_value:
                         continue
-                    total = self._total_violations_if(current, constraints, cell, candidate)
+                    if walk is not None:
+                        total = walk.count_if(cell, candidate)
+                    else:
+                        total = self._total_violations_if(current, constraints, cell, candidate)
                     key = (
                         total,
                         -self._cooccurrence_score(current, cell, candidate),

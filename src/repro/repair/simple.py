@@ -20,8 +20,8 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.constraints.dc import DenialConstraint
-from repro.constraints.incremental import find_violations_auto
-from repro.dataset.table import Table
+from repro.constraints.incremental import RepairWalk, find_violations_auto, repair_walk_for
+from repro.dataset.table import CellRef, Table
 from repro.engine.storage import is_null
 from repro.errors import RepairError
 from repro.repair.base import RepairAlgorithm
@@ -108,6 +108,13 @@ class SimpleRuleRepair(RepairAlgorithm):
     max_iterations:
         Fixpoint bound: the rule passes repeat until no cell changes or this
         many passes have run.
+    second_order:
+        Maintain violations *across* the fixpoint passes with a
+        :class:`~repro.constraints.incremental.RepairWalk` (view→view deltas:
+        each pass retracts and re-checks only the cells the previous pass
+        wrote) when repairing a :class:`~repro.dataset.table.PerturbationView`.
+        ``False`` restores the first-order behaviour of re-deriving every pass
+        from the base snapshot.  Results are identical either way.
     """
 
     name = "simple-rules"
@@ -117,12 +124,14 @@ class SimpleRuleRepair(RepairAlgorithm):
         rules: Mapping[str, RepairRule] | None = None,
         derive_missing: bool = True,
         max_iterations: int = 10,
+        second_order: bool = True,
     ):
         if max_iterations <= 0:
             raise RepairError(f"max_iterations must be positive, got {max_iterations}")
         self.rules = dict(rules or {})
         self.derive_missing = derive_missing
         self.max_iterations = max_iterations
+        self.second_order = bool(second_order)
         self._derived_rules: dict[DenialConstraint, RepairRule | None] = {}
 
     def _rule_for(self, constraint: DenialConstraint) -> RepairRule | None:
@@ -139,16 +148,108 @@ class SimpleRuleRepair(RepairAlgorithm):
     def repair_table(self, constraints: Sequence[DenialConstraint], table: Table) -> Table:
         # A perturbation view is snapshotted as a sibling view (its sparse
         # delta is forked, no columns are copied) and its violations are
-        # delta-maintained against the base table by find_violations_auto;
+        # delta-maintained: second-order along the walk's own passes through a
+        # RepairWalk, or per pass against the base by find_violations_auto;
         # plain tables take the original copy + full-rescan path.
         current = table.mutable_snapshot(name=f"{table.name}_repaired")
+        walk = repair_walk_for(current, constraints) if self.second_order else None
+        return self._repair_loop(list(constraints), current, walk)
+
+    def repair_pair(
+        self,
+        constraints: Sequence[DenialConstraint],
+        with_table: Table,
+        without_table: Table,
+        differing_cells: Sequence[CellRef] = (),
+    ) -> tuple[Table, Table]:
+        """Repair the with/without pair of an oracle query in one shared walk.
+
+        The first instance's detection state is primed once (base→view) and
+        forked at the differing cells for the second instance, so the second
+        repair starts from an already-derived view state instead of from the
+        base snapshot.  Outputs are identical to two independent
+        :meth:`repair_table` calls.
+        """
+        constraints = list(constraints)
+        with_work = with_table.mutable_snapshot(name=f"{with_table.name}_repaired")
+        walk_with = repair_walk_for(with_work, constraints) if self.second_order else None
+        if walk_with is None:
+            return (
+                self._repair_loop(constraints, with_work, None),
+                self.repair_table(constraints, without_table),
+            )
+        walk_with.prime()
+        self.shared_pair_walks += 1
+        without_work = without_table.mutable_snapshot(name=f"{without_table.name}_repaired")
+        walk_without = walk_with.fork_onto(without_work, differing_cells)
+        active_rules = self._active_pair_rules(constraints, walk_with, walk_without)
+        # Statistics deltas are applied cell-by-cell against the second
+        # instance's final store, which is only equivalent to sequential
+        # application when no two differing cells share a row (the sampling
+        # loop's pairs always differ in exactly one cell).
+        differing_rows = [cell.row for cell in differing_cells]
+        if active_rules and len(set(differing_rows)) == len(differing_rows):
+            self._share_pair_statistics(active_rules, with_work, without_work, differing_cells)
+        return (
+            self._repair_loop(constraints, with_work, walk_with),
+            self._repair_loop(constraints, without_work, walk_without),
+        )
+
+    def _active_pair_rules(self, constraints: list[DenialConstraint],
+                           walk_with, walk_without) -> list[RepairRule]:
+        """Rules whose constraints have violations in either primed walk.
+
+        Rules only read statistics for violating tuples, so a pair whose
+        primed walks show no violations on a rule-bearing constraint never
+        builds that rule's statistics — sharing them would only add cost.
+        """
+        rules = []
+        for constraint in constraints:
+            rule = self._rule_for(constraint)
+            if rule is None or rule.target not in walk_with.view.schema:
+                continue
+            if walk_with.violations_for(constraint) or walk_without.violations_for(constraint):
+                rules.append(rule)
+        return rules
+
+    def _share_pair_statistics(self, active_rules: Sequence[RepairRule],
+                               with_work: Table, without_work: Table,
+                               differing_cells: Sequence[CellRef]) -> None:
+        """Fork the first instance's statistics onto the second.
+
+        The rules only ever consult the marginals of their target attributes
+        and the ``(given, target)`` pair distributions, so those are warmed on
+        the first instance, forked, and moved to the second instance's content
+        by applying the differing cells — O(|rules| + |differing|) instead of
+        re-scanning columns for the second repair.
+        """
+        stats = with_work.stats
+        for rule in active_rules:
+            if rule.strategy == CONDITIONAL:
+                stats.cooccurrence.warm(rule.given, rule.target)
+            else:
+                stats.marginal(rule.target)
+        forked = stats.fork(without_work.store)
+        for cell in differing_cells:
+            forked.apply_cell_update(
+                cell.row, cell.attribute,
+                with_work.value(cell.row, cell.attribute),
+                without_work.value(cell.row, cell.attribute),
+            )
+        without_work.adopt_statistics(forked)
+
+    def _repair_loop(self, constraints: list[DenialConstraint], current: Table,
+                     walk: RepairWalk | None) -> Table:
         for _ in range(self.max_iterations):
             changed = False
             for constraint in constraints:
                 rule = self._rule_for(constraint)
                 if rule is None or rule.target not in current.schema:
                     continue
-                violations = find_violations_auto(current, constraint)
+                if walk is not None:
+                    violations = walk.violations_for(constraint)
+                else:
+                    violations = find_violations_auto(current, constraint)
                 # Collect the violating tuples first so that a repair applied to
                 # one tuple does not hide the violations of tuples found later
                 # in the same pass.

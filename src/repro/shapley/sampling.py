@@ -17,7 +17,10 @@ scheme:
 5. repeat ``m`` times and report the average.
 
 This module owns steps 1–4; :class:`repro.shapley.cells.CellShapleyExplainer`
-drives the loop and aggregates estimates for many cells.
+drives the loop and aggregates estimates for many cells.  On the incremental
+path the pair of step 4 is one coalition view plus a one-cell sub-delta, which
+is exactly the shape :meth:`repro.repair.base.BinaryRepairOracle.query_pair`
+exploits to evaluate both instances in a single shared repair walk.
 """
 
 from __future__ import annotations
@@ -29,8 +32,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.config import make_rng
-from repro.dataset.table import CellRef, Table
-from repro.engine.storage import NULL
+from repro.dataset.table import CellRef, PerturbationView, Table
+from repro.engine.storage import NULL, values_differ
 from repro.errors import TRexError
 
 
@@ -96,17 +99,29 @@ class CellCoalitionSampler:
         full materialised :class:`Table` copies (the full-rescan reference
         path).  Both paths consume the RNG identically and produce identical
         cell contents, so estimates agree bit-for-bit for a fixed seed.
+    batched:
+        Build coalition views from a precomputed everything-replaced overlay
+        (one dict copy minus the coalition per sample) instead of re-deriving
+        every cell's replacement per sample.  Only applies to the
+        deterministic ``NULL``/``MODE`` policies on the view path, where it
+        changes nothing but construction cost; the paired sampling loop
+        (:class:`~repro.shapley.cells.CellShapleyExplainer` with
+        ``paired=True``) enables it.
     """
 
     def __init__(self, table: Table, policy: ReplacementPolicy | str = ReplacementPolicy.SAMPLE,
-                 rng=None, materialize: bool = False):
+                 rng=None, materialize: bool = False, batched: bool = False):
         self.table = table
         self.policy = ReplacementPolicy.from_name(policy)
         self.materialize = bool(materialize)
+        self.batched = bool(batched)
         self._rng = make_rng(rng)
         #: the vectorised cell order of Example 2.5 (row-major)
         self.cells: tuple[CellRef, ...] = tuple(table.cells())
         self._cell_index = {cell: i for i, cell in enumerate(self.cells)}
+        #: precomputed normalised everything-replaced overlay for the
+        #: deterministic policies (see :meth:`_replacement_overlay`)
+        self._overlay: dict[CellRef, object] | None = None
 
     # -- replacement values --------------------------------------------------------
 
@@ -118,6 +133,26 @@ class CellCoalitionSampler:
         if self.policy is ReplacementPolicy.MODE:
             return marginal.most_common()
         return marginal.sample(rng=self._rng)
+
+    def _replacement_overlay(self) -> dict[CellRef, object] | None:
+        """Normalised delta replacing *every* cell, for deterministic policies.
+
+        The ``NULL`` and ``MODE`` policies assign each cell the same
+        replacement on every sample and never consume the RNG, so the
+        "replace everything" overlay can be computed once; per sample the
+        coalition's cells are simply dropped from a copy.  ``SAMPLE`` draws
+        fresh values per sample and returns ``None`` (per-cell path).
+        """
+        if self.policy is ReplacementPolicy.SAMPLE:
+            return None
+        if self._overlay is None:
+            overlay: dict[CellRef, object] = {}
+            for cell in self.cells:
+                replacement = self.replacement_value(cell)
+                if values_differ(self.table[cell], replacement):
+                    overlay[cell] = replacement
+            self._overlay = overlay
+        return self._overlay
 
     # -- permutation / coalition sampling -----------------------------------------------
 
@@ -153,6 +188,23 @@ class CellCoalitionSampler:
         sub-delta — no columns are ever copied.
         """
         coalition = set(coalition)
+        if self.batched and not self.materialize and not isinstance(self.table, PerturbationView):
+            overlay = self._replacement_overlay()
+            if overlay is not None:
+                # deterministic policies: copy the precomputed normalised
+                # overlay and drop the coalition instead of re-deriving every
+                # replacement per sample
+                delta = dict(overlay)
+                delta.pop(target_cell, None)
+                for cell in coalition:
+                    delta.pop(cell, None)
+                with_original = self.table.perturbed(delta, trusted=True,
+                                                     prenormalized=True)
+                without_original = with_original.perturbed(
+                    {target_cell: self.replacement_value(target_cell)}, trusted=True
+                )
+                return with_original, without_original
+
         replacements: dict[CellRef, object] = {}
         for cell in self.cells:
             if cell == target_cell or cell in coalition:

@@ -93,3 +93,38 @@ def test_table_statistics_bundle():
     assert stats.most_probable_given("Country", "City", "Madrid") == "Spain"
     # marginal objects are cached per attribute
     assert stats.marginal("City") is stats.marginal("City")
+
+
+def test_table_statistics_fork_equals_rebuild():
+    """A fork moved to new contents by cell updates equals a fresh build."""
+    store = make_store()
+    stats = TableStatistics(store)
+    stats.marginal("City")
+    stats.cooccurrence.warm("City", "Country")
+
+    # the "sibling" store differs in one cell; fork + apply the diff
+    sibling = store.copy()
+    old_value = sibling.value(3, "City")
+    sibling.set_value(3, "City", "Barcelona")
+    forked = stats.fork(sibling)
+    forked.apply_cell_update(3, "City", old_value, "Barcelona")
+
+    rebuilt = TableStatistics(sibling)
+    for attribute in ("City", "Country"):
+        assert dict(forked.marginal(attribute).items()) == \
+            dict(rebuilt.marginal(attribute).items())
+        assert forked.most_common(attribute) == rebuilt.most_common(attribute)
+    for city in ("Madrid", "Barcelona"):
+        assert forked.most_probable_given("Country", "City", city) == \
+            rebuilt.most_probable_given("Country", "City", city)
+
+
+def test_table_statistics_fork_is_independent():
+    store = make_store()
+    stats = TableStatistics(store)
+    stats.marginal("City")
+    forked = stats.fork(store.copy())
+    forked.apply_cell_update(0, "City", "Madrid", "Paris")
+    assert stats.most_common("City") == "Madrid"
+    assert stats.marginal("City").count("Paris") == 0
+    assert forked.marginal("City").count("Paris") == 1

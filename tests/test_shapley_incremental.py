@@ -26,13 +26,14 @@ from repro import (
 CELL_OF_INTEREST = CellRef(4, "Country")
 
 
-def make_oracle(incremental: bool, algorithm=None):
+def make_oracle(incremental: bool, algorithm=None, paired: bool = False):
     return BinaryRepairOracle(
         algorithm or paper_algorithm_1(),
         la_liga_constraints(),
         la_liga_dirty_table(),
         CELL_OF_INTEREST,
         incremental=incremental,
+        paired=paired,
     )
 
 
@@ -40,25 +41,48 @@ def make_oracle(incremental: bool, algorithm=None):
 def test_cell_explainer_identical_across_paths(policy):
     probes = [CellRef(4, "City"), CellRef(0, "Country"), CellRef(2, "Team")]
     results = {}
-    for incremental in (False, True):
+    for incremental, paired in [(False, False), (True, False), (True, True)]:
         explainer = CellShapleyExplainer(
-            make_oracle(incremental), policy=policy, rng=23, incremental=incremental
+            make_oracle(incremental, paired=paired), policy=policy, rng=23,
+            incremental=incremental, paired=paired,
         )
-        results[incremental] = explainer.explain(cells=probes, n_samples=25)
-    assert results[True].values == results[False].values
-    assert results[True].standard_errors == results[False].standard_errors
-    assert results[True].n_samples == results[False].n_samples
+        results[(incremental, paired)] = explainer.explain(cells=probes, n_samples=25)
+    reference = results[(False, False)]
+    for key in [(True, False), (True, True)]:
+        assert results[key].values == reference.values
+        assert results[key].standard_errors == reference.standard_errors
+        assert results[key].n_samples == reference.n_samples
 
 
 def test_cell_estimates_identical_with_greedy_black_box():
     results = {}
-    for incremental in (False, True):
-        oracle = make_oracle(incremental, algorithm=GreedyHolisticRepair(max_changes=20))
+    for incremental, paired in [(False, False), (True, False), (True, True)]:
+        oracle = make_oracle(incremental, algorithm=GreedyHolisticRepair(max_changes=20),
+                             paired=paired)
         explainer = CellShapleyExplainer(oracle, policy="null", rng=7,
-                                         incremental=incremental)
-        results[incremental] = explainer.estimate_cell(CellRef(4, "City"), n_samples=15)
-    assert results[True].value == results[False].value
-    assert results[True].standard_error == results[False].standard_error
+                                         incremental=incremental, paired=paired)
+        results[(incremental, paired)] = explainer.estimate_cell(
+            CellRef(4, "City"), n_samples=15)
+    reference = results[(False, False)]
+    for key in [(True, False), (True, True)]:
+        assert results[key].value == reference.value
+        assert results[key].standard_error == reference.standard_error
+
+
+def test_paired_flag_off_forces_independent_queries():
+    oracle = make_oracle(True, paired=False)
+    explainer = CellShapleyExplainer(oracle, policy="null", rng=5,
+                                     incremental=True, paired=True)
+    explainer.estimate_cell(CellRef(4, "City"), n_samples=5)
+    # the explainer submitted pairs, but the oracle's paired=False forced
+    # two independent repairs per pair — no shared walks
+    assert oracle.pair_walks == 0
+
+    shared = make_oracle(True, paired=True)
+    explainer = CellShapleyExplainer(shared, policy="null", rng=5,
+                                     incremental=True, paired=True)
+    explainer.estimate_cell(CellRef(4, "City"), n_samples=5)
+    assert shared.pair_walks > 0
 
 
 def test_constraint_explainer_identical_across_paths():
