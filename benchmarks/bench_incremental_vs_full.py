@@ -1,31 +1,42 @@
-"""Incremental engine vs. full rescan vs. the paired second-order oracle.
+"""Incremental engine vs. full rescan vs. the paired/batched second-order oracle.
 
-Three end-to-end evaluation paths exist for the cell-Shapley sampling loop:
+Four end-to-end evaluation paths exist for the cell-Shapley sampling loop:
 
 * **full rescan** — materialised table copies, from-scratch violation
   detection per black-box repair (the reference path);
 * **incremental** — PR 1's engine: every coalition is a copy-on-write
   ``PerturbationView`` and violations are delta-maintained base→view, but the
-  with/without pair still runs as two independent repairs and every repair
-  pass re-derives the full delta;
-* **paired** — this PR's path: ``query_pair`` evaluates the pair in one
-  repair walk (detection state primed once and forked at the differing
-  cell), and the walk maintains violations across its own passes
-  (second-order view→view deltas).
+  with/without pair still runs as two independent repairs, every repair pass
+  re-derives the full delta and every instance rebuilds its statistics;
+* **paired (unbatched)** — PR 2's path: ``query_pair`` evaluates the pair in
+  one repair walk (detection state primed once and forked at the differing
+  cell) and the walk maintains violations across its own passes;
+* **paired + batched + shared stats** — this PR's path: the explainer
+  enqueues all of a cell's pairs into one ``query_pairs`` scheduled pass
+  (pair-memo dedup, coalition-prefix grouping, one primed walk per group),
+  FD-shape violations are kept as per-group class-partition counters, and one
+  revertible ``SharedStatistics`` instance travels across the instances
+  instead of per-sample rebuilds.
+
+The timed simple-rules loop uses the ``mode`` replacement policy: it is
+deterministic (no RNG in replacement values, so timings are stable) and keeps
+the equality groups populated — nulling out half the table (the ``null``
+policy) deletes most rows from every equality index and makes detection
+degenerate rather than representative.  The bit-identical cross-check runs
+under both policies.
 
 This benchmark does three things:
 
 1. **cross-check** — all paths must produce *bit-identical* Shapley values
    for a fixed seed, for both bundled black boxes (Algorithm 1's rule repair
-   and the greedy holistic repairer);
-2. **speedup** — the paired path must be ≥2x faster than the incremental
-   path on the greedy cell-Shapley loop (where multi-pass repair walks
-   dominate) and ≥1.2x on the rule-repair loop (which is bounded by
-   statistics and instance construction, not detection); the incremental
-   path itself must stay ≥3x faster than the full rescan;
-3. **record** — timings, speedups and the configuration are written to
-   ``BENCH_shapley.json`` (override with ``TREX_BENCH_JSON``) so the perf
-   trajectory is tracked across PRs; CI uploads it as a workflow artifact.
+   and the greedy holistic repairer) and both replacement policies;
+2. **speedup** — the paired+batched path must be ≥2x faster than the
+   incremental path on both black boxes' cell-Shapley loops, and the
+   incremental path itself must stay ≥3x faster than the full rescan;
+3. **record** — timings, speedups, batch-scheduler statistics and the
+   configuration are written to ``BENCH_shapley.json`` (override with
+   ``TREX_BENCH_JSON``) so the perf trajectory is tracked across PRs; CI
+   uploads it as a workflow artifact.
 """
 
 from __future__ import annotations
@@ -61,14 +72,15 @@ N_PROBES_GREEDY = 2
 #: cross-check is the hard gate there, the ratios are telemetry
 SPEEDUP_FLOOR = float(os.environ.get("TREX_BENCH_SPEEDUP_FLOOR", "3.0"))
 PAIRED_FLOOR_GREEDY = float(os.environ.get("TREX_BENCH_PAIRED_FLOOR", "2.0"))
-PAIRED_FLOOR_SIMPLE = float(os.environ.get("TREX_BENCH_PAIRED_FLOOR_SIMPLE", "1.2"))
+PAIRED_FLOOR_SIMPLE = float(os.environ.get("TREX_BENCH_PAIRED_FLOOR_SIMPLE", "2.0"))
 BENCH_JSON = os.environ.get("TREX_BENCH_JSON", "BENCH_shapley.json")
 
-#: (incremental, paired, second_order) per path
+#: (incremental, paired, second_order, shared_stats, batched_pairs) per path
 PATHS = {
-    "full": (False, False, False),
-    "incremental": (True, False, False),
-    "paired": (True, True, True),
+    "full": (False, False, False, False, False),
+    "incremental": (True, False, False, False, False),
+    "paired_nobatch": (True, True, True, False, False),
+    "paired": (True, True, True, True, True),
 }
 
 
@@ -89,18 +101,22 @@ def _make_algorithm(name: str, second_order: bool):
 
 
 def _explain(constraints, dirty, cell, path: str, algorithm: str = "simple",
-             n_samples: int = N_SAMPLES, n_probes: int = N_PROBES):
-    incremental, paired, second_order = PATHS[path]
+             policy: str = "mode", n_samples: int = N_SAMPLES,
+             n_probes: int = N_PROBES):
+    incremental, paired, second_order, shared_stats, batched_pairs = PATHS[path]
     oracle = BinaryRepairOracle(
         _make_algorithm(algorithm, second_order), constraints, dirty, cell,
         incremental=incremental, paired=paired,
+        shared_stats=shared_stats, batched_pairs=batched_pairs,
     )
-    explainer = CellShapleyExplainer(oracle, policy="null", rng=3,
-                                     incremental=incremental, paired=paired)
+    explainer = CellShapleyExplainer(oracle, policy=policy, rng=3,
+                                     incremental=incremental, paired=paired,
+                                     shared_stats=shared_stats,
+                                     batched_pairs=batched_pairs)
     probes = relevant_cells(dirty, constraints, cell)[:n_probes]
     start = time.perf_counter()
     result = explainer.explain(cells=probes, n_samples=n_samples)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, oracle
 
 
 def _write_bench_json(payload: dict) -> None:
@@ -112,7 +128,8 @@ def _write_bench_json(payload: dict) -> None:
         "n_probes": N_PROBES,
         "n_samples_greedy": N_SAMPLES_GREEDY,
         "n_probes_greedy": N_PROBES_GREEDY,
-        "policy": "null",
+        "policy_simple": "mode",
+        "policy_greedy": "null",
         "seed": 3,
         "floors": {
             "incremental_vs_full": SPEEDUP_FLOOR,
@@ -128,37 +145,42 @@ def _write_bench_json(payload: dict) -> None:
 def test_paths_identical_and_paired_is_faster(benchmark):
     constraints, dirty, cell = _setup()
 
-    # -- Algorithm 1 (rule repair): all three paths ------------------------------------
-    for path in PATHS:  # warm detectors, indexes, fingerprints
-        _explain(constraints, dirty, cell, path)
+    # -- 1. bit-for-bit identical estimates, every path x both policies -----------------
+    for policy in ("null", "mode"):
+        results = {}
+        for path in PATHS:
+            results[path], _, _ = _explain(constraints, dirty, cell, path,
+                                           policy=policy)
+        for path in ("incremental", "paired_nobatch", "paired"):
+            assert results[path].values == results["full"].values, (policy, path)
+            assert results[path].standard_errors == results["full"].standard_errors, \
+                (policy, path)
+
+    # -- Algorithm 1 (rule repair): all four paths, mode policy --------------------------
     simple_timings = {path: [] for path in PATHS}
-    simple_results = {}
+    batch_stats = {}
     for _ in range(3):
         for path in PATHS:
-            result, elapsed = _explain(constraints, dirty, cell, path)
-            simple_results[path] = result
+            _, elapsed, oracle = _explain(constraints, dirty, cell, path)
             simple_timings[path].append(elapsed)
+            if path == "paired":
+                batch_stats = oracle.statistics()
 
-    # 1. bit-for-bit identical estimates on every path
-    assert simple_results["incremental"].values == simple_results["full"].values
-    assert simple_results["paired"].values == simple_results["full"].values
-    assert simple_results["paired"].standard_errors == simple_results["full"].standard_errors
-
-    # -- greedy holistic repair: incremental vs paired ---------------------------------
-    greedy_args = dict(algorithm="greedy", n_samples=N_SAMPLES_GREEDY,
-                       n_probes=N_PROBES_GREEDY)
-    for path in ("incremental", "paired"):
-        _explain(constraints, dirty, cell, path, **greedy_args)
-    greedy_timings = {"incremental": [], "paired": []}
+    # -- greedy holistic repair: incremental vs paired (null policy) ---------------------
+    greedy_args = dict(algorithm="greedy", policy="null",
+                       n_samples=N_SAMPLES_GREEDY, n_probes=N_PROBES_GREEDY)
+    greedy_paths = ("incremental", "paired_nobatch", "paired")
     greedy_results = {}
-    for _ in range(2):
-        for path in ("incremental", "paired"):
-            result, elapsed = _explain(constraints, dirty, cell, path, **greedy_args)
-            greedy_results[path] = result
-            greedy_timings[path].append(elapsed)
+    for path in greedy_paths:
+        greedy_results[path], _, _ = _explain(constraints, dirty, cell, path,
+                                              **greedy_args)
     assert greedy_results["paired"].values == greedy_results["incremental"].values
-    assert greedy_results["paired"].standard_errors == \
-        greedy_results["incremental"].standard_errors
+    assert greedy_results["paired_nobatch"].values == greedy_results["incremental"].values
+    greedy_timings = {path: [] for path in greedy_paths}
+    for _ in range(2):
+        for path in greedy_paths:
+            _, elapsed, _ = _explain(constraints, dirty, cell, path, **greedy_args)
+            greedy_timings[path].append(elapsed)
 
     best = {f"simple_{path}": min(times) for path, times in simple_timings.items()}
     best.update({f"greedy_{path}": min(times) for path, times in greedy_timings.items()})
@@ -166,7 +188,9 @@ def test_paths_identical_and_paired_is_faster(benchmark):
         "incremental_vs_full": best["simple_full"] / best["simple_incremental"],
         "paired_vs_incremental_simple": best["simple_incremental"] / best["simple_paired"],
         "paired_vs_full_simple": best["simple_full"] / best["simple_paired"],
+        "batched_vs_unbatched_simple": best["simple_paired_nobatch"] / best["simple_paired"],
         "paired_vs_incremental_greedy": best["greedy_incremental"] / best["greedy_paired"],
+        "batched_vs_unbatched_greedy": best["greedy_paired_nobatch"] / best["greedy_paired"],
     }
     print_table(
         f"evaluation paths — cell Shapley, {N_ROWS} rows (best-of runs)",
@@ -175,16 +199,27 @@ def test_paths_identical_and_paired_is_faster(benchmark):
             ["simple rules", "full rescan", f"{best['simple_full']:.3f}",
              f"{best['simple_full'] / best['simple_incremental']:.2f}x slower"],
             ["simple rules", "incremental", f"{best['simple_incremental']:.3f}", "1.00x"],
-            ["simple rules", "paired+2nd-order", f"{best['simple_paired']:.3f}",
+            ["simple rules", "paired (no batch)", f"{best['simple_paired_nobatch']:.3f}",
+             f"{best['simple_incremental'] / best['simple_paired_nobatch']:.2f}x"],
+            ["simple rules", "paired+batched+stats", f"{best['simple_paired']:.3f}",
              f"{speedups['paired_vs_incremental_simple']:.2f}x"],
             ["greedy holistic", "incremental", f"{best['greedy_incremental']:.3f}", "1.00x"],
-            ["greedy holistic", "paired+2nd-order", f"{best['greedy_paired']:.3f}",
+            ["greedy holistic", "paired (no batch)", f"{best['greedy_paired_nobatch']:.3f}",
+             f"{best['greedy_incremental'] / best['greedy_paired_nobatch']:.2f}x"],
+            ["greedy holistic", "paired+batched+stats", f"{best['greedy_paired']:.3f}",
              f"{speedups['paired_vs_incremental_greedy']:.2f}x"],
         ],
     )
     _write_bench_json({
         "seconds": {key: round(value, 4) for key, value in best.items()},
         "speedups": {key: round(value, 2) for key, value in speedups.items()},
+        "batch_scheduler": {
+            key: batch_stats.get(key, 0)
+            for key in ("batches", "pairs_batched", "pairs_deduped",
+                        "max_batch_size", "pair_walks", "repair_runs",
+                        "cache_hits", "cache_misses", "cache_evictions",
+                        "stats_leases", "stats_cells_moved")
+        },
     })
     for key, value in speedups.items():
         benchmark.extra_info[key] = round(value, 2)

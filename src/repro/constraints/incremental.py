@@ -395,13 +395,114 @@ class _WalkIndex:
         self.log_pos = log_pos
 
 
+class _FDClassState:
+    """Class-partition accounting for one FD-shape constraint on one walk.
+
+    For ``eq-join + one same-attribute !=`` constraints a pair of rows
+    violates exactly when they share a (non-null) equality key and carry
+    *different* null-aware classes of the ``!=`` attribute.  That makes
+    per-pair bookkeeping unnecessary: per equality group it suffices to
+    count rows per class —
+
+    * a group violates iff it holds ≥ 2 distinct classes, and then **every**
+      row of the group participates in a violation;
+    * the group's ordered violation count is ``m² − Σ n_c²``;
+    * one row changing key/class is an O(1) counter update (the walk's
+      view→view delta unit), instead of a partner scan.
+
+    ``groups`` maps each equality key to ``[class → count, m, contribution]``;
+    ``mixed`` is the set of violating groups, ``total`` the ordered violation
+    count over all groups, and ``assigned`` records each indexed row's
+    current ``(key, class)`` so retraction never needs old cell values.
+    """
+
+    __slots__ = ("groups", "mixed", "total", "assigned", "rows_cache")
+
+    def __init__(self):
+        self.groups: dict[tuple, list] = {}
+        self.mixed: set[tuple] = set()
+        self.total = 0
+        self.assigned: dict[int, tuple] = {}
+        #: sorted violating-row list, cached until the next counter change
+        self.rows_cache: list[int] | None = None
+
+    def add(self, key: tuple, cls) -> None:
+        state = self.groups.get(key)
+        if state is None:
+            state = self.groups[key] = [{cls: 1}, 1, 0]
+            self.rows_cache = None
+            return
+        counter, m, contribution = state
+        n = counter.get(cls, 0)
+        delta = 2 * (m - n)
+        counter[cls] = n + 1
+        state[1] = m + 1
+        state[2] = contribution + delta
+        self.total += delta
+        if contribution == 0 and delta:
+            self.mixed.add(key)
+        self.rows_cache = None
+
+    def remove(self, key: tuple, cls) -> None:
+        state = self.groups[key]
+        counter, m, contribution = state
+        n = counter[cls]
+        delta = -2 * (m - n)
+        if n == 1:
+            del counter[cls]
+        else:
+            counter[cls] = n - 1
+        state[1] = m - 1
+        new_contribution = contribution + delta
+        state[2] = new_contribution
+        self.total += delta
+        if new_contribution == 0:
+            if contribution:
+                self.mixed.discard(key)
+            if state[1] == 0:
+                del self.groups[key]
+        self.rows_cache = None
+
+    def row_violation_count(self, row: int) -> int:
+        """Ordered violations the row currently participates in (O(1))."""
+        assignment = self.assigned.get(row)
+        if assignment is None:
+            return 0
+        key, cls = assignment
+        counter, m, _contribution = self.groups[key]
+        return 2 * (m - counter[cls])
+
+    def fork(self) -> "_FDClassState":
+        clone = _FDClassState.__new__(_FDClassState)
+        clone.groups = {key: [dict(counter), m, contribution]
+                        for key, (counter, m, contribution) in self.groups.items()}
+        clone.mixed = set(self.mixed)
+        clone.total = self.total
+        clone.assigned = dict(self.assigned)
+        clone.rows_cache = self.rows_cache  # never mutated in place
+        return clone
+
+
 class _WalkConstraint:
-    """Per-constraint violation state at one point of the walk's write log."""
+    """Per-constraint violation state at one point of the walk's write log.
 
-    __slots__ = ("violations", "log_pos")
+    Two storage modes:
 
-    def __init__(self, violations: list[Violation], log_pos: int):
+    * **list** (``fd is None``) — ``violations`` holds the explicit ordered
+      :class:`Violation` list (single-tuple constraints, no-equality
+      fallbacks, equality constraints with a general residual, and untouched
+      FD constraints still carrying the base snapshot's list);
+    * **class-partition** (``fd`` set) — FD-shape constraints keep a
+      :class:`_FDClassState`; ``violations`` doubles as the lazily
+      materialised list cache (``None`` when stale).
+    """
+
+    __slots__ = ("violations", "fd", "log_pos")
+
+    def __init__(self, violations: list[Violation] | None, log_pos: int,
+                 fd: _FDClassState | None = None):
         self.violations = violations
+        self.fd = fd
         self.log_pos = log_pos
 
 
@@ -576,15 +677,72 @@ class RepairWalk:
 
     # -- violation maintenance -------------------------------------------------------
 
+    def _synced_state(self, constraint: DenialConstraint) -> _WalkConstraint:
+        state = self._cstates.get(constraint)
+        if state is not None:
+            if state.log_pos == len(self._log):
+                # already synced to the newest write — the common case inside
+                # a repair pass; row-cache consumption can wait until a sync
+                # actually has to re-check something
+                return state
+            self._consume_writes()
+            self._sync_constraint(constraint, state)
+        else:
+            self._consume_writes()
+            state = self._prime_constraint(constraint)
+        return state
+
     def violations_for(self, constraint: DenialConstraint) -> list[Violation]:
         """Current violations of one constraint (synced to the view's writes)."""
-        self._consume_writes()
-        state = self._cstates.get(constraint)
-        if state is None:
-            state = self._prime_constraint(constraint)
-        else:
-            self._sync_constraint(constraint, state)
+        state = self._synced_state(constraint)
+        fd = state.fd
+        if fd is not None and state.violations is None:
+            plan = self.detector._state(constraint).plan
+            groups = self._windex(plan.eq_attrs).index._groups
+            assigned = fd.assigned
+            out = []
+            for key in fd.mixed:
+                rows = groups[key]
+                for row_i in rows:
+                    class_i = assigned[row_i][1]
+                    for row_j in rows:
+                        if row_j != row_i and assigned[row_j][1] != class_i:
+                            out.append(Violation(constraint, (row_i, row_j)))
+            state.violations = out
         return state.violations
+
+    def violating_rows_for(self, constraint: DenialConstraint) -> list[int]:
+        """Sorted rows participating in ≥1 violation of ``constraint``.
+
+        What the rule-repair loop actually consumes; on the class-partition
+        representation every row of a mixed group violates, so this is a
+        concatenation of the mixed groups' (already sorted) row lists — no
+        :class:`Violation` objects are materialised.
+        """
+        state = self._synced_state(constraint)
+        fd = state.fd
+        if fd is not None:
+            rows = fd.rows_cache
+            if rows is None:
+                if not fd.mixed:
+                    rows = []
+                else:
+                    plan = self.detector._state(constraint).plan
+                    groups = self._windex(plan.eq_attrs).index._groups
+                    rows = []
+                    for key in fd.mixed:
+                        rows.extend(groups[key])
+                    rows.sort()
+                fd.rows_cache = rows
+            return rows
+        return sorted({row for violation in state.violations for row in violation.rows})
+
+    def has_violations(self, constraint: DenialConstraint) -> bool:
+        """Whether the constraint currently has any violation (no materialising)."""
+        state = self._synced_state(constraint)
+        if state.fd is not None:
+            return bool(state.fd.mixed)
+        return bool(state.violations)
 
     def all_violations(self) -> ViolationSet:
         """Current violations of every constraint of the walk."""
@@ -597,7 +755,7 @@ class RepairWalk:
     def prime(self) -> "RepairWalk":
         """Force state construction for every constraint (pre-fork hook)."""
         for constraint in self.constraints:
-            self.violations_for(constraint)
+            self._synced_state(constraint)
         return self
 
     def _prime_constraint(self, constraint: DenialConstraint) -> _WalkConstraint:
@@ -620,11 +778,60 @@ class RepairWalk:
             overrides = delta_columns.get(attribute)
             if overrides:
                 touched.update(overrides)
-        state = _WalkConstraint(list(detector_state.base_violations), len(self._log))
-        if touched:
-            self._retract_recheck(constraint, plan, touched, state)
+        if plan.kind == "eq" and plan.single_ne_attr is not None and touched:
+            # FD shape with a perturbed view: build the class-partition state
+            # in one pass over the walk index (the base violation list is
+            # kept only for untouched views, where it is already exact)
+            state = _WalkConstraint(None, len(self._log),
+                                    self._build_fd_state(plan))
+        else:
+            state = _WalkConstraint(list(detector_state.base_violations), len(self._log))
+            if touched:
+                self._retract_recheck(constraint, plan, touched, state)
         self._cstates[constraint] = state
         return state
+
+    def _class_reader(self, plan: _ConstraintPlan):
+        """A ``class_of(row)`` closure for the plan's ``!=`` attribute."""
+        ne_attr = plan.single_ne_attr
+        ne_column = self.detector._column(ne_attr)
+        ne_overrides = self.view.delta_by_column().get(ne_attr)
+
+        def class_of(row_id: int):
+            if ne_overrides is not None and row_id in ne_overrides:
+                value = ne_overrides[row_id]
+            else:
+                value = ne_column[row_id]
+            return _NULL_CLASS if is_null(value) else value
+
+        return class_of
+
+    def _build_fd_state(self, plan: _ConstraintPlan) -> _FDClassState:
+        """Class-partition state of the current view, one pass over the index."""
+        walk_index = self._windex(plan.eq_attrs)
+        class_of = self._class_reader(plan)
+        fd = _FDClassState()
+        groups = fd.groups
+        assigned = fd.assigned
+        total = 0
+        for key, rows in walk_index.index._groups.items():
+            counter: dict = {}
+            for row in rows:
+                cls = class_of(row)
+                counter[cls] = counter.get(cls, 0) + 1
+                assigned[row] = (key, cls)
+            m = len(rows)
+            if len(counter) > 1:
+                contribution = m * m
+                for count in counter.values():
+                    contribution -= count * count
+                fd.mixed.add(key)
+                total += contribution
+            else:
+                contribution = 0
+            groups[key] = [counter, m, contribution]
+        fd.total = total
+        return fd
 
     def _sync_constraint(self, constraint: DenialConstraint, state: _WalkConstraint) -> None:
         log = self._log
@@ -640,7 +847,7 @@ class RepairWalk:
 
     def _retract_recheck(self, constraint: DenialConstraint, plan: _ConstraintPlan,
                          changed: set[int], state: _WalkConstraint) -> None:
-        """Re-derive ``state.violations`` after ``changed`` rows moved (view→view)."""
+        """Re-derive ``state``'s violations after ``changed`` rows moved (view→view)."""
         if plan.kind == "pairs":
             state.violations = find_violations(self.view, constraint, row_of=self._row_of)
             return
@@ -652,6 +859,29 @@ class RepairWalk:
                 if check(row, row):
                     kept.append(Violation(constraint, (row_id,)))
             state.violations = kept
+            return
+        if plan.single_ne_attr is not None:
+            fd = state.fd
+            state.violations = None  # invalidate the materialisation cache
+            if fd is None:
+                # an untouched FD constraint seeing its first write: build the
+                # class-partition state from the current view wholesale
+                state.fd = self._build_fd_state(plan)
+                return
+            walk_index = self._windex(plan.eq_attrs)  # sync key moves first
+            keys = walk_index.keys
+            build_key_of = walk_index.index.build_key_of
+            class_of = self._class_reader(plan)
+            assigned = fd.assigned
+            for row in changed:
+                assignment = assigned.pop(row, None)
+                if assignment is not None:
+                    fd.remove(assignment[0], assignment[1])
+                key = keys[row] if row in keys else build_key_of(row)
+                if key is not None:
+                    cls = class_of(row)
+                    fd.add(key, cls)
+                    assigned[row] = (key, cls)
             return
         kept = [v for v in state.violations
                 if v.rows[0] not in changed and v.rows[1] not in changed]
@@ -723,15 +953,30 @@ class RepairWalk:
         total = 0
         for constraint in self.constraints:
             plan = self.detector._state(constraint).plan
-            if attribute not in plan.mentioned:
-                total += len(self.violations_for(constraint))
-                continue
             if plan.kind == "pairs":
-                trial = self.view.perturbed({cell: value}, trusted=True)
-                total += len(find_violations(trial, constraint))
+                if attribute not in plan.mentioned:
+                    total += len(self.violations_for(constraint))
+                else:
+                    trial = self.view.perturbed({cell: value}, trusted=True)
+                    total += len(find_violations(trial, constraint))
                 continue
-            current = self.violations_for(constraint)
-            total += sum(1 for v in current if row_id not in v.rows)
+            state = self._synced_state(constraint)
+            fd = state.fd
+            if fd is None and plan.single_ne_attr is not None and attribute in plan.mentioned:
+                # candidate scoring wants O(1) per-row counts: upgrade the
+                # untouched FD constraint to class-partition accounting now
+                fd = state.fd = self._build_fd_state(plan)
+                state.violations = None
+            if fd is not None:
+                if attribute not in plan.mentioned:
+                    total += fd.total
+                    continue
+                total += fd.total - fd.row_violation_count(row_id)
+            else:
+                if attribute not in plan.mentioned:
+                    total += len(state.violations)
+                    continue
+                total += sum(1 for v in state.violations if row_id not in v.rows)
             total += self._count_row_if(constraint, plan, row_id, attribute, value)
         return total
 
@@ -758,22 +1003,28 @@ class RepairWalk:
             key = keys[row_id] if row_id in keys else walk_index.index.build_key_of(row_id)
         if key is None:
             return 0
+        ne_attr = plan.single_ne_attr
+        if ne_attr is not None:
+            # O(1) via the class-partition counters (count_if built them)
+            fd = self._cstates[constraint].fd
+            group = fd.groups.get(key)
+            if group is None:
+                return 0
+            value_i = value if attribute == ne_attr else value_of(row_id, ne_attr)
+            class_i = _NULL_CLASS if is_null(value_i) else value_i
+            counter, m, _contribution = group
+            n = counter.get(class_i, 0)
+            assignment = fd.assigned.get(row_id)
+            if assignment is not None and assignment[0] == key:
+                # exclude the row's own current occupancy of this group
+                m -= 1
+                if assignment[1] == class_i:
+                    n -= 1
+            return 2 * (m - n)
         partners = walk_index.index._groups.get(key)
         if not partners:
             return 0
         count = 0
-        ne_attr = plan.single_ne_attr
-        if ne_attr is not None:
-            value_i = value if attribute == ne_attr else value_of(row_id, ne_attr)
-            class_i = _NULL_CLASS if is_null(value_i) else value_i
-            for row_j in partners:
-                if row_j == row_id:
-                    continue
-                value_j = value_of(row_j, ne_attr)
-                class_j = _NULL_CLASS if is_null(value_j) else value_j
-                if class_i != class_j:
-                    count += 2  # both ordered directions violate
-            return count
         check = plan.residual_check
         row_i = dict(self._row_of(row_id))
         row_i[attribute] = value
@@ -812,7 +1063,15 @@ class RepairWalk:
         clone._dirty_rows = set()
         log_pos = len(clone._log)
         clone._cstates = {
-            constraint: _WalkConstraint(list(state.violations), log_pos)
+            constraint: _WalkConstraint(
+                # the materialisation cache is never mutated in place, so the
+                # clone can share it; list-mode lists are copied (retraction
+                # rebuilds them, but the parent keeps reading its own)
+                state.violations if state.fd is not None
+                else list(state.violations),
+                log_pos,
+                state.fd.fork() if state.fd is not None else None,
+            )
             for constraint, state in self._cstates.items()
         }
         clone._windexes = {

@@ -443,6 +443,10 @@ class PerturbationView(Table):
         # set_value calls routed through Table.set_value stay visible here
         self._store = OverlayStore(root.store, delta)
         self._stats = None
+        #: shared-statistics engine inherited along the view lineage (the
+        #: oracle/sampler install it on the root views they build); see
+        #: :attr:`stats`
+        self._stats_engine = base._stats_engine if isinstance(base, PerturbationView) else None
         self._version = 0
 
     # -- view-specific introspection --------------------------------------------
@@ -503,6 +507,28 @@ class PerturbationView(Table):
         cells = [cell if isinstance(cell, CellRef) else CellRef(*cell) for cell in changed]
         cells.sort(key=lambda cell: (cell.row, cell.attribute))
         return cells
+
+    # -- statistics ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> TableStatistics:
+        """Statistics of the view's contents.
+
+        When a :class:`~repro.engine.stats.SharedStatistics` engine travels
+        with the view (installed by the oracle/sampler on the hot path and
+        inherited through :meth:`mutable_snapshot`/:meth:`with_values`), the
+        engine's single revertible instance is *leased*: moved onto this
+        view's contents by its sparse delta instead of rebuilt from scratch.
+        Without an engine a per-view bundle is built lazily, exactly as for a
+        plain table.  Values are identical either way.
+        """
+        if self._stats is None:
+            engine = self._stats_engine
+            if engine is not None:
+                self._stats = engine.lease(self)
+            else:
+                self._stats = TableStatistics(self._store)
+        return self._stats
 
     # -- overridden transformations ---------------------------------------------
 

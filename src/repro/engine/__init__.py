@@ -16,7 +16,12 @@ demo (see DESIGN.md, system S1).  It provides:
 
 from repro.engine.storage import ColumnStore
 from repro.engine.index import HashIndex
-from repro.engine.stats import ColumnStatistics, CooccurrenceStatistics
+from repro.engine.stats import (
+    ColumnStatistics,
+    CooccurrenceStatistics,
+    SharedStatistics,
+    TableStatistics,
+)
 from repro.engine.query import select_rows, pairs_matching
 
 __all__ = [
@@ -24,6 +29,8 @@ __all__ = [
     "HashIndex",
     "ColumnStatistics",
     "CooccurrenceStatistics",
+    "SharedStatistics",
+    "TableStatistics",
     "select_rows",
     "pairs_matching",
 ]

@@ -17,12 +17,12 @@ Null cells are excluded from every count.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Any, Hashable, Iterable
+from typing import Any, Hashable, Iterable, Mapping
 
 import numpy as np
 
 from repro.config import make_rng
-from repro.engine.storage import ColumnStore, is_null
+from repro.engine.storage import ColumnStore, is_null, values_differ
 
 
 _UNSET = object()
@@ -113,6 +113,23 @@ class ColumnStatistics:
             self._counts[new_value] += 1
             self._total += 1
         self._most_common = _UNSET
+
+    def apply_delta(self, updates: Iterable[tuple[Any, Any]]) -> None:
+        """Apply many ``(old, new)`` cell updates at once.
+
+        The batch counterpart of :meth:`apply_update` (updates are
+        order-insensitive on marginal counts), mirroring
+        :meth:`~repro.engine.index.MultiColumnIndex.apply_delta`: the shared
+        statistics engine moves one instance onto a perturbed overlay by its
+        sparse delta instead of rebuilding the counts per instance.
+        """
+        for old_value, new_value in updates:
+            self.apply_update(old_value, new_value)
+
+    def revert_delta(self, updates: Iterable[tuple[Any, Any]]) -> None:
+        """Undo a previous :meth:`apply_delta` with the same ``updates``."""
+        for old_value, new_value in updates:
+            self.apply_update(new_value, old_value)
 
     def fork(self) -> "ColumnStatistics":
         """An independent copy (counts and memo included).
@@ -264,24 +281,114 @@ class CooccurrenceStatistics:
         old/new values are passed in, all sibling cells are read from the
         (already-current) store.
         """
+        for pair, counts in self._pair_counts.items():
+            self._apply_cell_to_pair(pair, counts, row, attribute, old_value, new_value)
+
+    def _apply_cell_to_pair(self, pair: tuple[str, str], counts: dict,
+                            row: int, attribute: str,
+                            old_value: Any, new_value: Any) -> None:
+        """One cell update routed into one cached pair distribution."""
+        given, target = pair
         memo = self._argmax_memo
-        for (given, target), counts in self._pair_counts.items():
-            if given == attribute and target == attribute:
-                self._adjust(counts, old_value, old_value, -1)
-                self._adjust(counts, new_value, new_value, +1)
-                memo.pop((given, target, old_value), None)
-                memo.pop((given, target, new_value), None)
-            elif given == attribute:
-                sibling = self._store.value(row, target)
-                self._adjust(counts, old_value, sibling, -1)
-                self._adjust(counts, new_value, sibling, +1)
-                memo.pop((given, target, old_value), None)
-                memo.pop((given, target, new_value), None)
-            elif target == attribute:
-                sibling = self._store.value(row, given)
-                self._adjust(counts, sibling, old_value, -1)
-                self._adjust(counts, sibling, new_value, +1)
-                memo.pop((given, target, sibling), None)
+        if given == attribute and target == attribute:
+            self._adjust(counts, old_value, old_value, -1)
+            self._adjust(counts, new_value, new_value, +1)
+            memo.pop((given, target, old_value), None)
+            memo.pop((given, target, new_value), None)
+        elif given == attribute:
+            sibling = self._store.value(row, target)
+            self._adjust(counts, old_value, sibling, -1)
+            self._adjust(counts, new_value, sibling, +1)
+            memo.pop((given, target, old_value), None)
+            memo.pop((given, target, new_value), None)
+        elif target == attribute:
+            sibling = self._store.value(row, given)
+            self._adjust(counts, sibling, old_value, -1)
+            self._adjust(counts, sibling, new_value, +1)
+            memo.pop((given, target, sibling), None)
+
+    def apply_delta(self, changes: Mapping[tuple[int, str], tuple[Any, Any]],
+                    store) -> None:
+        """Move the cached pair distributions onto the contents of ``store``.
+
+        ``store`` must differ from the contents the statistics currently
+        describe at exactly the cells in ``changes``
+        (``{(row, attribute): (old_value, new_value)}``).  Unlike repeated
+        :meth:`apply_cell_update` calls, the move is *row-wise*: when both
+        cells of a cached pair change in the same row the old and new pair
+        values come straight from ``changes``, so a multi-cell-per-row delta
+        (a coalition overlay nulling several cells of one tuple) is applied
+        exactly.  Affected argmax memo entries are invalidated; unaffected
+        entries stay valid because their underlying counts did not move.
+
+        After the call the statistics read sibling cells (and build new pair
+        tables lazily) from ``store``.
+        """
+        if self._pair_counts and changes:
+            by_attr: dict[str, dict[int, tuple[Any, Any]]] = {}
+            for (row, attribute), update in changes.items():
+                by_attr.setdefault(attribute, {})[row] = update
+            self._move_rows(by_attr, store.value)
+        self._store = store
+
+    def _move_rows(self, by_attr: Mapping[str, Mapping[int, tuple[Any, Any]]],
+                   sibling_of, pairs: Iterable[tuple[str, str]] | None = None) -> None:
+        """Row-wise count moves for per-attribute change groups.
+
+        ``sibling_of(row, attribute)`` must read the *new* contents; it is
+        only consulted for cells not in ``by_attr`` (whose old and new values
+        coincide).  ``pairs`` optionally restricts the move to a subset of the
+        cached pair distributions — the shared statistics engine syncs one
+        pair at a time, on demand.  Shared with the engine's lease path,
+        which supplies a reader over override dicts + base columns instead of
+        a store.
+        """
+        memo = self._argmax_memo
+        adjust = self._adjust
+        pair_items = (
+            self._pair_counts.items() if pairs is None
+            else [(pair, self._pair_counts[pair]) for pair in pairs]
+        )
+        for (given, target), counts in pair_items:
+            given_changes = by_attr.get(given)
+            target_changes = by_attr.get(target)
+            if not given_changes and not target_changes:
+                continue
+            rows: set[int] = set()
+            if given_changes:
+                rows.update(given_changes)
+            if target_changes:
+                rows.update(target_changes)
+            for row in rows:
+                update = given_changes.get(row) if given_changes else None
+                if update is not None:
+                    old_given, new_given = update
+                else:
+                    old_given = new_given = sibling_of(row, given)
+                update = target_changes.get(row) if target_changes else None
+                if update is not None:
+                    old_target, new_target = update
+                else:
+                    old_target = new_target = sibling_of(row, target)
+                adjust(counts, old_given, old_target, -1)
+                adjust(counts, new_given, new_target, +1)
+                memo.pop((given, target, old_given), None)
+                if new_given is not old_given:
+                    memo.pop((given, target, new_given), None)
+
+    def revert_delta(self, changes: Mapping[tuple[int, str], tuple[Any, Any]],
+                     store) -> None:
+        """Undo a previous :meth:`apply_delta`, rebinding back to ``store``.
+
+        ``store`` is the store the statistics described *before* the apply
+        (usually the base store).  Also correct for pair tables built while
+        the delta was applied: their counts describe the perturbed contents,
+        and the inverted updates move them to the base contents exactly.
+        """
+        self.apply_delta(
+            {cell: (new_value, old_value) for cell, (old_value, new_value) in changes.items()},
+            store,
+        )
 
 
 class TableStatistics:
@@ -330,6 +437,37 @@ class TableStatistics:
         clone.cooccurrence = self.cooccurrence.fork(store)
         return clone
 
+    def apply_delta(self, changes: Mapping[tuple[int, str], tuple[Any, Any]],
+                    store) -> None:
+        """Move every built statistic onto the contents of ``store``.
+
+        ``changes`` is the sparse cell delta ``{(row, attribute): (old, new)}``
+        separating the contents currently described from ``store``'s contents
+        — the same shape :meth:`~repro.engine.index.MultiColumnIndex.apply_delta`
+        consumes.  Cost is O(|changes| · built structures touching the changed
+        attributes) instead of the O(rows) rebuild per structure a fresh
+        :class:`TableStatistics` would pay; the result is exactly what a
+        from-scratch build over ``store`` would produce (property-tested).
+        """
+        if changes:
+            marginals = self._marginals
+            by_attr: dict[str, list[tuple[Any, Any]]] = {}
+            for (_row, attribute), update in changes.items():
+                if attribute in marginals:
+                    by_attr.setdefault(attribute, []).append(update)
+            for attribute, updates in by_attr.items():
+                marginals[attribute].apply_delta(updates)
+        self.cooccurrence.apply_delta(changes, store)
+        self._store = store
+
+    def revert_delta(self, changes: Mapping[tuple[int, str], tuple[Any, Any]],
+                     store) -> None:
+        """Undo a previous :meth:`apply_delta`, rebinding back to ``store``."""
+        self.apply_delta(
+            {cell: (new_value, old_value) for cell, (old_value, new_value) in changes.items()},
+            store,
+        )
+
     def most_common(self, attribute: str, default: Any = None) -> Any:
         return self.marginal(attribute).most_common(default)
 
@@ -337,3 +475,428 @@ class TableStatistics:
         self, target: str, given: str, given_value: Any, default: Any = None
     ) -> Any:
         return self.cooccurrence.most_probable(target, given, given_value, default)
+
+
+
+
+# -- the shared revertible statistics engine ----------------------------------------
+
+
+class _LeasedCooccurrenceStatistics(CooccurrenceStatistics):
+    """Cooccurrence bundle whose pair tables sync lazily through the engine.
+
+    Every read path funnels through :meth:`_counts_for` (or checks the argmax
+    memo first, hence the :meth:`most_probable` override): before serving, the
+    requested pair distribution is moved from whatever snapshot it last
+    described onto the engine's current owner view.  Pairs the current
+    instance never consults are left where they are — that laziness is the
+    whole point: a repair pays only for the distributions it actually reads.
+    """
+
+    def __init__(self, store, engine: "SharedStatistics"):
+        super().__init__(store)
+        self._engine = engine
+        #: the engine's clean-key set, shared by reference: the O(1) inline
+        #: fast path for the per-read sync check on the hottest lookups
+        self._clean = engine._clean
+
+    def _counts_for(self, given: str, target: str):
+        counts = self._pair_counts.get((given, target))
+        if counts is not None and ("p", given, target) in self._clean:
+            return counts
+        engine = self._engine
+        if engine is not None:
+            engine._sync_pair(given, target)
+        return super()._counts_for(given, target)
+
+    def most_probable(self, target: str, given: str, given_value: Any,
+                      default: Any = None) -> Any:
+        # the memo consult precedes _counts_for, so sync must happen here too
+        if ("p", given, target) not in self._clean:
+            engine = self._engine
+            if engine is not None:
+                engine._sync_pair(given, target)
+        return super().most_probable(target, given, given_value, default)
+
+    def fork(self, store) -> CooccurrenceStatistics:
+        engine = self._engine
+        if engine is not None:
+            engine._sync_all()
+        return super().fork(store)
+
+
+class _LeasedTableStatistics(TableStatistics):
+    """The engine's single statistics instance.
+
+    Reads route through the engine's per-structure sync; in-place cell writes
+    (:meth:`apply_cell_update`, called by
+    :meth:`~repro.dataset.table.Table.set_value` on the owner view) are routed
+    to the engine so only structures synced to the owner receive them —
+    structures parked on older snapshots pick the writes up from the view
+    deltas when they are next consulted.
+    """
+
+    def __init__(self, store, engine: "SharedStatistics"):
+        self._store = store
+        self._marginals = {}
+        self.cooccurrence = _LeasedCooccurrenceStatistics(store, engine)
+        self._engine = engine
+        self._clean = engine._clean  # shared by reference (see cooccurrence)
+
+    def marginal(self, attribute: str) -> ColumnStatistics:
+        if ("m", attribute) in self._clean:
+            marginal = self._marginals.get(attribute)
+            if marginal is not None:
+                return marginal
+        engine = self._engine
+        if engine is not None:
+            engine._sync_marginal(attribute)
+        return super().marginal(attribute)
+
+    def apply_cell_update(self, row: int, attribute: str,
+                          old_value: Any, new_value: Any) -> None:
+        engine = self._engine
+        if engine is None:
+            super().apply_cell_update(row, attribute, old_value, new_value)
+        else:
+            engine._note_write(row, attribute, old_value, new_value)
+
+    def fork(self, store) -> TableStatistics:
+        engine = self._engine
+        if engine is not None:
+            engine._sync_all()
+        return super().fork(store)
+
+    def _detach(self) -> None:
+        """Sever the engine link (the engine rebuilt after a base mutation).
+
+        A detached instance keeps serving whatever it currently describes
+        with plain per-instance behaviour, so stale holders degrade safely.
+        """
+        self._engine = None
+        self.cooccurrence._engine = None
+
+
+class SharedStatistics:
+    """One revertible :class:`TableStatistics` instance shared by every
+    perturbation view over one base table.
+
+    The Shapley sampling loop repairs thousands of perturbed instances of the
+    same dirty table, and each repair lazily rebuilds marginal and pair
+    distributions from scratch (or forks a sibling's copy).  This engine keeps
+    a *single* statistics bundle per explainer and **moves** it between
+    instances: :meth:`lease` hands the bundle to a view, and each structure
+    (one marginal, one pair distribution) is synced on first read by applying
+    the sparse cell diff between the snapshot it last described and the
+    owner's contents — built on the
+    :meth:`~TableStatistics.apply_delta`/:meth:`~TableStatistics.revert_delta`
+    protocol, with per-structure positions so unconsulted structures cost
+    nothing.  Repair algorithms see the bundle transparently through
+    :meth:`~repro.dataset.table.PerturbationView.stats`; in-place writes keep
+    synced structures maintained exactly as a per-instance bundle would be.
+
+    Moves are exact — counts after a sync equal a from-scratch rebuild over
+    the new contents (property-tested) — which preserves the engine's
+    never-changes-results invariant: ``shared_stats=False`` on the
+    oracle/explainer forces the per-instance path bit-identically.
+
+    Position bookkeeping records, per structure, the view it describes and
+    that view's write-log length.  If a parked view is written afterwards
+    (its log grew), the structure can no longer be moved exactly and is
+    dropped for a lazy rebuild — the always-correct escape hatch.  The base
+    table must not be mutated while the engine is in use; if its mutation
+    version moves, the engine rebuilds from scratch, mirroring the
+    incremental violation detector.
+    """
+
+    __slots__ = ("_base", "_base_store", "_base_version", "_stats", "_owner",
+                 "_columns", "_positions", "_clean", "leases", "cells_moved")
+
+    def __init__(self, base_table):
+        self._base = base_table
+        self._owner = None
+        self._stats = None
+        #: lifetime count of ownership moves between snapshots
+        self.leases = 0
+        #: lifetime count of cell updates applied by structure syncs
+        self.cells_moved = 0
+        self._reset()
+
+    def _reset(self) -> None:
+        if self._stats is not None:
+            self._stats._detach()
+        if self._owner is not None:
+            self._owner._stats = None
+        self._base_store = self._base.store
+        self._base_version = self._base.version
+        self._owner = None  # the view the bundle is leased to (None = the base)
+        self._columns: dict[str, Any] = {}  # base column arrays, fetched once
+        #: per-structure position: ("m", attr) / ("p", given, target) ->
+        #: (view-or-None, change-log length at sync time)
+        self._positions: dict[tuple, tuple[Any, int]] = {}
+        #: structure keys currently synced to the owner at its newest write —
+        #: the O(1) fast path for the sync check on every statistics read.
+        #: Invariant: a clean key's structure is exactly maintained for the
+        #: owner's current contents (writes update it through _note_write);
+        #: its _positions entry is refreshed lazily when ownership moves.
+        self._clean: set[tuple] = set()
+        self._stats = _LeasedTableStatistics(self._base_store, self)
+
+    def _column(self, attribute: str):
+        column = self._columns.get(attribute)
+        if column is None:
+            column = self._columns[attribute] = self._base_store.column(attribute)
+        return column
+
+    # -- ownership ---------------------------------------------------------------
+
+    def lease(self, view) -> TableStatistics:
+        """Hand the shared bundle to ``view`` and return it.
+
+        ``view`` must be a :class:`~repro.dataset.table.PerturbationView`
+        rooted on this engine's base table.  The lease itself is O(1): no
+        counts move until a structure is actually read.  The previous owner's
+        cached ``stats`` reference is invalidated so it re-leases on next use.
+        """
+        if self._base.version != self._base_version:
+            self._reset()
+        owner = self._owner
+        if owner is view:
+            return self._stats
+        self._park_clean_structures()
+        stats = self._stats
+        stats._store = view.store
+        stats.cooccurrence._store = view.store
+        if owner is not None:
+            owner._stats = None
+        self._owner = view
+        self.leases += 1
+        return stats
+
+    def release(self) -> None:
+        """Re-point the shared bundle at the unperturbed base contents.
+
+        Structures stay parked on their current snapshots and move back
+        lazily when next read.
+        """
+        if self._base.version != self._base_version:
+            self._reset()
+            return
+        owner = self._owner
+        if owner is None:
+            return
+        self._park_clean_structures()
+        stats = self._stats
+        stats._store = self._base_store
+        stats.cooccurrence._store = self._base_store
+        owner._stats = None
+        self._owner = None
+        self.leases += 1
+
+    def _park_clean_structures(self) -> None:
+        """Record where the clean structures are being left (pre-move hook).
+
+        Clean structures track the owner implicitly; when ownership moves
+        their positions must be pinned to the departing owner's snapshot so
+        the next sync can diff from it.
+        """
+        clean = self._clean
+        if not clean:
+            return
+        owner = self._owner
+        position = (owner, self._owner_log_length())
+        positions = self._positions
+        for key in clean:
+            positions[key] = position
+        clean.clear()
+
+    # -- per-structure sync --------------------------------------------------------
+
+    def _owner_log_length(self) -> int:
+        owner = self._owner
+        return len(owner.change_log) if owner is not None else 0
+
+    def _attr_changes(self, attribute: str,
+                      old_columns: Mapping[str, Mapping[int, Any]],
+                      new_columns: Mapping[str, Mapping[int, Any]]) -> dict | None:
+        """Per-row ``(old, new)`` diff of one attribute between two snapshots.
+
+        Both snapshots are given by their normalised per-column override dicts
+        over the shared base, so a cell differs exactly when its override
+        entries differ; values come from the override dicts or the base
+        column array, never via per-cell store accessors.  Returns ``None``
+        when the diff is at least as large as a from-scratch column rebuild —
+        the caller then drops the structure instead of moving it (moving a
+        statistic further than ``n_rows`` cells can never beat rebuilding it
+        lazily from the already-materialised overlay column).
+        """
+        old_overrides = old_columns.get(attribute)
+        new_overrides = new_columns.get(attribute)
+        if not old_overrides and not new_overrides:
+            return {}
+        if old_overrides and new_overrides:
+            try:
+                # normalised dicts: a cell moved exactly when its override
+                # entry differs — one C-level symmetric difference
+                row_ids = {row for row, _ in
+                           old_overrides.items() ^ new_overrides.items()}
+            except TypeError:  # unhashable cell values
+                row_ids = set(old_overrides)
+                row_ids.update(new_overrides)
+        elif old_overrides:
+            row_ids = set(old_overrides)
+        else:
+            row_ids = set(new_overrides)
+        if not row_ids:
+            return {}
+        if 2 * len(row_ids) >= self._base_store.n_rows:
+            return None  # rebuilding is cheaper than moving this far
+        column = self._column(attribute)
+        rows: dict[int, tuple[Any, Any]] = {}
+        for row in row_ids:
+            if old_overrides is not None and row in old_overrides:
+                old_value = old_overrides[row]
+            else:
+                old_value = column[row]
+            if new_overrides is not None and row in new_overrides:
+                new_value = new_overrides[row]
+            else:
+                new_value = column[row]
+            if values_differ(old_value, new_value):
+                rows[row] = (old_value, new_value)
+        return rows
+
+    def _source_columns(self, position) -> Mapping[str, Mapping[int, Any]] | None:
+        """The override dicts of a structure's recorded position.
+
+        Returns ``None`` when the parked snapshot was written after the
+        structure left it (its change log grew) — the exact diff is lost and
+        the caller must drop the structure for a lazy rebuild.
+        """
+        source_view, log_length = position
+        if source_view is None:
+            return {}
+        if len(source_view.change_log) != log_length:
+            return None
+        return source_view.delta_by_column()
+
+    def _sync_marginal(self, attribute: str) -> None:
+        key = ("m", attribute)
+        if key in self._clean:
+            return
+        owner = self._owner
+        target_length = self._owner_log_length()
+        position = self._positions.get(key)
+        self._clean.add(key)
+        if position is not None and position[0] is owner and position[1] == target_length:
+            return
+        marginals = self._stats._marginals
+        if attribute not in marginals:
+            return  # will be built lazily from the owner's store
+        if position is None:
+            position = (None, 0)
+        old_columns = self._source_columns(position)
+        if old_columns is not None:
+            new_columns = owner.delta_by_column() if owner is not None else {}
+            rows = self._attr_changes(attribute, old_columns, new_columns)
+        else:
+            rows = None  # parked snapshot moved on: rebuild lazily
+        if rows is None:
+            del marginals[attribute]
+            return
+        if rows:
+            marginals[attribute].apply_delta(rows.values())
+            self.cells_moved += len(rows)
+
+    def _drop_pair(self, pair: tuple[str, str]) -> None:
+        cooccurrence = self._stats.cooccurrence
+        del cooccurrence._pair_counts[pair]
+        memo = cooccurrence._argmax_memo
+        given, target = pair
+        for key in [k for k in memo if k[0] == given and k[1] == target]:
+            del memo[key]
+
+    def _sync_pair(self, given: str, target: str) -> None:
+        key = ("p", given, target)
+        if key in self._clean:
+            return
+        owner = self._owner
+        target_length = self._owner_log_length()
+        position = self._positions.get(key)
+        self._clean.add(key)
+        if position is not None and position[0] is owner and position[1] == target_length:
+            return
+        cooccurrence = self._stats.cooccurrence
+        pair = (given, target)
+        if pair not in cooccurrence._pair_counts:
+            return  # will be built lazily from the owner's store
+        if position is None:
+            position = (None, 0)
+        old_columns = self._source_columns(position)
+        if old_columns is None:
+            self._drop_pair(pair)  # parked snapshot moved on: rebuild lazily
+            return
+        new_columns = owner.delta_by_column() if owner is not None else {}
+        changed: dict[str, dict[int, tuple[Any, Any]]] = {}
+        moved = 0
+        for attribute in {given, target}:
+            rows = self._attr_changes(attribute, old_columns, new_columns)
+            if rows is None:
+                self._drop_pair(pair)  # further than a rebuild: rebuild lazily
+                return
+            if rows:
+                changed[attribute] = rows
+                moved += len(rows)
+        if not changed:
+            return
+        column_of = self._column
+
+        def sibling_of(row, attribute):
+            overrides = new_columns.get(attribute)
+            if overrides is not None and row in overrides:
+                return overrides[row]
+            return column_of(attribute)[row]
+
+        cooccurrence._move_rows(changed, sibling_of, pairs=[pair])
+        self.cells_moved += moved
+
+    def _sync_all(self) -> None:
+        """Bring every built structure onto the owner (pre-fork hook)."""
+        for attribute in list(self._stats._marginals):
+            self._sync_marginal(attribute)
+        for given, target in list(self._stats.cooccurrence._pair_counts):
+            self._sync_pair(given, target)
+
+    # -- write routing -------------------------------------------------------------
+
+    def _note_write(self, row: int, attribute: str,
+                    old_value: Any, new_value: Any) -> None:
+        """One in-place cell write on the owner view.
+
+        Structures synced to the owner receive the update immediately (and
+        their recorded log position advances past the write); parked
+        structures are left alone — the write is part of the owner's delta
+        and reaches them through their next sync diff.
+        """
+        if self._owner is None:
+            return  # a write on a detached/stale holder: nothing to maintain
+        stats = self._stats
+        for key in self._clean:
+            if key[0] == "m":
+                if key[1] == attribute:
+                    marginal = stats._marginals.get(attribute)
+                    if marginal is not None:
+                        marginal.apply_update(old_value, new_value)
+            elif key[1] == attribute or key[2] == attribute:
+                pair = (key[1], key[2])
+                counts = stats.cooccurrence._pair_counts.get(pair)
+                if counts is not None:
+                    stats.cooccurrence._apply_cell_to_pair(
+                        pair, counts, row, attribute, old_value, new_value
+                    )
+
+    # -- telemetry -----------------------------------------------------------------
+
+    def statistics(self) -> dict[str, int]:
+        """Lease counters for the oracle's perf telemetry."""
+        return {"stats_leases": self.leases, "stats_cells_moved": self.cells_moved}

@@ -84,6 +84,41 @@ class ExplanationReport:
             )
         return lines
 
+    # -- oracle statistics section ----------------------------------------------------
+
+    @staticmethod
+    def _format_counters(counters: dict) -> str:
+        """One compact ``key=value`` line from an oracle counter dict.
+
+        Zero-valued batch/engine counters are dropped so runs without the
+        batch scheduler (or without shared statistics) stay short.
+        """
+        always = ("oracle_calls", "repair_runs", "cache_hits", "cache_misses")
+        parts = [f"{key}={value}" for key, value in counters.items()
+                 if key in always or value]
+        return " ".join(parts)
+
+    def _statistics_lines(self) -> list[str]:
+        """Render the oracle's counters (cache, pair walks, batch scheduler).
+
+        Surfacing ``BinaryRepairOracle.statistics()`` here makes perf
+        regressions (cache thrash, vanished batching, silent pair fallbacks)
+        visible in every CLI explain run without firing up the benchmark.
+        """
+        statistics = self.explanation.oracle_statistics
+        if not statistics:
+            return []
+        lines = ["Oracle statistics:"]
+        if any(isinstance(value, dict) for value in statistics.values()):
+            for scope, counters in statistics.items():
+                if isinstance(counters, dict):
+                    lines.append(f"  {scope:11s}: {self._format_counters(counters)}")
+                else:
+                    lines.append(f"  {scope}: {counters}")
+        else:
+            lines.append(f"  {self._format_counters(statistics)}")
+        return lines
+
     # -- full report -------------------------------------------------------------------
 
     def to_text(self, top_k_cells: int | None = 10) -> str:
@@ -94,8 +129,7 @@ class ExplanationReport:
             f"Cell of interest : {explanation.cell}",
             f"Repair           : {explanation.old_value!r} -> {explanation.new_value!r}",
         ]
-        if explanation.oracle_statistics:
-            lines.append(f"Black-box queries: {explanation.oracle_statistics}")
+        lines.extend(self._statistics_lines())
         constraint_lines = self._constraint_lines()
         if constraint_lines:
             lines.append("")
@@ -114,6 +148,12 @@ class ExplanationReport:
             f"Repair: `{explanation.old_value!r}` → `{explanation.new_value!r}`",
             "",
         ]
+        statistics_lines = self._statistics_lines()
+        if statistics_lines:
+            lines.append("```")
+            lines.extend(statistics_lines)
+            lines.append("```")
+            lines.append("")
         constraint_ranking = explanation.constraint_ranking
         if constraint_ranking is not None:
             shades = normalised_scores(constraint_ranking.scores())

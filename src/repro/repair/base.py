@@ -21,6 +21,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.constraints.dc import DenialConstraint, constraint_set_names
 from repro.dataset.table import CellRef, PerturbationView, RepairDelta, Table
+from repro.engine.stats import SharedStatistics
 from repro.engine.storage import NULL
 from repro.repair.cache import OracleCache
 
@@ -41,6 +42,25 @@ class RepairResult:
 
     def was_repaired(self, cell: CellRef) -> bool:
         return cell in self.delta
+
+
+def _padded_differing_lists(
+    differing_cells_lists: Sequence[Sequence[CellRef]], n_pairs: int
+) -> Sequence[Sequence[CellRef]]:
+    """Validate a group's per-pair differing-cells argument.
+
+    An empty argument means "unknown" for every pair; anything else must
+    match the without-instances one-to-one — silently ``zip``-truncating a
+    group would drop repairs.
+    """
+    if not differing_cells_lists:
+        return [()] * n_pairs
+    if len(differing_cells_lists) != n_pairs:
+        raise ValueError(
+            f"repair_pair_group got {n_pairs} without-instances but "
+            f"{len(differing_cells_lists)} differing-cells lists"
+        )
+    return differing_cells_lists
 
 
 class RepairAlgorithm(abc.ABC):
@@ -87,6 +107,39 @@ class RepairAlgorithm(abc.ABC):
             self.repair_table(list(constraints), with_table),
             self.repair_table(list(constraints), without_table),
         )
+
+    def repair_pair_group(
+        self,
+        constraints: Sequence[DenialConstraint],
+        with_table: Table,
+        without_tables: Sequence[Table],
+        differing_cells_lists: Sequence[Sequence[CellRef]] = (),
+    ) -> tuple[Table, list[Table]]:
+        """Repair one with-instance against several without-instances.
+
+        The batch scheduler's entry point: all pairs of one group share the
+        same with-instance *content* (a shared coalition prefix), so the
+        detection state can be primed once and forked per without-instance.
+        The base implementation degrades to :meth:`repair_pair` per pair (the
+        with-instance is re-repaired each time — determinism makes the copies
+        identical); walk-sharing algorithms override it to prime once.
+        Overrides must return exactly what independent :meth:`repair_table`
+        calls would.
+        """
+        constraints = list(constraints)
+        differing_cells_lists = _padded_differing_lists(
+            differing_cells_lists, len(without_tables)
+        )
+        clean_with: Table | None = None
+        clean_withouts: list[Table] = []
+        for without_table, differing in zip(without_tables, differing_cells_lists):
+            clean_with, clean_without = self.repair_pair(
+                constraints, with_table, without_table, differing
+            )
+            clean_withouts.append(clean_without)
+        if clean_with is None:
+            clean_with = self.repair_table(constraints, with_table)
+        return clean_with, clean_withouts
 
     # -- convenience API ----------------------------------------------------------
 
@@ -149,6 +202,21 @@ class BinaryRepairOracle:
         detection state is primed on the first instance and forked at the
         single differing cell for the second.  ``False`` forces every pair
         onto two independent repairs.  Answers are identical either way.
+    shared_stats:
+        Maintain one revertible :class:`~repro.engine.stats.SharedStatistics`
+        instance for the oracle's whole lifetime and *move* it onto each
+        perturbed instance by its sparse delta, instead of letting every
+        repair rebuild (or fork) a statistics bundle per instance.  Requires
+        ``incremental``; ``False`` forces the per-instance statistics path.
+        Results are bit-identical either way.
+    batched_pairs:
+        Allow :meth:`query_pairs` to drain a queue of with/without pairs in
+        one scheduled pass: pairs are deduplicated against the
+        pair-fingerprint cache up front, grouped by shared coalition prefix
+        (equal with-instance content), and each group runs on one primed
+        repair walk (:meth:`RepairAlgorithm.repair_pair_group`).  ``False``
+        degrades :meth:`query_pairs` to a plain :meth:`query_pair` loop.
+        Answers are identical either way.
     cache_size:
         LRU bound for the oracle cache (defaults to
         :class:`~repro.repair.cache.OracleCache`'s generous built-in limit);
@@ -165,6 +233,8 @@ class BinaryRepairOracle:
         use_cache: bool = True,
         incremental: bool = True,
         paired: bool = True,
+        shared_stats: bool = True,
+        batched_pairs: bool = True,
         cache_size: int | None = None,
     ):
         self.algorithm = algorithm
@@ -173,6 +243,13 @@ class BinaryRepairOracle:
         self.cell = dirty_table.validate_cell(cell)
         self.incremental = incremental
         self.paired = paired
+        self.shared_stats = bool(shared_stats) and bool(incremental)
+        self.batched_pairs = bool(batched_pairs)
+        #: the explainer-lifetime statistics instance, moved between coalition
+        #: overlays instead of rebuilt per instance (None off the shared path)
+        self.stats_engine: SharedStatistics | None = (
+            SharedStatistics(dirty_table) if self.shared_stats else None
+        )
         if use_cache:
             self._cache = OracleCache(cache_size) if cache_size is not None else OracleCache()
         else:
@@ -181,6 +258,10 @@ class BinaryRepairOracle:
         self.calls = 0          # number of oracle queries (cached or not)
         self.repair_runs = 0    # number of actual black-box repair invocations
         self.pair_walks = 0     # number of pairs evaluated in one shared walk
+        self.batches = 0        # number of query_pairs scheduled passes
+        self.pairs_batched = 0  # pairs submitted through those passes
+        self.pairs_deduped = 0  # batched pairs answered without a repair
+        self.max_batch_size = 0
 
         if target_value is None:
             reference_clean = algorithm.repair_table(self.constraints, dirty_table)
@@ -233,21 +314,83 @@ class BinaryRepairOracle:
         """
         constraints = list(constraints)
         self.calls += 2
-        key_with = key_without = pair_key = None
-        value_with = value_without = None
-        if self._cache is not None:
-            names = constraint_set_names(constraints)
-            fingerprint_with = with_table.fingerprint()
-            fingerprint_without = without_table.fingerprint()
-            key_with = (names, fingerprint_with)
-            key_without = (names, fingerprint_without)
-            pair_key = ("pair", names, fingerprint_with, fingerprint_without)
-            pair = self._cache.get(pair_key)
-            if pair is not None:
-                return pair
-            value_with = self._cache.get(key_with)
-            value_without = self._cache.get(key_without)
+        if self._cache is None:
+            return self._evaluate_pair(constraints, with_table, without_table)
+        names = constraint_set_names(constraints)
+        fingerprint_with = with_table.fingerprint()
+        pair_key, differing = self._pair_memo_key(
+            names, with_table, without_table, fingerprint_with
+        )
+        pair = self._cache.get(pair_key)
+        if pair is not None:
+            return pair
+        return self._query_pair_uncached(
+            constraints, names, with_table, without_table,
+            fingerprint_with, pair_key, differing,
+        )
 
+    def _pair_memo_key(self, names, with_table: Table, without_table: Table,
+                       fingerprint_with) -> tuple[tuple, "list[CellRef] | None"]:
+        """The pair-memo key for one with/without pair, plus the differing cells.
+
+        Shareable pairs (sibling views) are keyed by the with-instance
+        fingerprint plus the sub-delta separating the without-instance, which
+        pins the pair's content without fingerprinting the without-instance;
+        everything else falls back to the two-fingerprint key.  Both
+        :meth:`query_pair` and :meth:`query_pairs` derive keys here, so
+        answers memoised through either entry point serve the other.
+        """
+        if self._pair_is_shareable(with_table, without_table):
+            differing = with_table.differing_cells(without_table)
+            pair_key = ("paird", names, fingerprint_with, tuple(
+                (cell.row, cell.attribute,
+                 without_table.value(cell.row, cell.attribute))
+                for cell in differing
+            ))
+            try:
+                hash(pair_key)
+            except TypeError:  # unhashable without-side cell value
+                pair_key = ("pair", names, fingerprint_with,
+                            without_table.fingerprint())
+            return pair_key, differing
+        return ("pair", names, fingerprint_with,
+                without_table.fingerprint()), None
+
+    def _query_pair_uncached(
+        self,
+        constraints: list[DenialConstraint],
+        names,
+        with_table: Table,
+        without_table: Table,
+        fingerprint_with,
+        pair_key,
+        differing,
+    ) -> tuple[int, int]:
+        """Evaluate one pair whose pair-memo lookup already missed.
+
+        Consults the individual-answer cache (one half of the pair may have
+        been answered by a plain :meth:`query`), evaluates whatever is
+        missing, and records the individual and pair memo entries.  For
+        shareable pairs the without-instance's *individual* entry is skipped
+        both ways: its fingerprint is never needed elsewhere on the paired
+        path, and the (entry-point-independent) pair memo already pins the
+        answer.
+        """
+        key_with = (names, fingerprint_with)
+        value_with = self._cache.get(key_with)
+        if differing is not None:
+            if value_with is None:
+                value_with, value_without = self._evaluate_pair(
+                    constraints, with_table, without_table, differing
+                )
+            else:
+                value_without = self._evaluate(constraints, without_table)
+            self._cache.put(key_with, value_with)
+            self._cache.put(pair_key, (value_with, value_without))
+            return value_with, value_without
+
+        key_without = (names, without_table.fingerprint())
+        value_without = self._cache.get(key_without)
         if value_with is None and value_without is None:
             value_with, value_without = self._evaluate_pair(
                 constraints, with_table, without_table
@@ -258,33 +401,37 @@ class BinaryRepairOracle:
             if value_without is None:
                 value_without = self._evaluate(constraints, without_table)
 
-        if self._cache is not None:
-            self._cache.put(key_with, value_with)
-            self._cache.put(key_without, value_without)
-            self._cache.put(pair_key, (value_with, value_without))
+        self._cache.put(key_with, value_with)
+        self._cache.put(key_without, value_without)
+        self._cache.put(pair_key, (value_with, value_without))
         return value_with, value_without
+
+    def _pair_is_shareable(self, with_table: Table, without_table: Table) -> bool:
+        """Whether a pair can run as one primed walk plus a fork."""
+        return (
+            self.paired
+            and self.incremental
+            and isinstance(with_table, PerturbationView)
+            and isinstance(without_table, PerturbationView)
+            and with_table.base is without_table.base
+        )
 
     def _evaluate_pair(
         self,
         constraints: Sequence[DenialConstraint],
         with_table: Table,
         without_table: Table,
+        differing: Sequence[CellRef] | None = None,
     ) -> tuple[int, int]:
-        if (
-            self.paired
-            and self.incremental
-            and isinstance(with_table, PerturbationView)
-            and isinstance(without_table, PerturbationView)
-            and with_table.base is without_table.base
-        ):
-            differing = with_table.differing_cells(without_table)
+        if self._pair_is_shareable(with_table, without_table):
+            if differing is None:
+                differing = with_table.differing_cells(without_table)
             walks_before = self.algorithm.shared_pair_walks
             clean_with, clean_without = self.algorithm.repair_pair(
                 constraints, with_table, without_table, differing
             )
             self.repair_runs += 2
-            if self.algorithm.shared_pair_walks > walks_before:
-                self.pair_walks += 1
+            self.pair_walks += self.algorithm.shared_pair_walks - walks_before
             cell, target = self.cell, self.target_value
             return (
                 1 if clean_with[cell] == target else 0,
@@ -294,6 +441,157 @@ class BinaryRepairOracle:
             self._evaluate(constraints, with_table),
             self._evaluate(constraints, without_table),
         )
+
+    # -- the multi-pair batch scheduler ----------------------------------------------
+
+    def query_pairs(
+        self, pairs: Sequence[tuple[Table, Table]]
+    ) -> list[tuple[int, int]]:
+        """Drain a queue of with/without pairs in one scheduled pass.
+
+        Answers (and their order) are exactly those of one
+        :meth:`query_table_pair` call per pair — only the work is scheduled:
+
+        1. **dedup** — every pair is checked against the pair-fingerprint
+           memo up front, and within-batch repeats of one fingerprint pair
+           are evaluated once;
+        2. **group** — remaining pairs are ordered by their coalition delta
+           and pairs sharing a coalition prefix (equal with-instance content)
+           form one group;
+        3. **evaluate** — each group runs through
+           :meth:`RepairAlgorithm.repair_pair_group`: the walk-sharing
+           algorithms prime one :class:`~repro.constraints.incremental.RepairWalk`
+           on the shared with-instance and fork it per without-instance, and
+           the shared statistics instance moves along the scheduled order so
+           consecutive instances pay only their delta difference.
+
+        With ``batched_pairs=False`` the queue degrades to a plain
+        :meth:`query_pair` loop (today's path, bit-identically).
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if not self.batched_pairs:
+            return [self.query_pair(self.constraints, with_table, without_table)
+                    for with_table, without_table in pairs]
+        constraints = self.constraints
+        self.calls += 2 * len(pairs)
+        self.batches += 1
+        self.pairs_batched += len(pairs)
+        if len(pairs) > self.max_batch_size:
+            self.max_batch_size = len(pairs)
+        names = constraint_set_names(constraints)
+        results: list[tuple[int, int] | None] = [None] * len(pairs)
+
+        # 1. dedup against the pair memo and within the batch.  Shareable
+        # pairs are keyed by the with-instance fingerprint plus the one-cell
+        # sub-delta separating the without-instance (see _pair_memo_key),
+        # which pins the pair's content without ever fingerprinting the
+        # without-instance.
+        pending: list[tuple] = []   # (index, with, without, fp_with, key, differing)
+        first_for_key: dict = {}    # pair_key -> indices awaiting that answer
+        for index, (with_table, without_table) in enumerate(pairs):
+            fingerprint_with = with_table.fingerprint()
+            pair_key, differing = self._pair_memo_key(
+                names, with_table, without_table, fingerprint_with
+            )
+            if self._cache is not None:
+                cached = self._cache.get(pair_key)
+                if cached is not None:
+                    results[index] = cached
+                    self.pairs_deduped += 1
+                    continue
+                followers = first_for_key.get(pair_key)
+                if followers is not None:
+                    followers.append(index)
+                    self.pairs_deduped += 1
+                    continue
+                first_for_key[pair_key] = []
+            pending.append((index, with_table, without_table,
+                            fingerprint_with, pair_key, differing))
+
+        # 2. order by coalition delta so shared prefixes become adjacent (and
+        # the shared statistics instance moves the shortest distances)
+        def schedule_key(entry):
+            with_table = entry[1]
+            if isinstance(with_table, PerturbationView):
+                return (0, tuple(sorted(with_table._delta.keys())), entry[0])
+            return (1, (), entry[0])
+
+        pending.sort(key=schedule_key)
+
+        # 3. evaluate, one group per run of equal with-instance fingerprints
+        group_capable = (
+            type(self.algorithm).repair_pair_group
+            is not RepairAlgorithm.repair_pair_group
+        )
+        answered: dict = {}
+        cache = self._cache
+        cell, target = self.cell, self.target_value
+        position = 0
+        while position < len(pending):
+            group = [pending[position]]
+            position += 1
+            while (position < len(pending)
+                   and pending[position][3] == group[0][3]):
+                group.append(pending[position])
+                position += 1
+            shareable = all(entry[5] is not None
+                            and entry[1].base is group[0][1].base
+                            for entry in group)
+            if len(group) > 1 and group_capable and shareable:
+                # one primed walk for the whole group
+                walks_before = self.algorithm.shared_pair_walks
+                clean_with, clean_withouts = self.algorithm.repair_pair_group(
+                    constraints, group[0][1],
+                    [entry[2] for entry in group],
+                    [entry[5] for entry in group],
+                )
+                self.repair_runs += 1 + len(group)
+                self.pair_walks += self.algorithm.shared_pair_walks - walks_before
+                value_with = 1 if clean_with[cell] == target else 0
+                answers = [(value_with, 1 if clean_without[cell] == target else 0)
+                           for clean_without in clean_withouts]
+                if cache is not None:
+                    cache.put((names, group[0][3]), value_with)
+            else:
+                answers = None
+            for offset, entry in enumerate(group):
+                index, with_table, without_table, fp_with, pair_key, differing = entry
+                if answers is not None:
+                    value = answers[offset]
+                    if cache is not None:
+                        cache.put(pair_key, value)
+                elif cache is not None:
+                    # the single-pair path: consults the individual-answer
+                    # cache and records the same entries query_pair would
+                    value = self._query_pair_uncached(
+                        constraints, names, with_table, without_table,
+                        fp_with, pair_key, differing,
+                    )
+                elif differing is not None:
+                    walks_before = self.algorithm.shared_pair_walks
+                    clean_with, clean_without = self.algorithm.repair_pair(
+                        constraints, with_table, without_table, differing
+                    )
+                    self.repair_runs += 2
+                    self.pair_walks += self.algorithm.shared_pair_walks - walks_before
+                    value = (1 if clean_with[cell] == target else 0,
+                             1 if clean_without[cell] == target else 0)
+                else:
+                    value = (self._evaluate(constraints, with_table),
+                             self._evaluate(constraints, without_table))
+                results[index] = value
+                if cache is not None:
+                    answered[pair_key] = value
+
+        # resolve within-batch repeats from their evaluated first occurrence
+        for pair_key, followers in first_for_key.items():
+            if followers:
+                answer = answered[pair_key]
+                for index in followers:
+                    results[index] = answer
+        return results  # type: ignore[return-value]
 
     # -- convenience entry points ----------------------------------------------------
 
@@ -307,6 +605,8 @@ class BinaryRepairOracle:
         """
         if self._dirty_view is None:
             self._dirty_view = self.dirty_table.perturbed({})
+            if self.stats_engine is not None:
+                self._dirty_view._stats_engine = self.stats_engine
         return self._dirty_view
 
     def query_constraint_subset(self, subset: Iterable[DenialConstraint]) -> int:
@@ -340,6 +640,8 @@ class BinaryRepairOracle:
                 {cell: NULL for cell in self.dirty_table.cells() if cell not in keep},
                 trusted=True,
             )
+            if self.stats_engine is not None:
+                restricted._stats_engine = self.stats_engine
         else:
             restricted = self.dirty_table.restricted_to_coalition(coalition)
         return self.query(self.constraints, restricted)
@@ -362,15 +664,29 @@ class BinaryRepairOracle:
         self.calls = 0
         self.repair_runs = 0
         self.pair_walks = 0
+        self.batches = 0
+        self.pairs_batched = 0
+        self.pairs_deduped = 0
+        self.max_batch_size = 0
         if self._cache is not None:
             self._cache.reset_counters()
+        if self.stats_engine is not None:
+            self.stats_engine.leases = 0
+            self.stats_engine.cells_moved = 0
 
     def statistics(self) -> dict[str, int]:
-        return {
+        stats = {
             "oracle_calls": self.calls,
             "repair_runs": self.repair_runs,
             "pair_walks": self.pair_walks,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "batches": self.batches,
+            "pairs_batched": self.pairs_batched,
+            "pairs_deduped": self.pairs_deduped,
+            "max_batch_size": self.max_batch_size,
         }
+        if self.stats_engine is not None:
+            stats.update(self.stats_engine.statistics())
+        return stats

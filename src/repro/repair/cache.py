@@ -79,4 +79,13 @@ def memoised_oracle_stats(oracle) -> dict[str, float]:
         stats["repair_runs_per_call"] = stats["repair_runs"] / stats["oracle_calls"]
     else:
         stats["repair_runs_per_call"] = 0.0
+    pairs_batched = stats.get("pairs_batched", 0)
+    if pairs_batched:
+        # fraction of batched pairs answered without a repair (pair-memo hits
+        # up front plus within-batch repeats) — the batch scheduler's dedup
+        stats["pairs_dedup_rate"] = stats.get("pairs_deduped", 0) / pairs_batched
+        stats["mean_batch_size"] = pairs_batched / stats["batches"]
+    else:
+        stats["pairs_dedup_rate"] = 0.0
+        stats["mean_batch_size"] = 0.0
     return stats

@@ -30,7 +30,7 @@ from repro.constraints.incremental import (
 from repro.dataset.table import CellRef, Table
 from repro.engine.storage import is_null
 from repro.errors import RepairError
-from repro.repair.base import RepairAlgorithm
+from repro.repair.base import RepairAlgorithm, _padded_differing_lists
 
 
 class GreedyHolisticRepair(RepairAlgorithm):
@@ -127,24 +127,55 @@ class GreedyHolisticRepair(RepairAlgorithm):
         :meth:`~repro.constraints.incremental.RepairWalk.fork_onto`).  Outputs
         are identical to two independent :meth:`repair_table` calls.
         """
+        clean_with, clean_withouts = self.repair_pair_group(
+            constraints, with_table, [without_table], [differing_cells]
+        )
+        return clean_with, clean_withouts[0]
+
+    def repair_pair_group(
+        self,
+        constraints: Sequence[DenialConstraint],
+        with_table: Table,
+        without_tables: Sequence[Table],
+        differing_cells_lists: Sequence[Sequence[CellRef]] = (),
+    ) -> tuple[Table, list[Table]]:
+        """Repair one with-instance against several without-instances.
+
+        The batch scheduler's grouped entry point: the shared with-instance
+        is primed exactly once and the walk forked per without-instance
+        (before any repair loop writes), exactly like :meth:`repair_pair`
+        does for a single pair.
+        """
         constraints = list(constraints)
+        differing_cells_lists = _padded_differing_lists(
+            differing_cells_lists, len(without_tables)
+        )
         if not constraints:
-            return (with_table.mutable_snapshot(name=f"{with_table.name}_repaired"),
-                    without_table.mutable_snapshot(name=f"{without_table.name}_repaired"))
+            return (
+                with_table.mutable_snapshot(name=f"{with_table.name}_repaired"),
+                [without_table.mutable_snapshot(name=f"{without_table.name}_repaired")
+                 for without_table in without_tables],
+            )
         with_work = with_table.mutable_snapshot(name=f"{with_table.name}_repaired")
         walk_with = repair_walk_for(with_work, constraints) if self.second_order else None
         if walk_with is None:
             return (
                 self._repair_loop(constraints, with_work, None),
-                self.repair_table(constraints, without_table),
+                [self.repair_table(constraints, without_table)
+                 for without_table in without_tables],
             )
         walk_with.prime()
-        self.shared_pair_walks += 1
-        without_work = without_table.mutable_snapshot(name=f"{without_table.name}_repaired")
-        walk_without = walk_with.fork_onto(without_work, differing_cells)
+        self.shared_pair_walks += len(without_tables)
+        forks = []
+        for without_table, differing_cells in zip(without_tables, differing_cells_lists):
+            without_work = without_table.mutable_snapshot(
+                name=f"{without_table.name}_repaired"
+            )
+            forks.append((without_work, walk_with.fork_onto(without_work, differing_cells)))
         return (
             self._repair_loop(constraints, with_work, walk_with),
-            self._repair_loop(constraints, without_work, walk_without),
+            [self._repair_loop(constraints, without_work, walk_without)
+             for without_work, walk_without in forks],
         )
 
     def _repair_loop(self, constraints: list[DenialConstraint], current: Table,

@@ -43,6 +43,11 @@ class CandidateDomain:
 class DomainGenerator:
     """Generate pruned candidate domains for noisy cells.
 
+    All counts are read through ``table.stats`` — on the Shapley hot path
+    that is the explainer's shared revertible statistics instance
+    (:class:`~repro.engine.stats.SharedStatistics`), moved onto the perturbed
+    instance by its sparse delta instead of rebuilt per repair.
+
     Parameters
     ----------
     max_domain_size:

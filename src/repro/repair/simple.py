@@ -24,7 +24,7 @@ from repro.constraints.incremental import RepairWalk, find_violations_auto, repa
 from repro.dataset.table import CellRef, Table
 from repro.engine.storage import is_null
 from repro.errors import RepairError
-from repro.repair.base import RepairAlgorithm
+from repro.repair.base import RepairAlgorithm, _padded_differing_lists
 
 MOST_COMMON = "most_common"
 CONDITIONAL = "conditional"
@@ -170,29 +170,71 @@ class SimpleRuleRepair(RepairAlgorithm):
         base snapshot.  Outputs are identical to two independent
         :meth:`repair_table` calls.
         """
+        clean_with, clean_withouts = self.repair_pair_group(
+            constraints, with_table, [without_table], [differing_cells]
+        )
+        return clean_with, clean_withouts[0]
+
+    def repair_pair_group(
+        self,
+        constraints: Sequence[DenialConstraint],
+        with_table: Table,
+        without_tables: Sequence[Table],
+        differing_cells_lists: Sequence[Sequence[CellRef]] = (),
+    ) -> tuple[Table, list[Table]]:
+        """Repair one with-instance against several without-instances.
+
+        The batch scheduler's grouped entry point: the shared with-instance's
+        detection state is primed exactly once and forked per
+        without-instance (all forks happen before any repair loop writes, as
+        :meth:`~repro.constraints.incremental.RepairWalk.fork_onto` requires).
+        When a shared statistics engine travels with the instances the
+        per-pair statistics fork is skipped — the engine moves its one
+        instance along the repairs transparently.
+        """
         constraints = list(constraints)
+        differing_cells_lists = _padded_differing_lists(
+            differing_cells_lists, len(without_tables)
+        )
         with_work = with_table.mutable_snapshot(name=f"{with_table.name}_repaired")
         walk_with = repair_walk_for(with_work, constraints) if self.second_order else None
         if walk_with is None:
             return (
                 self._repair_loop(constraints, with_work, None),
-                self.repair_table(constraints, without_table),
+                [self.repair_table(constraints, without_table)
+                 for without_table in without_tables],
             )
         walk_with.prime()
-        self.shared_pair_walks += 1
-        without_work = without_table.mutable_snapshot(name=f"{without_table.name}_repaired")
-        walk_without = walk_with.fork_onto(without_work, differing_cells)
-        active_rules = self._active_pair_rules(constraints, walk_with, walk_without)
-        # Statistics deltas are applied cell-by-cell against the second
-        # instance's final store, which is only equivalent to sequential
-        # application when no two differing cells share a row (the sampling
-        # loop's pairs always differ in exactly one cell).
-        differing_rows = [cell.row for cell in differing_cells]
-        if active_rules and len(set(differing_rows)) == len(differing_rows):
-            self._share_pair_statistics(active_rules, with_work, without_work, differing_cells)
+        self.shared_pair_walks += len(without_tables)
+        without_works: list[Table] = []
+        walks: list[RepairWalk] = []
+        for without_table, differing_cells in zip(without_tables, differing_cells_lists):
+            without_work = without_table.mutable_snapshot(
+                name=f"{without_table.name}_repaired"
+            )
+            walk_without = walk_with.fork_onto(without_work, differing_cells)
+            # The fork must happen now, before the with-instance's repair loop
+            # writes: the two instances differ in one cell here, afterwards
+            # they differ by every repair write.  (With a shared statistics
+            # engine the fork source is the engine's leased instance — the
+            # fork syncs it and produces a plain per-instance copy, so the
+            # engine keeps tracking only the with-side chain across samples.)
+            active_rules = self._active_pair_rules(constraints, walk_with, walk_without)
+            # Statistics deltas are applied cell-by-cell against the second
+            # instance's final store, which is only equivalent to sequential
+            # application when no two differing cells share a row (the
+            # sampling loop's pairs always differ in exactly one cell).
+            differing_rows = [cell.row for cell in differing_cells]
+            if active_rules and len(set(differing_rows)) == len(differing_rows):
+                self._share_pair_statistics(
+                    active_rules, with_work, without_work, differing_cells
+                )
+            without_works.append(without_work)
+            walks.append(walk_without)
         return (
             self._repair_loop(constraints, with_work, walk_with),
-            self._repair_loop(constraints, without_work, walk_without),
+            [self._repair_loop(constraints, without_work, walk_without)
+             for without_work, walk_without in zip(without_works, walks)],
         )
 
     def _active_pair_rules(self, constraints: list[DenialConstraint],
@@ -208,7 +250,7 @@ class SimpleRuleRepair(RepairAlgorithm):
             rule = self._rule_for(constraint)
             if rule is None or rule.target not in walk_with.view.schema:
                 continue
-            if walk_with.violations_for(constraint) or walk_without.violations_for(constraint):
+            if walk_with.has_violations(constraint) or walk_without.has_violations(constraint):
                 rules.append(rule)
         return rules
 
@@ -240,27 +282,59 @@ class SimpleRuleRepair(RepairAlgorithm):
 
     def _repair_loop(self, constraints: list[DenialConstraint], current: Table,
                      walk: RepairWalk | None) -> Table:
+        # On the walk path, replacement values are memoised per (target,
+        # strategy, conditioning attribute and value).  The statistics only
+        # change through this loop's own tracked writes, and a write to
+        # attribute A moves exactly the marginal/pair counts of entries whose
+        # target or conditioning attribute is A, so only those entries are
+        # invalidated — values stay bit-identical, repeated argmax lookups
+        # are skipped.  An unexpected version jump clears everything.
+        memo: dict[tuple, Any] = {}
+        memo_version = current.version
+        current_value = current.value
         for _ in range(self.max_iterations):
             changed = False
             for constraint in constraints:
                 rule = self._rule_for(constraint)
                 if rule is None or rule.target not in current.schema:
                     continue
-                if walk is not None:
-                    violations = walk.violations_for(constraint)
-                else:
-                    violations = find_violations_auto(current, constraint)
                 # Collect the violating tuples first so that a repair applied to
                 # one tuple does not hide the violations of tuples found later
                 # in the same pass.
-                violating_rows = sorted({row for v in violations for row in v.rows})
+                if walk is not None:
+                    violating_rows = walk.violating_rows_for(constraint)
+                else:
+                    violations = find_violations_auto(current, constraint)
+                    violating_rows = sorted({row for v in violations for row in v.rows})
                 for row in violating_rows:
-                    replacement = rule.replacement_value(current, row)
+                    if walk is not None:
+                        if current.version != memo_version:
+                            memo.clear()
+                            memo_version = current.version
+                        given = rule.given
+                        key = (rule.target, rule.strategy, given,
+                               current_value(row, given) if given else None)
+                        try:
+                            replacement = memo[key]
+                        except KeyError:
+                            replacement = rule.replacement_value(current, row)
+                            memo[key] = replacement
+                        except TypeError:  # unhashable conditioning value
+                            replacement = rule.replacement_value(current, row)
+                    else:
+                        replacement = rule.replacement_value(current, row)
                     if replacement is None:
                         continue
-                    if current.value(row, rule.target) != replacement:
+                    if current_value(row, rule.target) != replacement:
                         current.set_value(row, rule.target, replacement)
                         changed = True
+                        if walk is not None:
+                            target = rule.target
+                            if memo:
+                                for stale in [k for k in memo
+                                              if k[0] == target or k[2] == target]:
+                                    del memo[stale]
+                            memo_version = current.version
             if not changed:
                 break
         return current

@@ -19,6 +19,11 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.config import DEFAULT_CELL_SAMPLES, make_rng
+
+#: pairs drained per :meth:`BinaryRepairOracle.query_pairs` scheduled pass —
+#: bounds peak memory at O(chunk x n_cells) live coalition views while still
+#: giving the scheduler a whole window to dedup and group over
+BATCH_CHUNK_SIZE = 128
 from repro.constraints.dc import DenialConstraint
 from repro.dataset.table import CellRef, Table
 from repro.repair.base import BinaryRepairOracle
@@ -84,6 +89,23 @@ class CellShapleyExplainer:
         ``paired`` flag must also be set for the walk to actually be shared.
         Estimates are bit-identical across all flag combinations for a fixed
         seed.
+    shared_stats:
+        When ``True`` (default) and the oracle carries a
+        :class:`~repro.engine.stats.SharedStatistics` engine (its own
+        ``shared_stats`` flag), every sampled coalition view travels with
+        that engine, so the repair algorithms lease one explainer-lifetime
+        statistics instance — moved onto each instance by its sparse delta —
+        instead of rebuilding counts per Monte-Carlo sample.  ``False``
+        forces the per-instance statistics path.  Estimates are bit-identical
+        either way.
+    batched_pairs:
+        When ``True`` (default) :meth:`estimate_cell` enqueues all of a
+        cell's with/without pair requests and drains them through one
+        :meth:`BinaryRepairOracle.query_pairs` scheduled pass (pair-memo
+        dedup up front, coalition-prefix grouping, one primed walk per
+        group).  Requires ``paired`` and ``incremental``; ``False`` submits
+        one pair query per sample, exactly as before.  Estimates are
+        bit-identical either way.
     """
 
     def __init__(
@@ -93,16 +115,21 @@ class CellShapleyExplainer:
         rng=None,
         incremental: bool = True,
         paired: bool = True,
+        shared_stats: bool = True,
+        batched_pairs: bool = True,
     ):
         self.oracle = oracle
         self.policy = ReplacementPolicy.from_name(policy)
         self.incremental = bool(incremental)
         self.paired = bool(paired)
+        self.shared_stats = bool(shared_stats) and self.incremental
+        self.batched_pairs = bool(batched_pairs)
         self._rng = make_rng(rng)
         self.sampler = CellCoalitionSampler(
             oracle.dirty_table, policy=self.policy, rng=self._rng,
             materialize=not self.incremental,
             batched=self.paired and self.incremental,
+            stats_engine=oracle.stats_engine if self.shared_stats else None,
         )
 
     # -- single-cell estimate ------------------------------------------------------------
@@ -110,28 +137,39 @@ class CellShapleyExplainer:
     def estimate_cell(self, cell: CellRef, n_samples: int = DEFAULT_CELL_SAMPLES) -> SampledShapleyEstimate:
         """Monte-Carlo Shapley estimate for one cell (Example 2.5's loop).
 
-        On the paired path each sample's two instances go to the oracle as
-        one pair query sharing a repair walk; otherwise they are two
+        On the batched path all of the cell's with/without pairs are enqueued
+        and drained in one :meth:`BinaryRepairOracle.query_pairs` scheduled
+        pass; on the paired path each sample's two instances go to the oracle
+        as one pair query sharing a repair walk; otherwise they are two
         independent queries.  Either way the sample's contribution is the
-        difference of the two binary answers.
+        difference of the two binary answers, accumulated in sampling order.
         """
         self.oracle.dirty_table.validate_cell(cell)
         use_pair = self.paired and self.incremental
         tracker = RunningMean()
-        for _ in range(n_samples):
-            with_cell, without_cell = self.sampler.sample_pair(cell)
-            if use_pair:
-                value_with, value_without = self.oracle.query_table_pair(
-                    with_cell, without_cell
-                )
-                difference = value_with - value_without
-            else:
-                difference = self.oracle.query_table(with_cell) - self.oracle.query_table(without_cell)
-            tracker.update(float(difference))
+        if use_pair and self.batched_pairs:
+            remaining = n_samples
+            while remaining > 0:
+                chunk = min(remaining, BATCH_CHUNK_SIZE)
+                remaining -= chunk
+                pairs = [self.sampler.sample_pair(cell) for _ in range(chunk)]
+                for value_with, value_without in self.oracle.query_pairs(pairs):
+                    tracker.update(float(value_with - value_without))
+        else:
+            for _ in range(n_samples):
+                with_cell, without_cell = self.sampler.sample_pair(cell)
+                if use_pair:
+                    value_with, value_without = self.oracle.query_table_pair(
+                        with_cell, without_cell
+                    )
+                    difference = value_with - value_without
+                else:
+                    difference = self.oracle.query_table(with_cell) - self.oracle.query_table(without_cell)
+                tracker.update(float(difference))
         return SampledShapleyEstimate(
             cell=cell,
             value=tracker.mean,
-            standard_error=tracker.standard_error if tracker.count > 1 else float("inf"),
+            standard_error=tracker.standard_error if tracker.count > 1 else 0.0,
             n_samples=tracker.count,
         )
 

@@ -26,6 +26,7 @@ exploits to evaluate both instances in a single shared repair walk.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -68,14 +69,27 @@ class ReplacementPolicy(enum.Enum):
 
 @dataclass
 class SampledShapleyEstimate:
-    """The Monte-Carlo estimate for one cell."""
+    """The Monte-Carlo estimate for one cell.
+
+    With fewer than two samples no spread can be estimated:
+    ``standard_error`` is reported as ``0.0`` (never a division-by-near-zero
+    ``nan``/``inf`` artifact) and :meth:`confidence_interval` degenerates to
+    the point estimate itself.
+    """
 
     cell: CellRef
     value: float
     standard_error: float
     n_samples: int
 
+    def __post_init__(self):
+        if self.n_samples < 2 or self.standard_error != self.standard_error:
+            self.standard_error = 0.0
+
     def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation interval; degenerate with < 2 samples."""
+        if self.n_samples < 2 or not math.isfinite(self.standard_error):
+            return (self.value, self.value)
         half_width = z * self.standard_error
         return (self.value - half_width, self.value + half_width)
 
@@ -107,14 +121,23 @@ class CellCoalitionSampler:
         changes nothing but construction cost; the paired sampling loop
         (:class:`~repro.shapley.cells.CellShapleyExplainer` with
         ``paired=True``) enables it.
+    stats_engine:
+        Optional :class:`~repro.engine.stats.SharedStatistics` engine to
+        install on every built coalition view (and, by inheritance, on the
+        working snapshots the repair algorithms fork off them): repairs then
+        lease the engine's one revertible statistics instance instead of
+        rebuilding counts per instance.  Replacement values are always drawn
+        from the dirty table's own statistics, so estimates are unaffected.
     """
 
     def __init__(self, table: Table, policy: ReplacementPolicy | str = ReplacementPolicy.SAMPLE,
-                 rng=None, materialize: bool = False, batched: bool = False):
+                 rng=None, materialize: bool = False, batched: bool = False,
+                 stats_engine=None):
         self.table = table
         self.policy = ReplacementPolicy.from_name(policy)
         self.materialize = bool(materialize)
         self.batched = bool(batched)
+        self.stats_engine = stats_engine
         self._rng = make_rng(rng)
         #: the vectorised cell order of Example 2.5 (row-major)
         self.cells: tuple[CellRef, ...] = tuple(table.cells())
@@ -200,6 +223,8 @@ class CellCoalitionSampler:
                     delta.pop(cell, None)
                 with_original = self.table.perturbed(delta, trusted=True,
                                                      prenormalized=True)
+                if self.stats_engine is not None:
+                    with_original._stats_engine = self.stats_engine
                 without_original = with_original.perturbed(
                     {target_cell: self.replacement_value(target_cell)}, trusted=True
                 )
@@ -219,6 +244,8 @@ class CellCoalitionSampler:
             return with_original, without_original
 
         with_original = self.table.perturbed(replacements, trusted=True)
+        if self.stats_engine is not None:
+            with_original._stats_engine = self.stats_engine
         without_original = with_original.perturbed(
             {target_cell: self.replacement_value(target_cell)}, trusted=True
         )

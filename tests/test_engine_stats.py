@@ -128,3 +128,186 @@ def test_table_statistics_fork_is_independent():
     assert stats.most_common("City") == "Madrid"
     assert stats.marginal("City").count("Paris") == 0
     assert forked.marginal("City").count("Paris") == 1
+
+
+# ---------------------------------------------------------------------------
+# the revertible delta protocol (apply_delta / revert_delta)
+
+
+def _stats_equal(left: TableStatistics, right: TableStatistics,
+                 attributes, pairs) -> None:
+    for attribute in attributes:
+        assert dict(left.marginal(attribute).items()) == \
+            dict(right.marginal(attribute).items())
+    for given, target in pairs:
+        left_counts = left.cooccurrence._counts_for(given, target)
+        right_counts = right.cooccurrence._counts_for(given, target)
+        assert {k: dict(v) for k, v in left_counts.items()} == \
+            {k: dict(v) for k, v in right_counts.items()}
+
+
+def test_column_statistics_apply_and_revert_delta_roundtrip():
+    stats = ColumnStatistics(make_store(), "City")
+    before = dict(stats._counts)
+    updates = [("Madrid", "Barcelona"), ("Barcelona", None), (None, "Paris")]
+    stats.apply_delta(updates)
+    assert stats.count("Madrid") == 2
+    assert stats.count("Paris") == 1
+    stats.revert_delta(updates)
+    assert dict(stats._counts) == before
+    assert stats.most_common() == "Madrid"
+
+
+def test_table_statistics_apply_delta_matches_fresh_build():
+    from repro.engine.view import OverlayStore
+
+    base = make_store()
+    stats = TableStatistics(base)
+    stats.marginal("City")
+    stats.marginal("Country")
+    stats.cooccurrence.warm("City", "Country")
+    # a multi-cell delta touching both cells of one row (the case per-cell
+    # sequential application cannot express)
+    delta = {(0, "City"): "Paris", (0, "Country"): "France",
+             (3, "Country"): None}
+    changes = {cell: (base.value(cell[0], cell[1]), value)
+               for cell, value in delta.items()}
+    overlay = OverlayStore(base, dict(delta))
+    stats.apply_delta(changes, overlay)
+    fresh = TableStatistics(overlay)
+    _stats_equal(stats, fresh, ["City", "Country"], [("City", "Country")])
+    # argmax and mode memos answer from the moved counts
+    assert stats.most_probable_given("Country", "City", "Madrid") == \
+        fresh.most_probable_given("Country", "City", "Madrid")
+    stats.revert_delta(changes, base)
+    _stats_equal(stats, TableStatistics(base), ["City", "Country"],
+                 [("City", "Country")])
+
+
+def test_table_statistics_revert_covers_structures_built_under_delta():
+    from repro.engine.view import OverlayStore
+
+    base = make_store()
+    stats = TableStatistics(base)
+    delta = {(1, "Country"): "Italy"}
+    changes = {cell: (base.value(cell[0], cell[1]), value)
+               for cell, value in delta.items()}
+    overlay = OverlayStore(base, dict(delta))
+    stats.apply_delta(changes, overlay)
+    # built while the delta is applied: describes the overlay contents
+    assert stats.marginal("Country").count("Italy") == 1
+    stats.cooccurrence.warm("City", "Country")
+    stats.revert_delta(changes, base)
+    _stats_equal(stats, TableStatistics(base), ["City", "Country"],
+                 [("City", "Country")])
+
+
+# ---------------------------------------------------------------------------
+# the shared statistics engine
+
+
+def _make_table():
+    from repro.dataset.table import Table
+
+    return Table(
+        ["City", "Country", "Team"],
+        [
+            ("Madrid", "Spain", "RM"),
+            ("Madrid", "Spain", "ATM"),
+            ("Barcelona", "Spain", "FCB"),
+            ("Madrid", "France", "PSG"),
+            (None, "Spain", "RM"),
+        ],
+    )
+
+
+def test_shared_statistics_lease_matches_fresh_build():
+    from repro.dataset.table import CellRef
+    from repro.engine.stats import SharedStatistics
+
+    table = _make_table()
+    engine = SharedStatistics(table)
+    view_a = table.perturbed({CellRef(0, "City"): None, CellRef(2, "Country"): "France"})
+    view_b = table.perturbed({CellRef(1, "Country"): None})
+
+    leased = engine.lease(view_a)
+    fresh = TableStatistics(view_a.store)
+    _stats_equal(leased, fresh, ["City", "Country"], [("City", "Country")])
+
+    # moving the same instance onto a sibling view re-derives it exactly
+    leased = engine.lease(view_b)
+    fresh = TableStatistics(view_b.store)
+    _stats_equal(leased, fresh, ["City", "Country"], [("City", "Country")])
+    assert engine.leases >= 2
+
+
+def test_shared_statistics_threads_through_view_stats_and_writes():
+    from repro.dataset.table import CellRef
+    from repro.engine.stats import SharedStatistics
+
+    table = _make_table()
+    engine = SharedStatistics(table)
+    view = table.perturbed({CellRef(0, "Country"): None})
+    view._stats_engine = engine
+    working = view.mutable_snapshot()  # inherits the engine
+    assert working._stats_engine is engine
+
+    stats = working.stats
+    assert stats is engine.lease(working)  # transparently leased
+    # in-place writes keep the leased instance maintained
+    working.set_value(3, "Country", "Spain")
+    assert dict(stats.marginal("Country").items()) == \
+        dict(TableStatistics(working.store).marginal("Country").items())
+
+    # leasing elsewhere invalidates the stale holder, which re-leases on use
+    other = view.mutable_snapshot()
+    other_stats = other.stats
+    assert other_stats is stats  # the one shared instance moved over
+    assert working._stats is None
+    _stats_equal(working.stats, TableStatistics(working.store),
+                 ["Country"], [])
+
+
+def test_shared_statistics_release_returns_to_base():
+    from repro.dataset.table import CellRef
+    from repro.engine.stats import SharedStatistics
+
+    table = _make_table()
+    engine = SharedStatistics(table)
+    view = table.perturbed({CellRef(0, "City"): None})
+    leased = engine.lease(view)
+    leased.marginal("City")
+    engine.release()
+    _stats_equal(engine._stats, TableStatistics(table.store), ["City"], [])
+
+
+def test_shared_statistics_drops_structure_when_parked_view_is_written():
+    from repro.dataset.table import CellRef
+    from repro.engine.stats import SharedStatistics
+
+    table = _make_table()
+    engine = SharedStatistics(table)
+    view_a = table.perturbed({CellRef(0, "City"): None})
+    view_b = table.perturbed({})
+    stats = engine.lease(view_a)
+    stats.marginal("City")
+    engine.lease(view_b)           # parks the City marginal on view_a
+    view_a.set_value(1, "City", "Sevilla")  # the parked snapshot moves on
+    # the exact diff is lost: the structure must be rebuilt, not moved
+    assert dict(engine._stats.marginal("City").items()) == \
+        dict(TableStatistics(view_b.store).marginal("City").items())
+
+
+def test_shared_statistics_rebuilds_after_base_mutation():
+    from repro.dataset.table import CellRef
+    from repro.engine.stats import SharedStatistics
+
+    table = _make_table()
+    engine = SharedStatistics(table)
+    view = table.perturbed({CellRef(0, "City"): None})
+    engine.lease(view).marginal("City")
+    table.set_value(0, "City", "Valencia")  # base mutated: version moved
+    fresh_view = table.perturbed({})
+    leased = engine.lease(fresh_view)
+    assert dict(leased.marginal("City").items()) == \
+        dict(TableStatistics(fresh_view.store).marginal("City").items())

@@ -75,3 +75,22 @@ def test_repair_summary_lists_changes(dirty_table, clean_table):
     assert "2 cell(s) repaired." in summary
     assert "t5[Country]: 'España' -> 'Spain'" in summary
     assert "*Spain*" in summary  # repaired value highlighted in the table rendering
+
+
+def test_report_surfaces_oracle_statistics(explainer, cell_of_interest, constraints):
+    explanation = explainer.explain_cells(cell_of_interest, n_samples=5)
+    text = ExplanationReport(explanation, constraints=constraints).to_text()
+    assert "Oracle statistics:" in text
+    assert "repair_runs=" in text
+    assert "cache_hits=" in text
+
+
+def test_report_statistics_include_batch_counters(explainer, cell_of_interest, constraints):
+    # explain() nests per-scope counter dicts; batch-scheduler counters from
+    # the cell loop (batches, pairs) must be rendered when non-zero
+    explanation = explainer.explain(cell_of_interest, n_samples=5)
+    report = ExplanationReport(explanation, constraints=constraints)
+    text = report.to_text()
+    assert "constraints" in text and "cells" in text
+    assert "batches=" in text
+    assert "Oracle statistics:" in report.to_markdown()

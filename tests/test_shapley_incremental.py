@@ -26,7 +26,8 @@ from repro import (
 CELL_OF_INTEREST = CellRef(4, "Country")
 
 
-def make_oracle(incremental: bool, algorithm=None, paired: bool = False):
+def make_oracle(incremental: bool, algorithm=None, paired: bool = False,
+                shared_stats: bool = False, batched_pairs: bool = False):
     return BinaryRepairOracle(
         algorithm or paper_algorithm_1(),
         la_liga_constraints(),
@@ -34,24 +35,41 @@ def make_oracle(incremental: bool, algorithm=None, paired: bool = False):
         CELL_OF_INTEREST,
         incremental=incremental,
         paired=paired,
+        shared_stats=shared_stats,
+        batched_pairs=batched_pairs,
     )
+
+
+#: (incremental, paired, shared_stats, batched_pairs) — the full engine grid,
+#: from the materialise-and-rescan reference up to this PR's batched path
+FLAG_GRID = [
+    (False, False, False, False),
+    (True, False, False, False),
+    (True, True, False, False),
+    (True, True, True, False),
+    (True, True, False, True),
+    (True, True, True, True),
+]
 
 
 @pytest.mark.parametrize("policy", ["null", "sample", "mode"])
 def test_cell_explainer_identical_across_paths(policy):
     probes = [CellRef(4, "City"), CellRef(0, "Country"), CellRef(2, "Team")]
     results = {}
-    for incremental, paired in [(False, False), (True, False), (True, True)]:
+    for flags in FLAG_GRID:
+        incremental, paired, shared_stats, batched_pairs = flags
         explainer = CellShapleyExplainer(
-            make_oracle(incremental, paired=paired), policy=policy, rng=23,
-            incremental=incremental, paired=paired,
+            make_oracle(incremental, paired=paired, shared_stats=shared_stats,
+                        batched_pairs=batched_pairs),
+            policy=policy, rng=23, incremental=incremental, paired=paired,
+            shared_stats=shared_stats, batched_pairs=batched_pairs,
         )
-        results[(incremental, paired)] = explainer.explain(cells=probes, n_samples=25)
-    reference = results[(False, False)]
-    for key in [(True, False), (True, True)]:
-        assert results[key].values == reference.values
-        assert results[key].standard_errors == reference.standard_errors
-        assert results[key].n_samples == reference.n_samples
+        results[flags] = explainer.explain(cells=probes, n_samples=25)
+    reference = results[FLAG_GRID[0]]
+    for flags in FLAG_GRID[1:]:
+        assert results[flags].values == reference.values, flags
+        assert results[flags].standard_errors == reference.standard_errors, flags
+        assert results[flags].n_samples == reference.n_samples, flags
 
 
 def test_cell_estimates_identical_with_greedy_black_box():
