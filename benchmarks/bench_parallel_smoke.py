@@ -1,0 +1,79 @@
+"""CI smoke test: the sharded scheduler with 2 workers vs the in-process plan.
+
+A fast, wall-clock-insensitive gate for shared CI runners: run the 20-row
+cell-Shapley loop through the sharded scheduler with ``n_jobs=2`` (real
+worker processes) and with ``n_jobs=1`` (the identical plan in-process) and
+require bit-identical estimates plus honest accounting — the workers really
+fanned out, their counters and caches really came home.  The
+timing-sensitive ``parallel_speedup`` floor lives in
+``bench_incremental_vs_full.py``; this job only guards correctness of the
+parallel machinery end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro import (
+    BinaryRepairOracle,
+    CellShapleyExplainer,
+    GreedyHolisticRepair,
+    SimpleRuleRepair,
+    SoccerLeagueGenerator,
+)
+from repro.dataset.errors import inject_errors
+from repro.shapley.cells import relevant_cells
+
+N_ROWS = 20
+N_SAMPLES = 12
+N_PROBES = 4
+N_JOBS = 2
+
+
+def _setup():
+    dataset = SoccerLeagueGenerator(seed=47).generate(N_ROWS)
+    constraints = dataset.constraints()
+    dirty, report = inject_errors(
+        dataset.table, rate=0.0, n_errors=1, error_types=["domain"],
+        attributes=["Country"], seed=47,
+    )
+    return constraints, dirty, report.cells()[0]
+
+
+@pytest.mark.parametrize("algorithm_factory,label", [
+    (SimpleRuleRepair, "simple-rules"),
+    (lambda: GreedyHolisticRepair(max_changes=25), "greedy-holistic"),
+])
+def test_two_workers_match_in_process_plan_on_20_rows(algorithm_factory, label):
+    constraints, dirty, cell = _setup()
+    results = {}
+    oracles = {}
+    for n_jobs in (1, N_JOBS):
+        oracle = BinaryRepairOracle(algorithm_factory(), constraints, dirty, cell)
+        explainer = CellShapleyExplainer(oracle, policy="null", rng=3,
+                                         n_jobs=n_jobs, samples_per_shard=4)
+        probes = relevant_cells(dirty, constraints, cell)[:N_PROBES]
+        results[n_jobs] = explainer.explain(cells=probes, n_samples=N_SAMPLES)
+        oracles[n_jobs] = oracle
+
+    assert results[N_JOBS].values == results[1].values
+    assert results[N_JOBS].standard_errors == results[1].standard_errors
+    assert results[N_JOBS].n_samples == results[1].n_samples
+    # the fan-out was real and fully merged: both worker oracles reported
+    # home (absorbed query counts match the in-process plan's), the merged
+    # cache is warm, and the shard count matches the plan
+    assert oracles[N_JOBS].parallel_workers == N_JOBS
+    assert oracles[N_JOBS].parallel_shards == oracles[1].parallel_shards == \
+        N_PROBES * -(-N_SAMPLES // 4)
+    assert oracles[N_JOBS].calls == oracles[1].calls
+    assert oracles[N_JOBS].cache is not None and len(oracles[N_JOBS].cache) > 0
+
+    print_table(
+        f"parallel smoke — {label}, {N_ROWS} rows, m={N_SAMPLES}, "
+        f"{N_JOBS} workers",
+        ["cell", "shapley"],
+        [[str(cell_), f"{value:.4f}"]
+         for cell_, value in sorted(results[N_JOBS].values.items(),
+                                    key=lambda item: -abs(item[1]))[:5]],
+    )

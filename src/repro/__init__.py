@@ -99,6 +99,10 @@ from repro.shapley import (
     all_pairwise_interactions,
     banzhaf_values,
 )
+from repro.parallel import (
+    ParallelExplainResult,
+    ShardedExplainScheduler,
+)
 from repro.explain import (
     TRExExplainer,
     Explanation,
@@ -187,6 +191,9 @@ __all__ = [
     "shapley_interaction_index",
     "all_pairwise_interactions",
     "banzhaf_values",
+    # parallel execution
+    "ParallelExplainResult",
+    "ShardedExplainScheduler",
     # explanation layer
     "TRExExplainer",
     "Explanation",

@@ -13,7 +13,9 @@ equivalent front end for scripted use:
 ``python -m repro.cli explain --table dirty.csv --constraints dcs.txt --cell "t5[Country]"``
     Repair, then explain the repair of one cell: constraint Shapley values
     (exact) and, unless ``--constraints-only`` is given, sampled cell Shapley
-    values.  ``--json out.json`` persists the explanation.
+    values.  ``--jobs N`` runs the cell sampling on N worker processes (the
+    sharded scheduler; results are identical for every worker count).
+    ``--json out.json`` persists the explanation.
 
 ``python -m repro.cli discover --table clean.csv``
     Discover the functional dependencies holding on a table and print them as
@@ -99,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="cell of interest, e.g. 't5[Country]' (1-based row)")
     explain_parser.add_argument("--samples", type=int, default=100,
                                 help="permutation samples per cell (default 100)")
+    explain_parser.add_argument("--jobs", type=int, default=None,
+                                help="worker processes for the cell-Shapley sampling "
+                                     "(default: sequential; any value >= 1 uses the "
+                                     "sharded scheduler, identical results for every "
+                                     "worker count)")
     explain_parser.add_argument("--policy", default="sample", choices=["sample", "null", "mode"],
                                 help="replacement policy for out-of-coalition cells")
     explain_parser.add_argument("--constraints-only", action="store_true",
@@ -144,10 +151,13 @@ def _command_explain(args) -> int:
     constraints = load_constraints(args.constraints)
     algorithm = _build_algorithm(args.algorithm)
     cell = CellRef.parse(args.cell)
+    if args.jobs is not None and args.jobs < 1:
+        raise TRexError(f"--jobs must be a positive integer, got {args.jobs}")
     config = TRexConfig(
         seed=args.seed if args.seed is not None else TRexConfig().seed,
         cell_samples=args.samples,
         replacement_policy=args.policy,
+        n_jobs=args.jobs,
     )
     explainer = TRExExplainer(algorithm, constraints, table, config)
     repaired_cells = explainer.repaired_cells()

@@ -45,6 +45,11 @@ class TRexConfig:
         Upper bound on fixpoint iterations inside repair algorithms.
     cache_oracle:
         Whether black-box repair calls are memoised per coalition.
+    n_jobs:
+        Worker processes for the sampled cell-Shapley estimator.  ``None``
+        (default) keeps the sequential engine; an integer routes estimation
+        through the sharded scheduler (:mod:`repro.parallel`), whose results
+        are bit-identical for every ``n_jobs >= 1``.
     """
 
     seed: int = DEFAULT_SEED
@@ -52,6 +57,7 @@ class TRexConfig:
     replacement_policy: str = "sample"
     max_repair_iterations: int = 25
     cache_oracle: bool = True
+    n_jobs: int | None = None
     extra: dict = field(default_factory=dict)
 
     def rng(self) -> np.random.Generator:
@@ -66,6 +72,7 @@ class TRexConfig:
             replacement_policy=self.replacement_policy,
             max_repair_iterations=self.max_repair_iterations,
             cache_oracle=self.cache_oracle,
+            n_jobs=self.n_jobs,
             extra=dict(self.extra),
         )
 

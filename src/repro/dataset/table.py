@@ -302,6 +302,29 @@ class Table:
     def store(self) -> ColumnStore:
         return self._store
 
+    # -- pickling -----------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle contents only, never runtime caches.
+
+        The incremental detector cached on a snapshot
+        (``_incremental_detector``) holds compiled predicate closures that
+        cannot cross a pickle boundary, and the statistics bundle /
+        shared-statistics engine are content-derived and rebuilt lazily —
+        shipping them would only bloat the sharded scheduler's job payloads.
+        A worker that unpickles a table gets a clean snapshot and re-derives
+        its own caches.
+        """
+        state = dict(self.__dict__)
+        state.pop("_incremental_detector", None)
+        state["_stats"] = None
+        if "_stats_engine" in state:
+            state["_stats_engine"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # -- comparison ---------------------------------------------------------------
 
     def equals(self, other: "Table") -> bool:

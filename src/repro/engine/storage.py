@@ -58,6 +58,18 @@ class Fingerprint:
             return self._hash == other._hash and self.data == other.data
         return NotImplemented
 
+    def __getstate__(self) -> tuple:
+        # the cached hash is process-local (string hashing is randomised per
+        # interpreter), so only the data crosses a pickle boundary; without
+        # this, fingerprints shipped back from a spawn-started worker would
+        # never compare equal to parent-built ones and merged oracle caches
+        # would silently stop matching
+        return self.data
+
+    def __setstate__(self, data: tuple) -> None:
+        self.data = data
+        self._hash = hash(data)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Fingerprint(hash={self._hash})"
 

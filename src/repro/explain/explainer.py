@@ -180,7 +180,8 @@ class TRExExplainer:
         """
         oracle = self._oracle_for(cell)
         explainer = CellShapleyExplainer(
-            oracle, policy=self.config.replacement_policy, rng=self.config.seed
+            oracle, policy=self.config.replacement_policy, rng=self.config.seed,
+            n_jobs=self.config.n_jobs,
         )
         if cells is None and only_relevant:
             cells = relevant_cells(self.dirty_table, self.constraints, cell)

@@ -117,10 +117,19 @@ class RepairSession:
             )
         self.cell_of_interest = cell
 
-    def explain(self, n_samples: int | None = None, constraints_only: bool = False) -> Explanation:
-        """Press the "Explain" button for the current cell of interest."""
+    def explain(self, n_samples: int | None = None, constraints_only: bool = False,
+                n_jobs: int | None = None) -> Explanation:
+        """Press the "Explain" button for the current cell of interest.
+
+        ``n_jobs`` switches the session's cell-Shapley sampling onto the
+        sharded multi-process scheduler (see :mod:`repro.parallel`) from this
+        step on; it updates the session config, so later explain steps keep
+        the setting until it is changed again.
+        """
         if self.cell_of_interest is None:
             raise ExplanationError("choose a cell of interest before asking for an explanation")
+        if n_jobs is not None:
+            self.config.n_jobs = n_jobs
         explainer = self.explainer
         if constraints_only:
             explanation = explainer.explain_constraints(self.cell_of_interest)

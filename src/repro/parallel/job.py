@@ -1,0 +1,95 @@
+"""The picklable job/shard/report vocabulary of the sharded scheduler.
+
+An :class:`ExplainJobSpec` is the complete, self-contained description of one
+cell-Shapley job: the black box, the constraint set, the dirty table snapshot,
+the cell of interest with its reference repaired value, the replacement
+policy, the engine flags of both the oracle and the explainer (they can be
+set independently — the flag-grid tests rely on that), and the job seed.  It
+is pickled once in the parent and shipped to every worker, which rebuilds a
+private oracle stack from it (own ``BinaryRepairOracle``, ``OracleCache``,
+``SharedStatistics``, repair-walk state) — workers share nothing at runtime.
+
+Shards and reports are the wire format in the other direction: a
+:class:`ShardResult` carries one chunk's Welford accumulator back, and a
+:class:`WorkerReport` bundles a worker's shard results with its oracle
+counters and its whole cache, which the parent merges
+(:meth:`~repro.repair.cache.OracleCache.merge`,
+:meth:`~repro.repair.base.BinaryRepairOracle.absorb_statistics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.constraints.dc import DenialConstraint
+from repro.dataset.table import CellRef, Table
+from repro.repair.base import RepairAlgorithm
+from repro.repair.cache import OracleCache
+from repro.shapley.convergence import RunningMean
+
+
+@dataclass
+class ExplainJobSpec:
+    """Everything a worker process needs to rebuild the oracle stack.
+
+    ``target_value`` is mandatory so workers never re-run the reference
+    repair; the parent's oracle already paid for it once.  The two flag
+    groups mirror the ``BinaryRepairOracle`` / ``CellShapleyExplainer``
+    constructor flags — a job built from a mismatched pair (e.g. a paired
+    explainer over an unpaired oracle) reproduces exactly that pairing in
+    every worker.
+    """
+
+    algorithm: RepairAlgorithm
+    constraints: Sequence[DenialConstraint]
+    dirty_table: Table
+    cell: CellRef
+    target_value: Any
+    policy: str
+    job_seed: int
+    use_cache: bool = True
+    cache_size: int | None = None
+    oracle_incremental: bool = True
+    oracle_paired: bool = True
+    oracle_shared_stats: bool = True
+    oracle_batched_pairs: bool = True
+    explainer_incremental: bool = True
+    explainer_paired: bool = True
+    explainer_shared_stats: bool = True
+    explainer_batched_pairs: bool = True
+
+
+@dataclass(frozen=True)
+class ExplainShard:
+    """One schedulable unit: a chunk of one cell's Monte-Carlo samples.
+
+    ``(cell_position, chunk_index)`` are the seed coordinates (see
+    :mod:`repro.parallel.seeding`); ``shard_id`` is global bookkeeping only.
+    """
+
+    shard_id: int
+    cell: CellRef
+    cell_position: int
+    chunk_index: int
+    n_samples: int
+
+
+@dataclass
+class ShardResult:
+    """One executed shard: its coordinates plus the chunk's accumulator."""
+
+    shard_id: int
+    cell_position: int
+    chunk_index: int
+    accumulator: RunningMean
+
+
+@dataclass
+class WorkerReport:
+    """Everything one worker sends home after draining its shard list."""
+
+    worker_index: int
+    shard_results: list[ShardResult] = field(default_factory=list)
+    statistics: dict = field(default_factory=dict)
+    cache: OracleCache | None = None

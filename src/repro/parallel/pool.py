@@ -1,0 +1,70 @@
+"""Process-pool plumbing for the sharded scheduler.
+
+One executor, one task per worker: each task receives its full shard list up
+front (static round-robin assignment, decided by the scheduler), builds its
+own oracle stack once, and returns a single report.  There is no work
+stealing — dynamic assignment would be faster on skewed shards but would make
+"which worker ran what" depend on timing, and per-worker cache/statistics
+reports are only meaningful for a deterministic assignment.
+
+The ``fork`` start method is preferred where available (POSIX): workers
+inherit the parent's interpreter state, so only the job payload crosses a
+pickle boundary.  Elsewhere the platform default (spawn) is used — everything
+a worker needs is pickled anyway, it just pays an import per worker.  In
+sandboxes where process pools cannot be created at all (no /dev/shm, seccomp
+filters), execution degrades to in-process with a one-time warning; results
+are unaffected because shard draws are seeded, not shared.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
+
+_POOL_FAILURE_WARNED = False
+
+
+def process_context():
+    """The multiprocessing context used for worker pools (fork if available)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_worker_tasks(fn: Callable, tasks: Sequence[tuple], n_jobs: int) -> list:
+    """Run one ``fn(*task)`` call per task, in processes when ``n_jobs > 1``.
+
+    Results come back in task order (never completion order), so callers can
+    merge deterministically.  With one task or one job the calls run inline —
+    the task arguments are identical either way, which is what keeps the
+    in-process and multi-process paths bit-identical.
+    """
+    tasks = list(tasks)
+    if n_jobs <= 1 or len(tasks) <= 1:
+        return [fn(*task) for task in tasks]
+    try:
+        # worker processes are spawned lazily, so process-creation failures
+        # (seccomp-denied clone, EAGAIN/ENOMEM at fork, dead /dev/shm) can
+        # surface at construction, at submit, or as a BrokenProcessPool from
+        # result() — all of them degrade to the in-process plan.  A
+        # deterministic exception raised *by the task itself* is none of
+        # these types: it propagates (and would re-raise inline anyway).
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks)),
+                                 mp_context=process_context()) as pool:
+            futures = [pool.submit(fn, *task) for task in tasks]
+            return [future.result() for future in futures]
+    except (OSError, BrokenProcessPool) as error:  # pragma: no cover - sandbox-dependent
+        global _POOL_FAILURE_WARNED
+        if not _POOL_FAILURE_WARNED:
+            _POOL_FAILURE_WARNED = True
+            warnings.warn(
+                f"cannot run a process pool ({error}); running shards "
+                "in-process — results are identical, only slower",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return [fn(*task) for task in tasks]

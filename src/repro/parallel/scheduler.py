@@ -1,0 +1,328 @@
+"""The sharded multi-process cell-Shapley scheduler.
+
+``ShardedExplainScheduler`` turns one cell-Shapley job into a deterministic
+plan of ``(cell, sample-chunk)`` shards, executes the plan on ``n_jobs``
+worker processes (``n_jobs=1`` runs the identical plan in-process), and
+merges everything back:
+
+* **estimates** — each shard returns a Welford accumulator; per cell the
+  chunk accumulators are merged in chunk order (a fixed merge tree), so the
+  final mean/standard-error bits do not depend on worker count or completion
+  order;
+* **oracle counters** — every worker's ``oracle.statistics()`` is folded into
+  the parent oracle via
+  :meth:`~repro.repair.base.BinaryRepairOracle.absorb_statistics`, so reports
+  and benchmarks read one aggregate;
+* **caches** — each worker's :class:`~repro.repair.cache.OracleCache` is
+  merged into the parent's (:meth:`~repro.repair.cache.OracleCache.merge`),
+  so answers computed in one run warm the next.
+
+:meth:`run` executes a fixed-sample plan; :meth:`run_adaptive` samples in
+rounds of one chunk per unconverged cell, deciding convergence on the
+*merged* cross-shard accumulator after every round — the stopping rule
+consumes the same counts for every ``n_jobs``, so adaptive runs are as
+worker-count-invariant as fixed ones.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.config import DEFAULT_CELL_SAMPLES
+from repro.dataset.table import CellRef
+from repro.parallel.job import ExplainJobSpec, ExplainShard, ShardResult, WorkerReport
+from repro.parallel.pool import run_worker_tasks
+from repro.parallel.seeding import partition_samples
+from repro.parallel.worker import build_worker_state, run_worker
+from repro.repair.cache import OracleCache, aggregate_oracle_statistics
+from repro.shapley.cells import BATCH_CHUNK_SIZE
+from repro.shapley.convergence import ConvergenceTracker, RunningMean
+from repro.shapley.sampling import SampledShapleyEstimate
+
+#: default shard granularity — the batched oracle's chunk size, so one shard
+#: drains as exactly one ``query_pairs`` scheduled pass
+DEFAULT_SAMPLES_PER_SHARD = BATCH_CHUNK_SIZE
+
+
+@dataclass
+class ParallelExplainResult:
+    """The merged outcome of one scheduled run."""
+
+    #: per-cell estimates, keyed by the explained cell
+    estimates: dict[CellRef, SampledShapleyEstimate] = field(default_factory=dict)
+    #: worker processes that actually ran (1 on the in-process path)
+    n_workers: int = 1
+    #: shards executed across all rounds
+    n_shards: int = 0
+    #: aggregated oracle counters across workers (plus the parallel counters)
+    statistics: dict = field(default_factory=dict)
+    #: the merged cache — the absorbing oracle's when ``absorb_into`` was
+    #: given, otherwise a standalone merge of the worker caches
+    cache: OracleCache | None = None
+
+
+class ShardedExplainScheduler:
+    """Partition, execute and merge one cell-Shapley job.
+
+    Parameters
+    ----------
+    spec:
+        The picklable job description (see :class:`ExplainJobSpec`).
+    n_jobs:
+        Worker process count.  ``1`` executes the same shard plan in-process
+        — no pool, no pickling — and is the bit-identical reference for any
+        ``n_jobs=k``.
+    samples_per_shard:
+        Chunk granularity of the plan; part of the seed partition (changing
+        it changes the draws), so hold it fixed when comparing runs.
+    """
+
+    def __init__(self, spec: ExplainJobSpec, n_jobs: int = 1,
+                 samples_per_shard: int | None = None):
+        if int(n_jobs) < 1:
+            raise ValueError(f"n_jobs must be a positive integer, got {n_jobs}")
+        if samples_per_shard is not None and int(samples_per_shard) < 1:
+            raise ValueError(
+                f"samples_per_shard must be a positive integer, got {samples_per_shard}"
+            )
+        self.spec = spec
+        self.n_jobs = int(n_jobs)
+        self.samples_per_shard = (
+            int(samples_per_shard) if samples_per_shard is not None
+            else DEFAULT_SAMPLES_PER_SHARD
+        )
+        self._spec_payload: bytes | None = None
+        #: the in-process worker state, built once per scheduler and reused
+        #: across rounds/runs (warm cache, no oracle rebuild per round)
+        self._inline_state = None
+
+    @classmethod
+    def from_explainer(cls, explainer, n_jobs: int,
+                       samples_per_shard: int | None = None) -> "ShardedExplainScheduler":
+        """Assemble the job spec from a live ``CellShapleyExplainer``."""
+        oracle = explainer.oracle
+        cache = oracle.cache
+        spec = ExplainJobSpec(
+            algorithm=oracle.algorithm,
+            constraints=list(oracle.constraints),
+            dirty_table=oracle.dirty_table,
+            cell=oracle.cell,
+            target_value=oracle.target_value,
+            policy=explainer.policy.value,
+            job_seed=explainer.job_seed(),
+            use_cache=cache is not None,
+            cache_size=cache.max_entries if cache is not None else None,
+            oracle_incremental=oracle.incremental,
+            oracle_paired=oracle.paired,
+            oracle_shared_stats=oracle.shared_stats,
+            oracle_batched_pairs=oracle.batched_pairs,
+            explainer_incremental=explainer.incremental,
+            explainer_paired=explainer.paired,
+            explainer_shared_stats=explainer.shared_stats,
+            explainer_batched_pairs=explainer.batched_pairs,
+        )
+        return cls(spec, n_jobs=n_jobs, samples_per_shard=samples_per_shard)
+
+    # -- planning ---------------------------------------------------------------------
+
+    def plan(self, cells: Sequence[CellRef], n_samples: int) -> list[ExplainShard]:
+        """The deterministic shard list for a fixed-sample job.
+
+        Shards are emitted cell-major, chunk-minor; their seed coordinates
+        are the cell's *position in this job* plus the chunk index, so the
+        same (cells, n_samples, samples_per_shard, job_seed) quadruple always
+        yields the same draws.
+        """
+        shards: list[ExplainShard] = []
+        for position, cell in enumerate(cells):
+            for chunk_index, chunk in enumerate(
+                partition_samples(n_samples, self.samples_per_shard)
+            ):
+                shards.append(
+                    ExplainShard(len(shards), cell, position, chunk_index, chunk)
+                )
+        return shards
+
+    # -- execution --------------------------------------------------------------------
+
+    def _payload(self) -> bytes:
+        """The job spec, pickled once and reused for every worker task."""
+        if self._spec_payload is None:
+            self._spec_payload = pickle.dumps(self.spec, protocol=pickle.HIGHEST_PROTOCOL)
+        return self._spec_payload
+
+    def _execute(self, shards: Sequence[ExplainShard]) -> list[WorkerReport]:
+        """Round-robin the shards over the workers and collect their reports.
+
+        The assignment (shard ``i`` → worker ``i mod n_jobs``) is static and
+        deterministic; reports come back in worker order.  An unpicklable job
+        spec (e.g. a custom repair algorithm holding a closure) degrades to
+        in-process execution with a warning, mirroring the permutation
+        estimator — the plan and therefore the values are unchanged.
+        """
+        n_jobs = max(1, min(self.n_jobs, len(shards)))
+        assignments = [list(shards[worker::n_jobs]) for worker in range(n_jobs)]
+        if n_jobs == 1:
+            if self._inline_state is None:
+                self._inline_state = build_worker_state(self.spec)
+            return [run_worker(self.spec, assignments[0], 0,
+                               state=self._inline_state)]
+        try:
+            payload = self._payload()
+        except Exception as error:
+            warnings.warn(
+                f"job spec is not picklable ({error}); running shards "
+                "in-process — estimates are identical, only slower",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [run_worker(self.spec, assignment, worker)
+                    for worker, assignment in enumerate(assignments)]
+        tasks = [(payload, assignment, worker)
+                 for worker, assignment in enumerate(assignments)]
+        return run_worker_tasks(run_worker, tasks, n_jobs)
+
+    @staticmethod
+    def _ordered_results(reports: Iterable[WorkerReport]) -> list[ShardResult]:
+        """All shard results in plan order — the fixed merge order."""
+        results = [result for report in reports for result in report.shard_results]
+        results.sort(key=lambda result: (result.cell_position, result.chunk_index))
+        return results
+
+    # -- fixed-sample runs ------------------------------------------------------------
+
+    def run(self, cells: Iterable[CellRef], n_samples: int,
+            absorb_into=None) -> ParallelExplainResult:
+        """Execute a fixed ``n_samples``-per-cell plan and merge the results.
+
+        ``absorb_into`` names the parent :class:`BinaryRepairOracle` whose
+        counters and cache should receive the workers' (usually the oracle
+        the explainer was built on); without it the merged cache is returned
+        standalone on the result.
+        """
+        cells = list(cells)
+        shards = self.plan(cells, n_samples)
+        trackers = [RunningMean() for _ in cells]
+        reports: list[WorkerReport] = []
+        if shards:
+            reports = self._execute(shards)
+            for result in self._ordered_results(reports):
+                trackers[result.cell_position].merge(result.accumulator)
+        return self._merge(cells, trackers, reports, len(shards), absorb_into)
+
+    # -- adaptive runs ----------------------------------------------------------------
+
+    def run_adaptive(self, cells: Iterable[CellRef], tolerance: float = 0.01,
+                     min_samples: int = 30,
+                     max_samples: int = DEFAULT_CELL_SAMPLES,
+                     z: float = 1.96, absorb_into=None) -> ParallelExplainResult:
+        """Sample in rounds of one chunk per unconverged cell until all stop.
+
+        After each round every new shard accumulator is merged (in plan
+        order) into the cell's :class:`ConvergenceTracker`, and only the
+        merged tracker decides convergence — per-worker counts never reach
+        ``min_samples`` and would stall or misjudge the rule, which is
+        exactly the trap :meth:`ConvergenceTracker.merge` documents.  A
+        cell's chunk indexes keep counting up across rounds, so the draws of
+        round ``r`` are the same for every worker count.
+        """
+        cells = list(cells)
+        trackers = [
+            ConvergenceTracker(tolerance=tolerance, z=z, min_samples=min_samples)
+            for _ in cells
+        ]
+        next_chunk = [0] * len(cells)
+        active = [position for position, _ in enumerate(cells) if max_samples > 0]
+        reports: list[WorkerReport] = []
+        n_shards = 0
+        n_workers = 1
+        shard_id = 0
+        while active:
+            shards: list[ExplainShard] = []
+            for position in active:
+                taken = trackers[position].accumulator.count
+                chunk = min(self.samples_per_shard, max_samples - taken)
+                shards.append(ExplainShard(shard_id, cells[position], position,
+                                           next_chunk[position], chunk))
+                shard_id += 1
+                next_chunk[position] += 1
+            round_reports = self._execute(shards)
+            n_shards += len(shards)
+            n_workers = max(n_workers, len(round_reports))
+            reports.extend(round_reports)
+            for result in self._ordered_results(round_reports):
+                trackers[result.cell_position].merge(result.accumulator)
+            active = [
+                position for position in active
+                if not trackers[position].converged()
+                and trackers[position].accumulator.count < max_samples
+            ]
+        accumulators = [tracker.accumulator for tracker in trackers]
+        return self._merge(cells, accumulators, reports, n_shards, absorb_into,
+                           n_workers=n_workers)
+
+    # -- merging ----------------------------------------------------------------------
+
+    def _merge(self, cells: Sequence[CellRef], trackers: Sequence[RunningMean],
+               reports: Sequence[WorkerReport], n_shards: int, absorb_into,
+               n_workers: int | None = None) -> ParallelExplainResult:
+        # SampledShapleyEstimate normalises the degenerate n < 2 case itself
+        estimates = {
+            cell: SampledShapleyEstimate(
+                cell=cell,
+                value=tracker.mean,
+                standard_error=tracker.standard_error,
+                n_samples=tracker.count,
+            )
+            for cell, tracker in zip(cells, trackers)
+        }
+        if n_workers is None:
+            n_workers = max(1, len(reports))
+        statistics = aggregate_oracle_statistics(
+            report.statistics for report in reports
+        )
+        statistics["parallel_workers"] = max(
+            statistics.get("parallel_workers", 0), n_workers
+        )
+        statistics["parallel_shards"] = statistics.get("parallel_shards", 0) + n_shards
+        # cache counters are absorbed from the per-report statistics
+        # snapshots (see absorb_statistics); the cache objects contribute
+        # entries only, and each *distinct* object exactly once — the reused
+        # in-process worker state puts the same live cache behind every
+        # round's report, so replaying (or counter-reading) it per report
+        # would redo/miscount the whole history
+        merged_cache_ids: set[int] = set()
+
+        def merge_entries_once(target: OracleCache, donor: OracleCache | None) -> None:
+            if donor is not None and id(donor) not in merged_cache_ids:
+                merged_cache_ids.add(id(donor))
+                target.merge_entries(donor)
+
+        if absorb_into is not None:
+            for report in reports:
+                absorb_into.absorb_statistics(report.statistics)
+                if absorb_into.cache is not None:
+                    merge_entries_once(absorb_into.cache, report.cache)
+            absorb_into.parallel_workers = max(absorb_into.parallel_workers, n_workers)
+            absorb_into.parallel_shards += n_shards
+            cache = absorb_into.cache
+        elif self.spec.use_cache:
+            cache = (OracleCache(self.spec.cache_size)
+                     if self.spec.cache_size is not None else OracleCache())
+            for report in reports:
+                merge_entries_once(cache, report.cache)
+            cache.hits += statistics.get("cache_hits", 0)
+            cache.misses += statistics.get("cache_misses", 0)
+            cache.evictions += statistics.get("cache_evictions", 0)
+        else:
+            cache = None
+        return ParallelExplainResult(
+            estimates=estimates,
+            n_workers=n_workers,
+            n_shards=n_shards,
+            statistics=statistics,
+            cache=cache,
+        )

@@ -1,0 +1,97 @@
+"""Worker-side execution: rebuild the oracle stack, drain a shard list.
+
+``run_worker`` is the single entry point a pool task executes.  It accepts
+the job spec either as a live object (the in-process ``n_jobs=1`` path) or as
+pickled bytes (the multi-process path pickles the spec once and reuses the
+payload for every worker), so both paths run literally the same code on the
+same inputs.
+
+Each worker owns a full private copy of the evaluation engine — oracle,
+cache, shared-statistics instance, repair-walk state — built once per task
+and reused across all of its shards.  Within a worker the cache therefore
+accumulates across shards exactly like the sequential oracle's does; because
+the cache is a pure memoisation of a deterministic black box, this sharing
+affects wall-clock only, never values.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.parallel.job import ExplainJobSpec, ExplainShard, ShardResult, WorkerReport
+from repro.parallel.seeding import shard_rng
+from repro.repair.base import BinaryRepairOracle
+from repro.shapley.convergence import RunningMean
+
+
+def build_worker_state(spec: ExplainJobSpec):
+    """A fresh ``(oracle, explainer)`` pair rebuilt from a job spec.
+
+    The explainer is constructed with ``n_jobs=None`` — workers always run
+    the sequential engine; parallelism exists only between workers.
+    """
+    from repro.shapley.cells import CellShapleyExplainer
+
+    oracle = BinaryRepairOracle(
+        spec.algorithm,
+        list(spec.constraints),
+        spec.dirty_table,
+        spec.cell,
+        target_value=spec.target_value,
+        use_cache=spec.use_cache,
+        incremental=spec.oracle_incremental,
+        paired=spec.oracle_paired,
+        shared_stats=spec.oracle_shared_stats,
+        batched_pairs=spec.oracle_batched_pairs,
+        cache_size=spec.cache_size,
+    )
+    explainer = CellShapleyExplainer(
+        oracle,
+        policy=spec.policy,
+        rng=spec.job_seed,
+        incremental=spec.explainer_incremental,
+        paired=spec.explainer_paired,
+        shared_stats=spec.explainer_shared_stats,
+        batched_pairs=spec.explainer_batched_pairs,
+    )
+    return oracle, explainer
+
+
+def run_worker(spec: "ExplainJobSpec | bytes", shards: "list[ExplainShard]",
+               worker_index: int = 0, state=None) -> WorkerReport:
+    """Execute one worker's shard list and report results + counters + cache.
+
+    Before each shard the sampler is reseeded with the shard's own stream
+    (derived from the job seed and the shard coordinates), so the draws are
+    independent of the shard's position in this worker's list — the property
+    that makes any shard-to-worker assignment produce identical estimates.
+
+    ``state`` lets an in-process caller (the scheduler's ``n_jobs=1`` path,
+    which keeps one state across adaptive rounds) reuse a built
+    ``(oracle, explainer)`` pair instead of rebuilding it per call; its
+    counters are reset on entry so the report carries this call's deltas
+    only, while its cache stays warm across calls — wall-clock changes,
+    values never do (memoisation of a deterministic black box).
+    """
+    if isinstance(spec, (bytes, bytearray)):
+        spec = pickle.loads(bytes(spec))
+    if state is None:
+        state = build_worker_state(spec)
+    oracle, explainer = state
+    oracle.reset_counters()
+    results: list[ShardResult] = []
+    for shard in shards:
+        explainer.sampler.reseed(
+            shard_rng(spec.job_seed, shard.cell_position, shard.chunk_index)
+        )
+        tracker = RunningMean()
+        explainer._accumulate_cell(shard.cell, shard.n_samples, tracker)
+        results.append(
+            ShardResult(shard.shard_id, shard.cell_position, shard.chunk_index, tracker)
+        )
+    return WorkerReport(
+        worker_index=worker_index,
+        shard_results=results,
+        statistics=oracle.statistics(),
+        cache=oracle.cache,
+    )

@@ -262,6 +262,10 @@ class BinaryRepairOracle:
         self.pairs_batched = 0  # pairs submitted through those passes
         self.pairs_deduped = 0  # batched pairs answered without a repair
         self.max_batch_size = 0
+        # sharded-scheduler bookkeeping (absorbed from worker oracles by
+        # repro.parallel; stays 0 on purely sequential oracles)
+        self.parallel_workers = 0   # widest worker fan-out absorbed so far
+        self.parallel_shards = 0    # shards whose counters were absorbed
 
         if target_value is None:
             reference_clean = algorithm.repair_table(self.constraints, dirty_table)
@@ -649,6 +653,42 @@ class BinaryRepairOracle:
     # -- bookkeeping ------------------------------------------------------------------
 
     @property
+    def cache(self) -> OracleCache | None:
+        """The memoisation cache (``None`` when built with ``use_cache=False``).
+
+        Exposed so the sharded scheduler can export a worker oracle's cache
+        contents and :meth:`OracleCache.merge` them into the parent's.
+        """
+        return self._cache
+
+    def absorb_statistics(self, stats: dict) -> None:
+        """Add another oracle's counter snapshot into this one.
+
+        The sharded scheduler runs one oracle per worker process and folds
+        their counters back here so reports and benchmarks see one aggregate.
+        Cache hit/miss/eviction counters are absorbed from the snapshot too
+        (into this oracle's cache object): the snapshot is the authoritative
+        per-report delta, whereas a worker's live cache object may span
+        several reports — which is why the scheduler pairs this call with
+        :meth:`OracleCache.merge_entries`, never the counter-carrying
+        :meth:`OracleCache.merge`.
+        """
+        self.calls += stats.get("oracle_calls", 0)
+        self.repair_runs += stats.get("repair_runs", 0)
+        self.pair_walks += stats.get("pair_walks", 0)
+        self.batches += stats.get("batches", 0)
+        self.pairs_batched += stats.get("pairs_batched", 0)
+        self.pairs_deduped += stats.get("pairs_deduped", 0)
+        self.max_batch_size = max(self.max_batch_size, stats.get("max_batch_size", 0))
+        if self._cache is not None:
+            self._cache.hits += stats.get("cache_hits", 0)
+            self._cache.misses += stats.get("cache_misses", 0)
+            self._cache.evictions += stats.get("cache_evictions", 0)
+        if self.stats_engine is not None:
+            self.stats_engine.leases += stats.get("stats_leases", 0)
+            self.stats_engine.cells_moved += stats.get("stats_cells_moved", 0)
+
+    @property
     def cache_hits(self) -> int:
         return self._cache.hits if self._cache is not None else 0
 
@@ -668,6 +708,8 @@ class BinaryRepairOracle:
         self.pairs_batched = 0
         self.pairs_deduped = 0
         self.max_batch_size = 0
+        self.parallel_workers = 0
+        self.parallel_shards = 0
         if self._cache is not None:
             self._cache.reset_counters()
         if self.stats_engine is not None:
@@ -686,6 +728,8 @@ class BinaryRepairOracle:
             "pairs_batched": self.pairs_batched,
             "pairs_deduped": self.pairs_deduped,
             "max_batch_size": self.max_batch_size,
+            "parallel_workers": self.parallel_workers,
+            "parallel_shards": self.parallel_shards,
         }
         if self.stats_engine is not None:
             stats.update(self.stats_engine.statistics())

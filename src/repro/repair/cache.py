@@ -55,6 +55,49 @@ class OracleCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
 
+    def entries(self) -> list[tuple[Hashable, int]]:
+        """All cached entries in LRU order (least recently used first).
+
+        The order is what makes caches *mergeable*: replaying another cache's
+        entries oldest-first into :meth:`put` reproduces its recency ranking
+        inside the receiving cache, so a later eviction pass drops the same
+        entries a single shared cache would have dropped.
+        """
+        return list(self._entries.items())
+
+    def merge_entries(self, other: "OracleCache") -> "OracleCache":
+        """Absorb another cache's *entries* (not its counters) into this one.
+
+        Entries are replayed in ``other``'s LRU order, so they land *newer*
+        than everything currently cached here while keeping their relative
+        recency; a key present in both caches is refreshed (the oracle is
+        deterministic, so both sides hold the same answer).  The bound of
+        *this* cache governs: merging a larger cache into a smaller one
+        evicts oldest-first exactly as if the entries had been inserted live
+        (those evictions do count here).  The sharded scheduler uses this
+        half of the merge — worker cache *counters* travel separately inside
+        ``oracle.statistics()`` snapshots, which stay correct even when one
+        long-lived worker cache reports several rounds of deltas.
+        ``other`` is not modified.
+        """
+        for key, value in other.entries():
+            self.put(key, value)
+        return self
+
+    def merge(self, other: "OracleCache") -> "OracleCache":
+        """Absorb another cache's entries *and* counters into this one.
+
+        Entry semantics are those of :meth:`merge_entries`; on top,
+        ``other``'s hit/miss/eviction counters are added to this cache's, so
+        the merged statistics describe the union of both workloads.
+        ``other`` is not modified.
+        """
+        self.merge_entries(other)
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        return self
+
     def clear(self) -> None:
         self._entries.clear()
         self.reset_counters()
@@ -68,6 +111,29 @@ class OracleCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+#: counters that aggregate by maximum rather than by sum — they describe a
+#: high-water mark of one run, not an additive workload
+_MAX_COUNTERS = frozenset({"max_batch_size", "parallel_workers"})
+
+
+def aggregate_oracle_statistics(stats_dicts) -> dict[str, int]:
+    """Fold per-worker ``oracle.statistics()`` dicts into one aggregate.
+
+    Counters are summed across workers except the high-water marks
+    (``max_batch_size``, ``parallel_workers``), which take the maximum.  Used
+    by the sharded scheduler to report one statistics dict for a whole
+    parallel run, and usable standalone to combine any oracle counter dicts.
+    """
+    merged: dict[str, int] = {}
+    for stats in stats_dicts:
+        for key, value in stats.items():
+            if key in _MAX_COUNTERS:
+                merged[key] = max(merged.get(key, 0), value)
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged
 
 
 def memoised_oracle_stats(oracle) -> dict[str, float]:

@@ -18,18 +18,22 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.config import DEFAULT_CELL_SAMPLES, make_rng
+import numpy as np
 
-#: pairs drained per :meth:`BinaryRepairOracle.query_pairs` scheduled pass —
-#: bounds peak memory at O(chunk x n_cells) live coalition views while still
-#: giving the scheduler a whole window to dedup and group over
-BATCH_CHUNK_SIZE = 128
+from repro.config import DEFAULT_CELL_SAMPLES, make_rng
 from repro.constraints.dc import DenialConstraint
 from repro.dataset.table import CellRef, Table
 from repro.repair.base import BinaryRepairOracle
 from repro.shapley.convergence import RunningMean
 from repro.shapley.game import ShapleyResult, shapley_weight
 from repro.shapley.sampling import CellCoalitionSampler, ReplacementPolicy, SampledShapleyEstimate
+
+#: pairs drained per :meth:`BinaryRepairOracle.query_pairs` scheduled pass —
+#: bounds peak memory at O(chunk x n_cells) live coalition views while still
+#: giving the scheduler a whole window to dedup and group over; also the
+#: default shard granularity of the parallel scheduler, so one shard drains
+#: as one scheduled pass
+BATCH_CHUNK_SIZE = 128
 
 
 def relevant_cells(table: Table, constraints: Sequence[DenialConstraint],
@@ -106,6 +110,23 @@ class CellShapleyExplainer:
         group).  Requires ``paired`` and ``incremental``; ``False`` submits
         one pair query per sample, exactly as before.  Estimates are
         bit-identical either way.
+    n_jobs:
+        ``None`` (default) keeps the sequential path: one RNG stream drives
+        every cell's draws in submission order, exactly as in earlier
+        releases.  An integer routes :meth:`estimate_cell`/:meth:`explain`
+        through the sharded scheduler (:mod:`repro.parallel`): the job is
+        partitioned into ``(cell, sample-chunk)`` shards with seeds spawned
+        per shard from the job seed, executed on ``n_jobs`` worker processes
+        (``1`` runs the same plan in-process), and merged.  Estimates are
+        **bit-identical for every** ``n_jobs >= 1`` — the coalition draws of
+        a shard depend only on the job seed and the shard's position, never
+        on which worker ran it — but differ from the ``n_jobs=None`` stream,
+        whose draws are serially entangled across cells.
+    samples_per_shard:
+        Samples per shard on the ``n_jobs`` path (default: the scheduler's,
+        which matches :data:`BATCH_CHUNK_SIZE`).  Changing it changes the
+        seed partition and therefore the draws; it must be held fixed when
+        comparing runs.
     """
 
     def __init__(
@@ -117,6 +138,8 @@ class CellShapleyExplainer:
         paired: bool = True,
         shared_stats: bool = True,
         batched_pairs: bool = True,
+        n_jobs: int | None = None,
+        samples_per_shard: int | None = None,
     ):
         self.oracle = oracle
         self.policy = ReplacementPolicy.from_name(policy)
@@ -124,12 +147,51 @@ class CellShapleyExplainer:
         self.paired = bool(paired)
         self.shared_stats = bool(shared_stats) and self.incremental
         self.batched_pairs = bool(batched_pairs)
+        if n_jobs is not None and int(n_jobs) < 1:
+            raise ValueError(f"n_jobs must be a positive integer or None, got {n_jobs}")
+        self.n_jobs = int(n_jobs) if n_jobs is not None else None
+        self.samples_per_shard = samples_per_shard
+        #: the integer the sharded scheduler partitions into per-shard seeds;
+        #: resolved immediately for int/None seeds, deferred for a live
+        #: generator so purely sequential use never consumes an extra draw
+        #: (see :meth:`job_seed`)
+        self._job_seed: int | None = None
+        if rng is None or isinstance(rng, (int, np.integer)):
+            from repro.parallel.seeding import resolve_job_seed
+
+            self._job_seed = resolve_job_seed(rng)
         self._rng = make_rng(rng)
         self.sampler = CellCoalitionSampler(
             oracle.dirty_table, policy=self.policy, rng=self._rng,
             materialize=not self.incremental,
             batched=self.paired and self.incremental,
             stats_engine=oracle.stats_engine if self.shared_stats else None,
+        )
+
+    # -- parallel plumbing ---------------------------------------------------------------
+
+    def job_seed(self) -> int:
+        """The seed the sharded scheduler partitions into per-shard streams.
+
+        For integer (or default) seeds this is the seed itself; when the
+        explainer was handed a live generator there is no integer to recover,
+        so one is drawn from that generator — once, deterministically given
+        the generator's state — and reused for every subsequent parallel run.
+        The derivation rule itself lives in
+        :func:`repro.parallel.seeding.resolve_job_seed`, shared with the
+        permutation estimator.
+        """
+        if self._job_seed is None:
+            from repro.parallel.seeding import resolve_job_seed
+
+            self._job_seed = resolve_job_seed(self._rng)
+        return self._job_seed
+
+    def _scheduler(self, n_jobs: int):
+        from repro.parallel import ShardedExplainScheduler
+
+        return ShardedExplainScheduler.from_explainer(
+            self, n_jobs=n_jobs, samples_per_shard=self.samples_per_shard
         )
 
     # -- single-cell estimate ------------------------------------------------------------
@@ -143,10 +205,29 @@ class CellShapleyExplainer:
         as one pair query sharing a repair walk; otherwise they are two
         independent queries.  Either way the sample's contribution is the
         difference of the two binary answers, accumulated in sampling order.
+
+        With ``n_jobs`` set the cell's samples are partitioned into seeded
+        shards and estimated through the sharded scheduler instead (identical
+        for every worker count, see the class docstring).
         """
         self.oracle.dirty_table.validate_cell(cell)
-        use_pair = self.paired and self.incremental
+        if self.n_jobs is not None:
+            outcome = self._scheduler(self.n_jobs).run(
+                [cell], n_samples, absorb_into=self.oracle
+            )
+            return outcome.estimates[cell]
         tracker = RunningMean()
+        self._accumulate_cell(cell, n_samples, tracker)
+        return self._estimate_from(cell, tracker)
+
+    def _accumulate_cell(self, cell: CellRef, n_samples: int, tracker: RunningMean) -> None:
+        """Feed ``n_samples`` Monte-Carlo differences for ``cell`` into ``tracker``.
+
+        The single evaluation core shared by the sequential path and the
+        sharded scheduler's workers (which call it once per shard, after
+        reseeding the sampler with the shard's stream).
+        """
+        use_pair = self.paired and self.incremental
         if use_pair and self.batched_pairs:
             remaining = n_samples
             while remaining > 0:
@@ -166,12 +247,40 @@ class CellShapleyExplainer:
                 else:
                     difference = self.oracle.query_table(with_cell) - self.oracle.query_table(without_cell)
                 tracker.update(float(difference))
+
+    @staticmethod
+    def _estimate_from(cell: CellRef, tracker: RunningMean) -> SampledShapleyEstimate:
+        # SampledShapleyEstimate normalises the degenerate n < 2 case itself
         return SampledShapleyEstimate(
             cell=cell,
             value=tracker.mean,
-            standard_error=tracker.standard_error if tracker.count > 1 else 0.0,
+            standard_error=tracker.standard_error,
             n_samples=tracker.count,
         )
+
+    def estimate_cell_converged(
+        self,
+        cell: CellRef,
+        tolerance: float = 0.01,
+        min_samples: int = 30,
+        max_samples: int = DEFAULT_CELL_SAMPLES,
+    ) -> SampledShapleyEstimate:
+        """Adaptive estimate: sample in shard-sized rounds until converged.
+
+        Runs the sharded scheduler (``n_jobs`` workers, or in-process when
+        ``n_jobs`` is unset) in rounds of one seeded chunk per round and stops
+        once the merged cross-shard accumulator satisfies the
+        :class:`~repro.shapley.convergence.ConvergenceTracker` rule — the
+        decision always consumes the merged sample count, never one worker's
+        private count, so the stopping point (and the estimate) is identical
+        for every worker count.
+        """
+        self.oracle.dirty_table.validate_cell(cell)
+        outcome = self._scheduler(self.n_jobs or 1).run_adaptive(
+            [cell], tolerance=tolerance, min_samples=min_samples,
+            max_samples=max_samples, absorb_into=self.oracle,
+        )
+        return outcome.estimates[cell]
 
     # -- many cells ---------------------------------------------------------------------
 
@@ -204,11 +313,23 @@ class CellShapleyExplainer:
         values: dict[CellRef, float] = {}
         errors: dict[CellRef, float] = {}
         total_samples = 0
-        for cell in cells:
-            estimate = self.estimate_cell(cell, n_samples=n_samples)
-            values[cell] = estimate.value
-            errors[cell] = estimate.standard_error
-            total_samples += estimate.n_samples
+        if self.n_jobs is not None and cells:
+            # one sharded plan over the whole job: all (cell, chunk) shards
+            # are scheduled together so the workers stay busy across cells
+            outcome = self._scheduler(self.n_jobs).run(
+                cells, n_samples, absorb_into=self.oracle
+            )
+            for cell in cells:
+                estimate = outcome.estimates[cell]
+                values[cell] = estimate.value
+                errors[cell] = estimate.standard_error
+                total_samples += estimate.n_samples
+        else:
+            for cell in cells:
+                estimate = self.estimate_cell(cell, n_samples=n_samples)
+                values[cell] = estimate.value
+                errors[cell] = estimate.standard_error
+                total_samples += estimate.n_samples
         return ShapleyResult(
             values=values,
             standard_errors=errors,

@@ -88,6 +88,19 @@ class ConvergenceTracker:
         if record_history:
             self.history.append(self.accumulator.mean)
 
+    def merge(self, block: RunningMean) -> None:
+        """Fold a block of samples (e.g. one shard's accumulator) into the tracker.
+
+        Parallel estimation must decide convergence on the *merged*
+        cross-shard sample count and variance — a per-worker accumulator sees
+        only its own slice of the samples, so checking ``converged()`` against
+        it would stop far too late (its count never reaches ``min_samples``)
+        or report intervals computed from a fraction of the evidence.  The
+        sharded scheduler therefore merges every worker's block here first and
+        only then consults :meth:`converged`.
+        """
+        self.accumulator.merge(block)
+
     @property
     def estimate(self) -> float:
         return self.accumulator.mean

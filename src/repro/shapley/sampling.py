@@ -146,6 +146,21 @@ class CellCoalitionSampler:
         #: deterministic policies (see :meth:`_replacement_overlay`)
         self._overlay: dict[CellRef, object] | None = None
 
+    # -- seeding -------------------------------------------------------------------
+
+    def reseed(self, rng) -> None:
+        """Swap the sampler's RNG stream (seed, generator, or ``None``).
+
+        The sharded scheduler (:mod:`repro.parallel`) partitions a job seed
+        into one independent stream per ``(cell, sample-chunk)`` shard and
+        installs each stream here before drawing the shard's permutations, so
+        the draws for a given shard are identical no matter which worker —
+        or how many workers — execute the plan.  Policy-precomputed state
+        (the deterministic replacement overlay) is RNG-free and survives the
+        swap.
+        """
+        self._rng = make_rng(rng)
+
     # -- replacement values --------------------------------------------------------
 
     def replacement_value(self, cell: CellRef):
