@@ -24,6 +24,11 @@ processes, each owning a private copy of the whole stack above.  ``n_jobs=1``
 runs the identical plan in-process and is the bit-identical baseline for the
 ``parallel_speedup`` ratio recorded below; the speedup floor is only asserted
 on multi-core machines (a single-core box can time-slice, not parallelise).
+The scheduler's pool is **warm** by default — workers stay resident across
+rounds with their oracle stacks keyed by job-spec fingerprint and ship only
+new cache entries home — and the ``warm_pool_speedup`` ratio (same floor
+policy) times that against the cold rebuild-per-round lifecycle over three
+forced adaptive rounds.
 
 The timed simple-rules loop uses the ``mode`` replacement policy: it is
 deterministic (no RNG in replacement values, so timings are stable) and keeps
@@ -81,6 +86,7 @@ SPEEDUP_FLOOR = float(os.environ.get("TREX_BENCH_SPEEDUP_FLOOR", "3.0"))
 PAIRED_FLOOR_GREEDY = float(os.environ.get("TREX_BENCH_PAIRED_FLOOR", "2.0"))
 PAIRED_FLOOR_SIMPLE = float(os.environ.get("TREX_BENCH_PAIRED_FLOOR_SIMPLE", "2.0"))
 PARALLEL_FLOOR = float(os.environ.get("TREX_BENCH_PARALLEL_FLOOR", "1.5"))
+WARM_POOL_FLOOR = float(os.environ.get("TREX_BENCH_WARM_FLOOR", "1.2"))
 BENCH_JSON = os.environ.get("TREX_BENCH_JSON", "BENCH_shapley.json")
 
 #: the sharded-scheduler comparison (greedy black box, 2 workers); more
@@ -89,6 +95,13 @@ BENCH_JSON = os.environ.get("TREX_BENCH_JSON", "BENCH_shapley.json")
 PARALLEL_JOBS = 2
 N_SAMPLES_PARALLEL = 16
 N_PROBES_PARALLEL = 4
+
+#: the warm-vs-cold pool comparison: the rule-repair loop driven through 3
+#: forced adaptive rounds with small chunks — per-round work light enough
+#: that the per-round pool spawn + stack rebuild + whole-cache round-trip
+#: (exactly what the warm pool deletes) is the measured quantity
+WARM_POOL_ROUNDS = 3
+WARM_POOL_SAMPLES_PER_SHARD = 4
 
 #: (incremental, paired, second_order, shared_stats, batched_pairs) per path
 PATHS = {
@@ -146,6 +159,34 @@ def _explain_parallel(constraints, dirty, cell, n_jobs: int):
     return result, time.perf_counter() - start, oracle
 
 
+def _explain_warm_cold(constraints, dirty, cell, warm_pool: bool):
+    """The rule-repair adaptive loop on 2 workers, warm vs cold lifecycle.
+
+    ``min == max == rounds x chunk`` forces exactly ``WARM_POOL_ROUNDS``
+    rounds, so both modes execute the identical shard plan; the timing
+    includes pool spawning — the cold path's per-round spawn/rebuild/ship
+    overhead is precisely what the warm pool exists to delete.
+    """
+    oracle = BinaryRepairOracle(
+        _make_algorithm("simple", second_order=True), constraints, dirty, cell,
+    )
+    explainer = CellShapleyExplainer(
+        oracle, policy="mode", rng=3, n_jobs=PARALLEL_JOBS,
+        samples_per_shard=WARM_POOL_SAMPLES_PER_SHARD, warm_pool=warm_pool,
+    )
+    probes = relevant_cells(dirty, constraints, cell)[:N_PROBES_PARALLEL]
+    budget = WARM_POOL_ROUNDS * WARM_POOL_SAMPLES_PER_SHARD
+    scheduler = explainer._scheduler(PARALLEL_JOBS)
+    with explainer:
+        start = time.perf_counter()
+        outcome = scheduler.run_adaptive(
+            probes, tolerance=1e-12, min_samples=budget, max_samples=budget,
+            absorb_into=oracle,
+        )
+        elapsed = time.perf_counter() - start
+    return outcome, elapsed, oracle
+
+
 def _write_bench_json(payload: dict) -> None:
     payload = dict(payload)
     payload["benchmark"] = "cell_shapley_paired_oracle"
@@ -161,12 +202,15 @@ def _write_bench_json(payload: dict) -> None:
         "parallel_jobs": PARALLEL_JOBS,
         "n_samples_parallel": N_SAMPLES_PARALLEL,
         "n_probes_parallel": N_PROBES_PARALLEL,
+        "warm_pool_rounds": WARM_POOL_ROUNDS,
+        "warm_pool_samples_per_shard": WARM_POOL_SAMPLES_PER_SHARD,
         "cpu_count": os.cpu_count(),
         "floors": {
             "incremental_vs_full": SPEEDUP_FLOOR,
             "paired_vs_incremental_greedy": PAIRED_FLOOR_GREEDY,
             "paired_vs_incremental_simple": PAIRED_FLOOR_SIMPLE,
             "parallel_speedup": PARALLEL_FLOOR,
+            "warm_pool_speedup": WARM_POOL_FLOOR,
         },
     }
     payload["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
@@ -230,10 +274,34 @@ def test_paths_identical_and_paired_is_faster(benchmark):
             == parallel_results[1].standard_errors)
     assert parallel_stats["parallel_workers"] == PARALLEL_JOBS
 
+    # -- warm pool vs cold pool: 3 adaptive rounds, 2 workers ----------------------------
+    warm_pool_outcomes = {}
+    warm_pool_timings = {mode: [] for mode in ("warm", "cold")}
+    warm_pool_stats = {}
+    for repeat in range(2):
+        for mode, is_warm in (("warm", True), ("cold", False)):
+            outcome, elapsed, pool_oracle = _explain_warm_cold(
+                constraints, dirty, cell, warm_pool=is_warm)
+            warm_pool_timings[mode].append(elapsed)
+            if repeat == 0:
+                warm_pool_outcomes[mode] = outcome
+                warm_pool_stats[mode] = pool_oracle.statistics()
+    # the hard gate: resident state and diff shipping change no bits
+    assert warm_pool_outcomes["warm"].estimates == warm_pool_outcomes["cold"].estimates
+    # the warm pool's accounting: stacks built once vs once per round, and
+    # strictly fewer cache entries crossing a process boundary
+    assert warm_pool_stats["warm"]["worker_rebuilds"] == PARALLEL_JOBS
+    assert warm_pool_stats["cold"]["worker_rebuilds"] == \
+        PARALLEL_JOBS * WARM_POOL_ROUNDS
+    assert (warm_pool_stats["warm"]["cache_entries_shipped"]
+            <= warm_pool_stats["cold"]["cache_entries_shipped"])
+
     best = {f"simple_{path}": min(times) for path, times in simple_timings.items()}
     best.update({f"greedy_{path}": min(times) for path, times in greedy_timings.items()})
     best["greedy_sharded_1job"] = min(parallel_timings[1])
     best[f"greedy_sharded_{PARALLEL_JOBS}jobs"] = min(parallel_timings[PARALLEL_JOBS])
+    best["simple_warm_pool"] = min(warm_pool_timings["warm"])
+    best["simple_cold_pool"] = min(warm_pool_timings["cold"])
     speedups = {
         "incremental_vs_full": best["simple_full"] / best["simple_incremental"],
         "paired_vs_incremental_simple": best["simple_incremental"] / best["simple_paired"],
@@ -243,6 +311,7 @@ def test_paths_identical_and_paired_is_faster(benchmark):
         "batched_vs_unbatched_greedy": best["greedy_paired_nobatch"] / best["greedy_paired"],
         "parallel_speedup": (best["greedy_sharded_1job"]
                              / best[f"greedy_sharded_{PARALLEL_JOBS}jobs"]),
+        "warm_pool_speedup": best["simple_cold_pool"] / best["simple_warm_pool"],
     }
     print_table(
         f"evaluation paths — cell Shapley, {N_ROWS} rows (best-of runs)",
@@ -265,6 +334,11 @@ def test_paths_identical_and_paired_is_faster(benchmark):
             ["greedy holistic", f"sharded, {PARALLEL_JOBS} workers",
              f"{best[f'greedy_sharded_{PARALLEL_JOBS}jobs']:.3f}",
              f"{speedups['parallel_speedup']:.2f}x vs 1 job"],
+            ["simple rules", f"cold pool, {WARM_POOL_ROUNDS} rounds",
+             f"{best['simple_cold_pool']:.3f}", "(warm-pool baseline)"],
+            ["simple rules", f"warm pool, {WARM_POOL_ROUNDS} rounds",
+             f"{best['simple_warm_pool']:.3f}",
+             f"{speedups['warm_pool_speedup']:.2f}x vs cold"],
         ],
     )
     _write_bench_json({
@@ -283,6 +357,15 @@ def test_paths_identical_and_paired_is_faster(benchmark):
                         "repair_runs", "batches", "pairs_batched",
                         "pairs_deduped", "cache_hits", "cache_misses",
                         "cache_evictions", "stats_leases", "stats_cells_moved")
+        },
+        "warm_pool": {
+            mode: {
+                key: warm_pool_stats[mode].get(key, 0)
+                for key in ("worker_rebuilds", "cache_entries_shipped",
+                            "shards_requeued", "workers_restarted",
+                            "parallel_shards", "cache_hits", "cache_misses")
+            }
+            for mode in ("warm", "cold")
         },
     })
     for key, value in speedups.items():
@@ -310,6 +393,11 @@ def test_paths_identical_and_paired_is_faster(benchmark):
             f"{PARALLEL_JOBS} workers are only {speedups['parallel_speedup']:.2f}x "
             f"faster than the in-process plan on the greedy loop "
             f"(floor: {PARALLEL_FLOOR}x)"
+        )
+        assert speedups["warm_pool_speedup"] >= WARM_POOL_FLOOR, (
+            f"the warm pool is only {speedups['warm_pool_speedup']:.2f}x faster "
+            f"than the cold rebuild-per-round pool over {WARM_POOL_ROUNDS} "
+            f"adaptive rounds (floor: {WARM_POOL_FLOOR}x)"
         )
 
     # time the paired loop under the benchmark harness for the record

@@ -13,8 +13,9 @@ equivalent front end for scripted use:
 ``python -m repro.cli explain --table dirty.csv --constraints dcs.txt --cell "t5[Country]"``
     Repair, then explain the repair of one cell: constraint Shapley values
     (exact) and, unless ``--constraints-only`` is given, sampled cell Shapley
-    values.  ``--jobs N`` runs the cell sampling on N worker processes (the
-    sharded scheduler; results are identical for every worker count).
+    values.  ``--jobs N`` runs the cell sampling on N warm worker processes
+    (the sharded scheduler; results are identical for every worker count;
+    ``--cold-pool`` forces the rebuild-per-round reference path).
     ``--json out.json`` persists the explanation.
 
 ``python -m repro.cli discover --table clean.csv``
@@ -106,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
                                      "(default: sequential; any value >= 1 uses the "
                                      "sharded scheduler, identical results for every "
                                      "worker count)")
+    explain_parser.add_argument("--cold-pool", action="store_true",
+                                help="with --jobs: rebuild the worker pool and each "
+                                     "worker's oracle stack every round instead of "
+                                     "keeping them resident (the warm default); "
+                                     "results are identical, only slower")
     explain_parser.add_argument("--policy", default="sample", choices=["sample", "null", "mode"],
                                 help="replacement policy for out-of-coalition cells")
     explain_parser.add_argument("--constraints-only", action="store_true",
@@ -158,6 +164,7 @@ def _command_explain(args) -> int:
         cell_samples=args.samples,
         replacement_policy=args.policy,
         n_jobs=args.jobs,
+        warm_pool=not args.cold_pool,
     )
     explainer = TRExExplainer(algorithm, constraints, table, config)
     repaired_cells = explainer.repaired_cells()

@@ -50,6 +50,11 @@ class TRexConfig:
         (default) keeps the sequential engine; an integer routes estimation
         through the sharded scheduler (:mod:`repro.parallel`), whose results
         are bit-identical for every ``n_jobs >= 1``.
+    warm_pool:
+        Whether the ``n_jobs`` path keeps worker processes (and their
+        resident oracle stacks) alive across rounds, shipping only new cache
+        entries home (the default).  ``False`` forces the cold
+        rebuild-per-round path; results are bit-identical either way.
     """
 
     seed: int = DEFAULT_SEED
@@ -58,6 +63,7 @@ class TRexConfig:
     max_repair_iterations: int = 25
     cache_oracle: bool = True
     n_jobs: int | None = None
+    warm_pool: bool = True
     extra: dict = field(default_factory=dict)
 
     def rng(self) -> np.random.Generator:
@@ -73,6 +79,7 @@ class TRexConfig:
             max_repair_iterations=self.max_repair_iterations,
             cache_oracle=self.cache_oracle,
             n_jobs=self.n_jobs,
+            warm_pool=self.warm_pool,
             extra=dict(self.extra),
         )
 

@@ -181,15 +181,18 @@ class TRExExplainer:
         oracle = self._oracle_for(cell)
         explainer = CellShapleyExplainer(
             oracle, policy=self.config.replacement_policy, rng=self.config.seed,
-            n_jobs=self.config.n_jobs,
+            n_jobs=self.config.n_jobs, warm_pool=self.config.warm_pool,
         )
         if cells is None and only_relevant:
             cells = relevant_cells(self.dirty_table, self.constraints, cell)
-        result = explainer.explain(
-            cells=cells,
-            n_samples=n_samples or self.config.cell_samples,
-            exclude_cell_of_interest=exclude_cell_of_interest,
-        )
+        # one explanation = one explainer lifetime: close the warm worker
+        # pool (if the n_jobs path spawned one) as soon as the sampling is done
+        with explainer:
+            result = explainer.explain(
+                cells=cells,
+                n_samples=n_samples or self.config.cell_samples,
+                exclude_cell_of_interest=exclude_cell_of_interest,
+            )
         return Explanation(
             cell=cell,
             old_value=self.dirty_table[cell],

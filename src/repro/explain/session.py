@@ -118,18 +118,23 @@ class RepairSession:
         self.cell_of_interest = cell
 
     def explain(self, n_samples: int | None = None, constraints_only: bool = False,
-                n_jobs: int | None = None) -> Explanation:
+                n_jobs: int | None = None,
+                warm_pool: bool | None = None) -> Explanation:
         """Press the "Explain" button for the current cell of interest.
 
         ``n_jobs`` switches the session's cell-Shapley sampling onto the
         sharded multi-process scheduler (see :mod:`repro.parallel`) from this
-        step on; it updates the session config, so later explain steps keep
-        the setting until it is changed again.
+        step on; ``warm_pool`` picks between the resident-worker warm pool
+        (the default) and the cold rebuild-per-round pool on that path.
+        Both update the session config, so later explain steps keep the
+        settings until they are changed again.
         """
         if self.cell_of_interest is None:
             raise ExplanationError("choose a cell of interest before asking for an explanation")
         if n_jobs is not None:
             self.config.n_jobs = n_jobs
+        if warm_pool is not None:
+            self.config.warm_pool = bool(warm_pool)
         explainer = self.explainer
         if constraints_only:
             explanation = explainer.explain_constraints(self.cell_of_interest)

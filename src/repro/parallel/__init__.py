@@ -7,41 +7,70 @@ top of it without touching any of those layers' semantics:
 
 * :mod:`~repro.parallel.seeding` — per-shard seed streams spawned from one
   job seed, the invariant that makes worker count irrelevant to the draws;
-* :mod:`~repro.parallel.job` — the picklable job/shard/report vocabulary;
+* :mod:`~repro.parallel.job` — the picklable job/shard/report vocabulary,
+  including the test harness's :class:`WorkerFault` directives;
 * :mod:`~repro.parallel.worker` — one worker = one private oracle stack,
-  built from the pickled job spec and reused across its shards;
-* :mod:`~repro.parallel.pool` — static one-task-per-worker process pools
-  (fork-preferred) with a deterministic in-process degradation;
+  built from the pickled job spec once and kept **resident** across rounds
+  (warm path: cache-diff shipping via per-worker high-water marks), or
+  rebuilt per task (cold path);
+* :mod:`~repro.parallel.pool` — the :class:`WorkerPool`: one dedicated pipe
+  per worker (exact task→worker assignment), health monitoring with
+  requeue-on-death/timeout, warm or transient lifecycle, and a deterministic
+  in-process degradation;
 * :mod:`~repro.parallel.scheduler` — plan, execute, merge: Welford-merged
-  estimates, absorbed oracle counters, LRU-merged caches, and an adaptive
-  mode whose early stopping consumes merged cross-shard counts.
+  estimates, absorbed oracle counter deltas, diff-merged caches, and an
+  adaptive mode whose early stopping consumes merged cross-shard counts.
 
 Entry points for users are ``CellShapleyExplainer(..., n_jobs=...)``,
-``TRexConfig(n_jobs=...)`` and the CLI's ``--jobs``; this package is the seam
-future serving work (async service, multi-backend dispatch) plugs into.
+``TRexConfig(n_jobs=..., warm_pool=...)`` and the CLI's ``--jobs`` /
+``--cold-pool``; this package is the seam future serving work (async
+service, multi-backend dispatch) plugs into.
 """
 
-from repro.parallel.job import ExplainJobSpec, ExplainShard, ShardResult, WorkerReport
-from repro.parallel.pool import process_context, run_worker_tasks
+from repro.parallel.job import (
+    ExplainJobSpec,
+    ExplainShard,
+    ShardResult,
+    WorkerFault,
+    WorkerReport,
+)
+from repro.parallel.pool import (
+    PoolTask,
+    TaskOutcome,
+    WorkerPool,
+    process_context,
+    run_worker_tasks,
+)
 from repro.parallel.scheduler import (
     DEFAULT_SAMPLES_PER_SHARD,
     ParallelExplainResult,
     ShardedExplainScheduler,
 )
 from repro.parallel.seeding import partition_samples, shard_rng, shard_seed_sequence
-from repro.parallel.worker import build_worker_state, run_worker
+from repro.parallel.worker import (
+    ResidentState,
+    build_worker_state,
+    run_resident_worker,
+    run_worker,
+)
 
 __all__ = [
     "DEFAULT_SAMPLES_PER_SHARD",
     "ExplainJobSpec",
     "ExplainShard",
     "ParallelExplainResult",
+    "PoolTask",
+    "ResidentState",
     "ShardResult",
     "ShardedExplainScheduler",
+    "TaskOutcome",
+    "WorkerFault",
+    "WorkerPool",
     "WorkerReport",
     "build_worker_state",
     "partition_samples",
     "process_context",
+    "run_resident_worker",
     "run_worker",
     "run_worker_tasks",
     "shard_rng",

@@ -12,9 +12,16 @@ private oracle stack from it (own ``BinaryRepairOracle``, ``OracleCache``,
 Shards and reports are the wire format in the other direction: a
 :class:`ShardResult` carries one chunk's Welford accumulator back, and a
 :class:`WorkerReport` bundles a worker's shard results with its oracle
-counters and its whole cache, which the parent merges
-(:meth:`~repro.repair.cache.OracleCache.merge`,
+counters and either its whole cache (the cold, rebuild-per-round path) or —
+on the warm-pool path — only the *diff* of cache entries inserted since the
+worker's last sync, which the parent merges
+(:meth:`~repro.repair.cache.OracleCache.merge_entries`,
 :meth:`~repro.repair.base.BinaryRepairOracle.absorb_statistics`).
+
+:class:`WorkerFault` is the fault-injection vocabulary of the test harness:
+a picklable directive executed *inside* a pool worker to simulate the
+environmental failures (process death, hangs, unpicklable reports) the
+pool's health/requeue machinery must absorb without changing any value.
 """
 
 from __future__ import annotations
@@ -87,9 +94,51 @@ class ShardResult:
 
 @dataclass
 class WorkerReport:
-    """Everything one worker sends home after draining its shard list."""
+    """Everything one worker sends home after draining its shard list.
+
+    ``statistics`` always carries *this report's delta* (counters are reset
+    at task entry), so a long-lived warm worker reporting several rounds
+    never double-counts.  Exactly one of ``cache`` / ``cache_diff`` carries
+    entries: the cold path ships the whole worker cache, the warm path only
+    the entries inserted since the worker's last sync (its high-water mark
+    over :meth:`~repro.repair.cache.OracleCache.entries_since`).
+    """
 
     worker_index: int
     shard_results: list[ShardResult] = field(default_factory=list)
     statistics: dict = field(default_factory=dict)
     cache: OracleCache | None = None
+    #: warm-path cache diff: ``(key, value)`` entries inserted since the last
+    #: sync, in insertion order
+    cache_diff: list = field(default_factory=list)
+    #: 1 when this task had to build the oracle stack from the job spec
+    rebuilt: int = 0
+    #: cache entries this report ships across the process boundary (the whole
+    #: cache on the cold path, ``len(cache_diff)`` on the warm path)
+    entries_shipped: int = 0
+    #: size of the worker's resident cache when the report was cut — what
+    #: whole-cache shipping would have cost this round
+    resident_cache_size: int = 0
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """A test-only fault directive executed inside a pool worker.
+
+    Exactly the failure modes the pool's health machinery distinguishes:
+
+    * ``die_after_shards`` — hard-exit the worker process after executing
+      that many shards (a mid-task crash; the parent sees EOF on the pipe);
+    * ``hang_seconds`` — sleep at task entry, tripping the parent's
+      ``worker_timeout`` (the worker is terminated and replaced);
+    * ``unpicklable_report`` — poison the report so it cannot cross the pipe
+      (the worker answers with an error and the parent degrades the task
+      in-process).
+
+    Faults attach to one dispatch only: a requeued task is always sent
+    clean, modelling an environmental failure at the original placement.
+    """
+
+    die_after_shards: int | None = None
+    hang_seconds: float | None = None
+    unpicklable_report: bool = False

@@ -1,28 +1,41 @@
-"""Process-pool plumbing for the sharded scheduler.
+"""Worker-pool plumbing for the sharded scheduler.
 
-One executor, one task per worker: each task receives its full shard list up
-front (static round-robin assignment, decided by the scheduler), builds its
-own oracle stack once, and returns a single report.  There is no work
-stealing — dynamic assignment would be faster on skewed shards but would make
-"which worker ran what" depend on timing, and per-worker cache/statistics
-reports are only meaningful for a deterministic assignment.
+Two lifecycles share one mechanism:
+
+* :class:`WorkerPool` — the **warm pool**: worker processes spawned once and
+  kept alive across rounds, each holding whatever resident state its task
+  handler accumulates (the explain workers keep a whole oracle stack keyed by
+  job-spec fingerprint).  One dedicated pipe per worker makes the task→worker
+  assignment exact — worker ``i`` runs task ``i``, never "whichever process
+  grabs the queue first" — which is what keeps per-worker resident caches,
+  rebuild counters and diff high-water marks meaningful.
+* :func:`run_worker_tasks` — the **transient pool**: the cold path builds a
+  pool, runs one round, tears it down.  It is a thin wrapper over
+  :class:`WorkerPool`, so it inherits the same health machinery.
+
+Health and requeue: a worker that dies mid-task (EOF on its pipe) or exceeds
+the pool timeout is replaced, and its task is requeued onto a live worker —
+or degraded in-process when no worker can take it.  A worker that *answers*
+with an error (a deterministic task failure, or a report that cannot be
+pickled) is left alive and its task degrades in-process directly: retrying a
+deterministic failure on another process would fail identically, while the
+in-process run needs no pickling at all.  None of this can change results —
+shard draws are seeded by shard coordinates, so a re-executed task produces
+bit-identical numbers wherever it lands.
 
 The ``fork`` start method is preferred where available (POSIX): workers
-inherit the parent's interpreter state, so only the job payload crosses a
-pickle boundary.  Elsewhere the platform default (spawn) is used — everything
-a worker needs is pickled anyway, it just pays an import per worker.  In
-sandboxes where process pools cannot be created at all (no /dev/shm, seccomp
-filters), execution degrades to in-process with a one-time warning; results
-are unaffected because shard draws are seeded, not shared.
+inherit the parent's interpreter state, so only task payloads cross a pickle
+boundary.  In sandboxes where child processes cannot be created at all (no
+/dev/shm, seccomp filters), execution degrades to in-process with a one-time
+warning; results are unaffected because shard draws are seeded, not shared.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
 
 _POOL_FAILURE_WARNED = False
 
@@ -35,29 +48,341 @@ def process_context():
         return multiprocessing.get_context()
 
 
-def run_worker_tasks(fn: Callable, tasks: Sequence[tuple], n_jobs: int) -> list:
+def _pool_worker_main(connection) -> None:
+    """The loop every pool worker runs: recv task, execute, send report.
+
+    ``resident`` is the worker-lifetime state dict handed to resident-capable
+    handlers (see :class:`PoolTask`); it is what makes the pool *warm* —
+    state built for one task survives into every later task of this process.
+    A report that fails to pickle is answered with an ``("error", …)`` tuple
+    instead (``Connection.send`` pickles before writing, so a failed send
+    leaves the pipe clean), letting the parent degrade that task in-process.
+    """
+    resident: dict = {}
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        if message is None:
+            break
+        fn, args, wants_resident, fault = message
+        kwargs: dict = {}
+        if wants_resident:
+            kwargs["resident"] = resident
+        if fault is not None:
+            kwargs["fault"] = fault
+        try:
+            response = ("ok", fn(*args, **kwargs))
+        except Exception as error:
+            response = ("error", f"{type(error).__name__}: {error}")
+        try:
+            connection.send(response)
+        except Exception as error:
+            try:
+                connection.send(("error", f"worker report is not picklable ({error})"))
+            except Exception:  # pragma: no cover - pipe gone mid-reply
+                break
+
+
+@dataclass
+class PoolTask:
+    """One unit of pool work: ``fn(*args)`` on a dedicated worker.
+
+    ``resident=True`` additionally passes the worker's process-lifetime state
+    dict as a ``resident`` keyword — the warm-path handlers use it to keep
+    their oracle stack between rounds.  ``fault`` is the test harness's
+    injection point (see :class:`~repro.parallel.job.WorkerFault`); it is
+    delivered as a ``fault`` keyword and stripped on requeue.
+    """
+
+    fn: Callable
+    args: tuple
+    resident: bool = False
+    fault: Any = None
+
+
+@dataclass
+class TaskOutcome:
+    """How one task actually ran: its result plus the pool's health verdict."""
+
+    result: Any
+    worker_index: int          # worker that produced the result; -1 = in-process
+    requeued: bool = False     # re-executed after the assigned worker failed
+    degraded: bool = False     # ran in the parent process (no pipe crossed)
+
+
+def _default_fallback(task: "PoolTask"):
+    """Degrade one task in the parent process.
+
+    Resident tasks get a fresh (empty) state dict — the parent has no warm
+    stack for them, so the handler builds one, exactly like a cold worker
+    would; callers that keep their own parent-side resident state pass a
+    custom fallback instead.
+    """
+    if task.resident:
+        return task.fn(*task.args, resident={})
+    return task.fn(*task.args)
+
+
+class _PoolWorker:
+    """One live worker process plus the parent end of its pipe."""
+
+    __slots__ = ("process", "connection")
+
+    def __init__(self, context):
+        parent_connection, child_connection = context.Pipe()
+        self.process = context.Process(
+            target=_pool_worker_main, args=(child_connection,), daemon=True
+        )
+        self.process.start()
+        child_connection.close()
+        self.connection = parent_connection
+
+    def stop(self) -> None:
+        try:
+            self.connection.send(None)
+        except Exception:
+            pass
+        self.process.join(timeout=0.5)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=0.5)
+        self.connection.close()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=0.5)
+        self.connection.close()
+
+
+class WorkerPool:
+    """A warm pool of worker processes with health monitoring and requeue.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count; all are spawned at construction so that
+        environments unable to create processes fail *here* (an ``OSError``
+        the caller degrades on) rather than mid-round.
+    timeout:
+        Per-task seconds the parent waits for a worker's report before
+        declaring it hung, replacing it and requeueing the task.  ``None``
+        (default) waits indefinitely — worker *death* is still detected
+        immediately via EOF on the pipe.
+
+    The pool is a context manager; :meth:`close` shuts the workers down.
+    ``workers_restarted`` / ``tasks_requeued`` count health events over the
+    pool's lifetime.
+    """
+
+    def __init__(self, n_workers: int, timeout: float | None = None, context=None):
+        if int(n_workers) < 1:
+            raise ValueError(f"n_workers must be a positive integer, got {n_workers}")
+        self._context = context if context is not None else process_context()
+        self.timeout = timeout
+        self.workers_restarted = 0
+        self.tasks_requeued = 0
+        #: per-slot restart generation — bumped whenever the process behind a
+        #: slot is replaced, so callers tracking per-worker resident state
+        #: can tell "same warm process" from "fresh replacement"
+        self.worker_generations: list[int] = [0] * int(n_workers)
+        self._workers: list[_PoolWorker | None] = []
+        try:
+            for _ in range(int(n_workers)):
+                self._workers.append(_PoolWorker(self._context))
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut every worker down; safe to call repeatedly."""
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            if worker is not None:
+                worker.stop()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- one round --------------------------------------------------------------------
+
+    def run_tasks(self, tasks: Sequence[PoolTask],
+                  fallback: Callable[[PoolTask], Any] | None = None) -> list[TaskOutcome]:
+        """Run ``tasks[i]`` on worker ``i`` and return outcomes in task order.
+
+        The assignment is positional and static — determinism of "which
+        worker ran what" is what per-worker resident state and cache
+        high-water marks are accounted against.  Failed tasks are requeued
+        onto a live worker that finished its own task cleanly this round
+        (warm state and all), then — if that fails too, or none exists —
+        degraded in-process via ``fallback`` (default: ``fn(*args)`` in the
+        parent, which re-raises deterministic task errors exactly like a
+        sequential run would).
+        """
+        tasks = list(tasks)
+        if len(tasks) > len(self._workers):
+            raise ValueError(
+                f"got {len(tasks)} tasks for {len(self._workers)} workers; "
+                "assign at most one task per worker"
+            )
+        if fallback is None:
+            fallback = _default_fallback
+
+        dispatched: list[bool] = []
+        for index, task in enumerate(tasks):
+            dispatched.append(self._dispatch(index, task))
+
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        failed: list[tuple[int, str]] = []
+        for index in range(len(tasks)):
+            if not dispatched[index]:
+                failed.append((index, "dead"))
+                continue
+            status, payload = self._collect(index)
+            if status == "ok":
+                outcomes[index] = TaskOutcome(payload, worker_index=index)
+            else:
+                self._note_failure(index, status, payload)
+                failed.append((index, status))
+
+        for index, status in failed:
+            outcomes[index] = self._requeue(tasks[index], index, status,
+                                            outcomes, fallback)
+        return outcomes  # type: ignore[return-value]
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def _dispatch(self, index: int, task: PoolTask) -> bool:
+        worker = self._workers[index]
+        if worker is None:
+            return False
+        try:
+            worker.connection.send((task.fn, task.args, task.resident, task.fault))
+            return True
+        except (OSError, ValueError):
+            self._restart(index)
+            return False
+
+    def _collect(self, index: int) -> tuple[str, Any]:
+        worker = self._workers[index]
+        if worker is None:  # pragma: no cover - dispatch already failed
+            return ("dead", None)
+        try:
+            if self.timeout is not None and not worker.connection.poll(self.timeout):
+                return ("timeout", None)
+            return worker.connection.recv()
+        except (EOFError, OSError):
+            return ("dead", None)
+
+    def _note_failure(self, index: int, status: str, payload: Any) -> None:
+        if status == "error":
+            # the worker is alive and sane — it answered; the task itself is
+            # the problem, so the retry happens in-process (no pickling)
+            warnings.warn(
+                f"pool worker {index} could not complete its task ({payload}); "
+                "re-running in-process — results are identical",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return
+        reason = (f"timed out after {self.timeout}s" if status == "timeout"
+                  else "died mid-task")
+        warnings.warn(
+            f"pool worker {index} {reason}; restarting it and requeueing its "
+            "shards — results are identical (shard draws are seeded)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self._restart(index)
+
+    def _restart(self, index: int) -> None:
+        worker = self._workers[index]
+        if isinstance(worker, _PoolWorker):
+            worker.kill()
+        self.worker_generations[index] += 1
+        try:
+            self._workers[index] = _PoolWorker(self._context)
+            self.workers_restarted += 1
+        except OSError:  # pragma: no cover - sandbox-dependent
+            self._workers[index] = None
+
+    def _requeue(self, task: PoolTask, index: int, status: str,
+                 outcomes: Sequence[TaskOutcome | None],
+                 fallback: Callable[[PoolTask], Any]) -> TaskOutcome:
+        self.tasks_requeued += 1
+        clean = PoolTask(task.fn, task.args, resident=task.resident, fault=None)
+        if status != "error":
+            # prefer a worker that completed its own task cleanly this round:
+            # it is warm (resident state for this job) and demonstrably
+            # healthy; an "error" verdict skips this — the failure was the
+            # task's own and would reproduce on any process.  The outcome
+            # must have been produced by slot `candidate` itself — after an
+            # earlier requeue, outcomes[candidate] can describe a run on a
+            # *different* worker while the slot holds a cold restart
+            for candidate, outcome in enumerate(outcomes):
+                if (candidate == index or outcome is None
+                        or outcome.worker_index != candidate):
+                    continue
+                if not self._dispatch(candidate, clean):
+                    continue
+                candidate_status, payload = self._collect(candidate)
+                if candidate_status == "ok":
+                    return TaskOutcome(payload, worker_index=candidate,
+                                       requeued=True)
+                self._note_failure(candidate, candidate_status, payload)
+                break
+        return TaskOutcome(fallback(clean), worker_index=-1,
+                           requeued=True, degraded=True)
+
+
+def _run_stateless(fn: Callable, args: tuple) -> Any:
+    """Adapter so plain ``fn(*args)`` tasks run under the pool protocol."""
+    return fn(*args)
+
+
+def run_worker_tasks(fn: Callable, tasks: Sequence[tuple], n_jobs: int,
+                     timeout: float | None = None,
+                     health: dict | None = None) -> list:
     """Run one ``fn(*task)`` call per task, in processes when ``n_jobs > 1``.
 
-    Results come back in task order (never completion order), so callers can
-    merge deterministically.  With one task or one job the calls run inline —
-    the task arguments are identical either way, which is what keeps the
-    in-process and multi-process paths bit-identical.
+    The transient-pool entry point (the cold scheduler path and the sharded
+    permutation estimator): a :class:`WorkerPool` is built, runs exactly one
+    round and is torn down.  Results come back in task order (never
+    completion order), so callers can merge deterministically.  With one task
+    or one job the calls run inline — the task arguments are identical either
+    way, which is what keeps the in-process and multi-process paths
+    bit-identical.  A worker death or ``timeout`` overrun mid-round requeues
+    only that worker's task (see :meth:`WorkerPool.run_tasks`) instead of
+    abandoning the pool; passing a ``health`` dict surfaces what happened —
+    ``workers_restarted``, the indexes of ``requeued_tasks``, and whether the
+    round ``fanned_out`` to real processes at all — so callers can fold the
+    events into their counter surface.
     """
     tasks = list(tasks)
+    if health is not None:
+        health["fanned_out"] = False
     if n_jobs <= 1 or len(tasks) <= 1:
         return [fn(*task) for task in tasks]
     try:
-        # worker processes are spawned lazily, so process-creation failures
-        # (seccomp-denied clone, EAGAIN/ENOMEM at fork, dead /dev/shm) can
-        # surface at construction, at submit, or as a BrokenProcessPool from
-        # result() — all of them degrade to the in-process plan.  A
-        # deterministic exception raised *by the task itself* is none of
-        # these types: it propagates (and would re-raise inline anyway).
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks)),
-                                 mp_context=process_context()) as pool:
-            futures = [pool.submit(fn, *task) for task in tasks]
-            return [future.result() for future in futures]
-    except (OSError, BrokenProcessPool) as error:  # pragma: no cover - sandbox-dependent
+        pool = WorkerPool(min(n_jobs, len(tasks)), timeout=timeout)
+    except OSError as error:  # pragma: no cover - sandbox-dependent
         global _POOL_FAILURE_WARNED
         if not _POOL_FAILURE_WARNED:
             _POOL_FAILURE_WARNED = True
@@ -68,3 +393,13 @@ def run_worker_tasks(fn: Callable, tasks: Sequence[tuple], n_jobs: int) -> list:
                 stacklevel=2,
             )
         return [fn(*task) for task in tasks]
+    with pool:
+        outcomes = pool.run_tasks(
+            [PoolTask(_run_stateless, (fn, tuple(task))) for task in tasks]
+        )
+    if health is not None:
+        health["fanned_out"] = True
+        health["workers_restarted"] = pool.workers_restarted
+        health["requeued_tasks"] = [index for index, outcome in enumerate(outcomes)
+                                    if outcome.requeued]
+    return [outcome.result for outcome in outcomes]

@@ -9,13 +9,28 @@ merges everything back:
   chunk accumulators are merged in chunk order (a fixed merge tree), so the
   final mean/standard-error bits do not depend on worker count or completion
   order;
-* **oracle counters** — every worker's ``oracle.statistics()`` is folded into
-  the parent oracle via
+* **oracle counters** — every worker's ``oracle.statistics()`` delta is
+  folded into the parent oracle via
   :meth:`~repro.repair.base.BinaryRepairOracle.absorb_statistics`, so reports
   and benchmarks read one aggregate;
-* **caches** — each worker's :class:`~repro.repair.cache.OracleCache` is
-  merged into the parent's (:meth:`~repro.repair.cache.OracleCache.merge`),
-  so answers computed in one run warm the next.
+* **caches** — each worker's new :class:`~repro.repair.cache.OracleCache`
+  entries are replayed into the parent's, so answers computed in one run warm
+  the next.
+
+Execution is **warm by default**: one :class:`~repro.parallel.pool.WorkerPool`
+is spawned per scheduler (context-manager lifecycle; workers are reused
+across :meth:`run` calls and every :meth:`run_adaptive` round), each worker
+keeps its oracle stack resident between rounds keyed by the job-spec
+fingerprint (``worker_rebuilds`` counts how often a stack had to be built —
+``n_jobs`` once, ever, on the healthy path), and reports ship only the cache
+entries inserted since the worker's last sync (``cache_entries_shipped``)
+plus counter deltas instead of the whole cache.  A worker that dies or times
+out mid-round is replaced and its shards are requeued onto a live worker or
+degraded in-process (``shards_requeued`` / ``workers_restarted``) — results
+stay bit-identical because every shard's draws are seeded by its coordinates
+alone.  ``warm_pool=False`` forces the cold PR 4 path — a transient pool per
+round, a full stack rebuild per task, whole-cache shipping — which is the
+reference the warm path is property-tested against.
 
 :meth:`run` executes a fixed-sample plan; :meth:`run_adaptive` samples in
 rounds of one chunk per unconverged cell, deciding convergence on the
@@ -26,17 +41,18 @@ worker-count-invariant as fixed ones.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.config import DEFAULT_CELL_SAMPLES
 from repro.dataset.table import CellRef
 from repro.parallel.job import ExplainJobSpec, ExplainShard, ShardResult, WorkerReport
-from repro.parallel.pool import run_worker_tasks
+from repro.parallel.pool import PoolTask, WorkerPool, run_worker_tasks
 from repro.parallel.seeding import partition_samples
-from repro.parallel.worker import build_worker_state, run_worker
+from repro.parallel.worker import run_resident_worker, run_worker
 from repro.repair.cache import OracleCache, aggregate_oracle_statistics
 from repro.shapley.cells import BATCH_CHUNK_SIZE
 from repro.shapley.convergence import ConvergenceTracker, RunningMean
@@ -45,6 +61,14 @@ from repro.shapley.sampling import SampledShapleyEstimate
 #: default shard granularity — the batched oracle's chunk size, so one shard
 #: drains as exactly one ``query_pairs`` scheduled pass
 DEFAULT_SAMPLES_PER_SHARD = BATCH_CHUNK_SIZE
+
+#: the resident-state key of in-process execution (one scheduler, one spec,
+#: one private resident dict — the key only has to be stable)
+_LOCAL_KEY = "local"
+
+#: round-log counter keys summed into run statistics
+_POOL_COUNTERS = ("worker_rebuilds", "cache_entries_shipped",
+                  "shards_requeued", "workers_restarted")
 
 
 @dataclass
@@ -78,10 +102,32 @@ class ShardedExplainScheduler:
     samples_per_shard:
         Chunk granularity of the plan; part of the seed partition (changing
         it changes the draws), so hold it fixed when comparing runs.
+    warm_pool:
+        ``True`` (default) keeps one worker pool with resident oracle stacks
+        for the scheduler's lifetime; ``False`` forces the cold path — a
+        transient pool and a full rebuild per round.  Estimates are
+        bit-identical either way (golden-tested); only wall-clock and the
+        shipping counters differ.
+    worker_timeout:
+        Seconds the warm pool waits for a worker's round report before
+        declaring it hung and requeueing its shards (default: wait
+        indefinitely; worker *death* is always detected immediately).
+    fault_injector:
+        Test-harness hook: ``fn(worker_index, round_index)`` returning a
+        :class:`~repro.parallel.job.WorkerFault` (or ``None``) attached to
+        that worker's dispatch.  Production runs never set it.
+
+    The scheduler is a context manager; :meth:`close` shuts the warm pool
+    down (idle workers cost memory, not correctness — they are daemonic and
+    die with the parent either way).  ``round_log`` records one dict per
+    executed round (shard counts, rebuilds, shipped entries, requeues) for
+    tests and benchmarks.
     """
 
     def __init__(self, spec: ExplainJobSpec, n_jobs: int = 1,
-                 samples_per_shard: int | None = None):
+                 samples_per_shard: int | None = None, warm_pool: bool = True,
+                 worker_timeout: float | None = None,
+                 fault_injector: "Callable | None" = None):
         if int(n_jobs) < 1:
             raise ValueError(f"n_jobs must be a positive integer, got {n_jobs}")
         if samples_per_shard is not None and int(samples_per_shard) < 1:
@@ -94,14 +140,32 @@ class ShardedExplainScheduler:
             int(samples_per_shard) if samples_per_shard is not None
             else DEFAULT_SAMPLES_PER_SHARD
         )
+        self.warm_pool = bool(warm_pool)
+        self.worker_timeout = worker_timeout
+        self.fault_injector = fault_injector
         self._spec_payload: bytes | None = None
-        #: the in-process worker state, built once per scheduler and reused
-        #: across rounds/runs (warm cache, no oracle rebuild per round)
-        self._inline_state = None
+        self._spec_key: str | None = None
+        #: the in-process resident stack (n_jobs=1 and every degraded path),
+        #: kept across rounds/runs — warm cache, no oracle rebuild per round
+        self._local_resident: dict = {}
+        self._pool: WorkerPool | None = None
+        self._pool_broken = False
+        #: pool-generation at which each worker slot confirmed a resident
+        #: stack (an "ok" report) — those workers are sent shard lists only,
+        #: not the job-spec payload, on later rounds
+        self._resident_generations: dict[int, int] = {}
+        self._round_index = 0
+        #: one bookkeeping dict per executed round — what the soak test and
+        #: the warm-pool benchmark read
+        self.round_log: list[dict] = []
 
     @classmethod
     def from_explainer(cls, explainer, n_jobs: int,
-                       samples_per_shard: int | None = None) -> "ShardedExplainScheduler":
+                       samples_per_shard: int | None = None,
+                       warm_pool: bool = True,
+                       worker_timeout: float | None = None,
+                       fault_injector: "Callable | None" = None,
+                       ) -> "ShardedExplainScheduler":
         """Assemble the job spec from a live ``CellShapleyExplainer``."""
         oracle = explainer.oracle
         cache = oracle.cache
@@ -124,7 +188,36 @@ class ShardedExplainScheduler:
             explainer_shared_stats=explainer.shared_stats,
             explainer_batched_pairs=explainer.batched_pairs,
         )
-        return cls(spec, n_jobs=n_jobs, samples_per_shard=samples_per_shard)
+        return cls(spec, n_jobs=n_jobs, samples_per_shard=samples_per_shard,
+                   warm_pool=warm_pool, worker_timeout=worker_timeout,
+                   fault_injector=fault_injector)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def __enter__(self) -> "ShardedExplainScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the warm pool down; safe to call repeatedly.
+
+        The residency map is dropped with the pool: a later run respawns
+        fresh worker processes (their generation counters restart at zero),
+        so stale entries would otherwise masquerade as resident stacks and
+        starve the new workers of the spec payload.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._resident_generations.clear()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- planning ---------------------------------------------------------------------
 
@@ -154,36 +247,144 @@ class ShardedExplainScheduler:
             self._spec_payload = pickle.dumps(self.spec, protocol=pickle.HIGHEST_PROTOCOL)
         return self._spec_payload
 
+    def _spec_fingerprint(self) -> str:
+        """The resident-state key workers file this job's oracle stack under."""
+        if self._spec_key is None:
+            self._spec_key = hashlib.sha256(self._payload()).hexdigest()
+        return self._spec_key
+
+    def _run_local(self, shards: Sequence[ExplainShard],
+                   worker_index: int) -> WorkerReport:
+        """Execute one assignment in-process against the local resident stack.
+
+        Nothing crosses a process boundary here, so the report's
+        ``entries_shipped`` is zeroed (its ``cache_diff`` still carries the
+        new entries for the merge).
+        """
+        report = run_resident_worker(self.spec, _LOCAL_KEY, list(shards),
+                                     worker_index, resident=self._local_resident)
+        report.entries_shipped = 0
+        return report
+
+    def _ensure_pool(self) -> WorkerPool | None:
+        if self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = WorkerPool(self.n_jobs, timeout=self.worker_timeout)
+            except OSError as error:  # pragma: no cover - sandbox-dependent
+                self._pool_broken = True
+                warnings.warn(
+                    f"cannot spawn a warm worker pool ({error}); running "
+                    "shards in-process — results are identical, only slower",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                return None
+        return self._pool
+
     def _execute(self, shards: Sequence[ExplainShard]) -> list[WorkerReport]:
         """Round-robin the shards over the workers and collect their reports.
 
-        The assignment (shard ``i`` → worker ``i mod n_jobs``) is static and
+        The assignment (shard ``i`` → worker ``i mod n_tasks``) is static and
         deterministic; reports come back in worker order.  An unpicklable job
         spec (e.g. a custom repair algorithm holding a closure) degrades to
         in-process execution with a warning, mirroring the permutation
         estimator — the plan and therefore the values are unchanged.
         """
-        n_jobs = max(1, min(self.n_jobs, len(shards)))
-        assignments = [list(shards[worker::n_jobs]) for worker in range(n_jobs)]
-        if n_jobs == 1:
-            if self._inline_state is None:
-                self._inline_state = build_worker_state(self.spec)
-            return [run_worker(self.spec, assignments[0], 0,
-                               state=self._inline_state)]
-        try:
-            payload = self._payload()
-        except Exception as error:
-            warnings.warn(
-                f"job spec is not picklable ({error}); running shards "
-                "in-process — estimates are identical, only slower",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return [run_worker(self.spec, assignment, worker)
+        round_index = self._round_index
+        self._round_index += 1
+        n_tasks = max(1, min(self.n_jobs, len(shards)))
+        assignments = [list(shards[worker::n_tasks]) for worker in range(n_tasks)]
+        log = {"round": round_index, "shards": len(shards),
+               "cache_entries_resident": 0,
+               **{key: 0 for key in _POOL_COUNTERS}}
+        if self.n_jobs == 1:
+            reports = [self._run_local(assignments[0], 0)]
+        else:
+            try:
+                payload = self._payload()
+            except Exception as error:
+                warnings.warn(
+                    f"job spec is not picklable ({error}); running shards "
+                    "in-process — estimates are identical, only slower",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                payload = None
+            if payload is None:
+                reports = [self._run_local(assignment, worker)
+                           for worker, assignment in enumerate(assignments)]
+            elif self.warm_pool:
+                reports = self._execute_warm(payload, assignments, round_index, log)
+            else:
+                tasks = [(payload, assignment, worker)
+                         for worker, assignment in enumerate(assignments)]
+                health: dict = {}
+                reports = run_worker_tasks(run_worker, tasks, n_tasks,
+                                           timeout=self.worker_timeout,
+                                           health=health)
+                log["workers_restarted"] += health.get("workers_restarted", 0)
+                log["shards_requeued"] += sum(
+                    len(assignments[index])
+                    for index in health.get("requeued_tasks", ())
+                )
+                if not health.get("fanned_out", False):
+                    # the round ran inline (single task, or pool degrade):
+                    # nothing crossed a process boundary
+                    for report in reports:
+                        report.entries_shipped = 0
+        for report in reports:
+            log["worker_rebuilds"] += report.rebuilt
+            log["cache_entries_shipped"] += report.entries_shipped
+            log["cache_entries_resident"] += report.resident_cache_size
+        self.round_log.append(log)
+        return reports
+
+    def _execute_warm(self, payload: bytes, assignments: Sequence[list],
+                      round_index: int, log: dict) -> list[WorkerReport]:
+        """One warm-pool round: resident tasks, health accounting.
+
+        Workers that already confirmed a resident stack (an "ok" report from
+        the same process generation) receive only their shard list — the job
+        spec payload crosses each worker's pipe once per process lifetime,
+        not once per round.  Requeued tasks always land on a worker that
+        completed its own task this round, which therefore holds the stack
+        even when the requeued message carries no payload.
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            return [self._run_local(assignment, worker)
                     for worker, assignment in enumerate(assignments)]
-        tasks = [(payload, assignment, worker)
-                 for worker, assignment in enumerate(assignments)]
-        return run_worker_tasks(run_worker, tasks, n_jobs)
+        key = self._spec_fingerprint()
+        tasks = []
+        for worker, assignment in enumerate(assignments):
+            fault = (self.fault_injector(worker, round_index)
+                     if self.fault_injector is not None else None)
+            resident_already = (
+                self._resident_generations.get(worker)
+                == pool.worker_generations[worker]
+            )
+            tasks.append(PoolTask(
+                run_resident_worker,
+                (None if resident_already else payload, key, assignment, worker),
+                resident=True, fault=fault,
+            ))
+
+        def fallback(task: PoolTask) -> WorkerReport:
+            _, _, assignment, worker = task.args
+            return self._run_local(assignment, worker)
+
+        restarted_before = pool.workers_restarted
+        outcomes = pool.run_tasks(tasks, fallback=fallback)
+        for worker, outcome in enumerate(outcomes):
+            if outcome.requeued:
+                log["shards_requeued"] += len(assignments[worker])
+            if not outcome.degraded and outcome.worker_index >= 0:
+                self._resident_generations[outcome.worker_index] = \
+                    pool.worker_generations[outcome.worker_index]
+        log["workers_restarted"] += pool.workers_restarted - restarted_before
+        return [outcome.result for outcome in outcomes]
 
     @staticmethod
     def _ordered_results(reports: Iterable[WorkerReport]) -> list[ShardResult]:
@@ -207,11 +408,13 @@ class ShardedExplainScheduler:
         shards = self.plan(cells, n_samples)
         trackers = [RunningMean() for _ in cells]
         reports: list[WorkerReport] = []
+        round_start = len(self.round_log)
         if shards:
             reports = self._execute(shards)
             for result in self._ordered_results(reports):
                 trackers[result.cell_position].merge(result.accumulator)
-        return self._merge(cells, trackers, reports, len(shards), absorb_into)
+        return self._merge(cells, trackers, reports, len(shards), absorb_into,
+                           rounds=self.round_log[round_start:])
 
     # -- adaptive runs ----------------------------------------------------------------
 
@@ -227,7 +430,10 @@ class ShardedExplainScheduler:
         ``min_samples`` and would stall or misjudge the rule, which is
         exactly the trap :meth:`ConvergenceTracker.merge` documents.  A
         cell's chunk indexes keep counting up across rounds, so the draws of
-        round ``r`` are the same for every worker count.
+        round ``r`` are the same for every worker count.  On the warm path
+        every round reuses the same resident worker stacks: after round one
+        no worker rebuilds anything (``worker_rebuilds`` stays at the pool
+        width) and each round ships only its new cache entries.
         """
         cells = list(cells)
         trackers = [
@@ -240,6 +446,7 @@ class ShardedExplainScheduler:
         n_shards = 0
         n_workers = 1
         shard_id = 0
+        round_start = len(self.round_log)
         while active:
             shards: list[ExplainShard] = []
             for position in active:
@@ -262,13 +469,15 @@ class ShardedExplainScheduler:
             ]
         accumulators = [tracker.accumulator for tracker in trackers]
         return self._merge(cells, accumulators, reports, n_shards, absorb_into,
-                           n_workers=n_workers)
+                           n_workers=n_workers,
+                           rounds=self.round_log[round_start:])
 
     # -- merging ----------------------------------------------------------------------
 
     def _merge(self, cells: Sequence[CellRef], trackers: Sequence[RunningMean],
                reports: Sequence[WorkerReport], n_shards: int, absorb_into,
-               n_workers: int | None = None) -> ParallelExplainResult:
+               n_workers: int | None = None,
+               rounds: Sequence[dict] = ()) -> ParallelExplainResult:
         # SampledShapleyEstimate normalises the degenerate n < 2 case itself
         estimates = {
             cell: SampledShapleyEstimate(
@@ -288,32 +497,43 @@ class ShardedExplainScheduler:
             statistics.get("parallel_workers", 0), n_workers
         )
         statistics["parallel_shards"] = statistics.get("parallel_shards", 0) + n_shards
+        pool_counters = {
+            key: sum(entry[key] for entry in rounds) for key in _POOL_COUNTERS
+        }
+        for key, value in pool_counters.items():
+            statistics[key] = statistics.get(key, 0) + value
         # cache counters are absorbed from the per-report statistics
         # snapshots (see absorb_statistics); the cache objects contribute
-        # entries only, and each *distinct* object exactly once — the reused
-        # in-process worker state puts the same live cache behind every
-        # round's report, so replaying (or counter-reading) it per report
-        # would redo/miscount the whole history
+        # entries only — warm reports as per-round diffs, cold reports as a
+        # whole cache each merged exactly once per *distinct* object (the
+        # reused in-process state puts the same live cache behind every
+        # round's report, so replaying it per report would redo the history)
         merged_cache_ids: set[int] = set()
 
-        def merge_entries_once(target: OracleCache, donor: OracleCache | None) -> None:
-            if donor is not None and id(donor) not in merged_cache_ids:
-                merged_cache_ids.add(id(donor))
-                target.merge_entries(donor)
+        def merge_report_entries(target: OracleCache, report: WorkerReport) -> None:
+            if report.cache is not None and id(report.cache) not in merged_cache_ids:
+                merged_cache_ids.add(id(report.cache))
+                target.merge_entries(report.cache)
+            for key, value in report.cache_diff:
+                target.put(key, value)
 
         if absorb_into is not None:
             for report in reports:
                 absorb_into.absorb_statistics(report.statistics)
                 if absorb_into.cache is not None:
-                    merge_entries_once(absorb_into.cache, report.cache)
+                    merge_report_entries(absorb_into.cache, report)
             absorb_into.parallel_workers = max(absorb_into.parallel_workers, n_workers)
             absorb_into.parallel_shards += n_shards
+            absorb_into.worker_rebuilds += pool_counters["worker_rebuilds"]
+            absorb_into.cache_entries_shipped += pool_counters["cache_entries_shipped"]
+            absorb_into.shards_requeued += pool_counters["shards_requeued"]
+            absorb_into.workers_restarted += pool_counters["workers_restarted"]
             cache = absorb_into.cache
         elif self.spec.use_cache:
             cache = (OracleCache(self.spec.cache_size)
                      if self.spec.cache_size is not None else OracleCache())
             for report in reports:
-                merge_entries_once(cache, report.cache)
+                merge_report_entries(cache, report)
             cache.hits += statistics.get("cache_hits", 0)
             cache.misses += statistics.get("cache_misses", 0)
             cache.evictions += statistics.get("cache_evictions", 0)

@@ -1,24 +1,42 @@
-"""Worker-side execution: rebuild the oracle stack, drain a shard list.
+"""Worker-side execution: rebuild (or reuse) the oracle stack, drain shards.
 
-``run_worker`` is the single entry point a pool task executes.  It accepts
-the job spec either as a live object (the in-process ``n_jobs=1`` path) or as
-pickled bytes (the multi-process path pickles the spec once and reuses the
-payload for every worker), so both paths run literally the same code on the
-same inputs.
+Two entry points share the same evaluation core:
 
-Each worker owns a full private copy of the evaluation engine — oracle,
-cache, shared-statistics instance, repair-walk state — built once per task
-and reused across all of its shards.  Within a worker the cache therefore
-accumulates across shards exactly like the sequential oracle's does; because
-the cache is a pure memoisation of a deterministic black box, this sharing
-affects wall-clock only, never values.
+* :func:`run_worker` — the **cold** path: build a fresh ``(oracle,
+  explainer)`` pair from the job spec, drain the shard list once, ship the
+  whole cache home.  One call = one worker lifetime.
+* :func:`run_resident_worker` — the **warm** path: the oracle stack is looked
+  up in (or installed into) a worker-lifetime ``resident`` dict keyed by the
+  job-spec fingerprint, so repeated rounds of the same job skip the rebuild
+  entirely; only the *diff* of cache entries inserted since the worker's last
+  sync (a per-worker high-water mark over
+  :meth:`~repro.repair.cache.OracleCache.entries_since`) plus this round's
+  counter deltas travel home.
+
+Both accept the spec as a live object (in-process execution) or as pickled
+bytes (the multi-process path pickles the spec once and reuses the payload),
+so every execution venue runs literally the same code on the same inputs.
+Each stack is a full private copy of the evaluation engine — oracle, cache,
+shared-statistics instance, repair-walk state.  Within a worker the cache
+accumulates across shards and rounds exactly like the sequential oracle's
+does; because the cache is a pure memoisation of a deterministic black box,
+this sharing affects wall-clock only, never values.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
+from dataclasses import dataclass
 
-from repro.parallel.job import ExplainJobSpec, ExplainShard, ShardResult, WorkerReport
+from repro.parallel.job import (
+    ExplainJobSpec,
+    ExplainShard,
+    ShardResult,
+    WorkerFault,
+    WorkerReport,
+)
 from repro.parallel.seeding import shard_rng
 from repro.repair.base import BinaryRepairOracle
 from repro.shapley.convergence import RunningMean
@@ -57,30 +75,38 @@ def build_worker_state(spec: ExplainJobSpec):
     return oracle, explainer
 
 
-def run_worker(spec: "ExplainJobSpec | bytes", shards: "list[ExplainShard]",
-               worker_index: int = 0, state=None) -> WorkerReport:
-    """Execute one worker's shard list and report results + counters + cache.
+@dataclass
+class ResidentState:
+    """One warm worker's resident oracle stack for one job fingerprint."""
+
+    spec: ExplainJobSpec
+    oracle: BinaryRepairOracle
+    explainer: object
+    #: the cache's high-water mark at the last sync — entries at or above it
+    #: are what the next report ships home
+    cache_mark: int = 0
+
+
+def _load_spec(spec: "ExplainJobSpec | bytes") -> ExplainJobSpec:
+    if isinstance(spec, (bytes, bytearray)):
+        return pickle.loads(bytes(spec))
+    return spec
+
+
+def _drain_shards(spec: ExplainJobSpec, explainer, shards: "list[ExplainShard]",
+                  fault: WorkerFault | None = None) -> list[ShardResult]:
+    """The shared evaluation core: reseed per shard, accumulate, report.
 
     Before each shard the sampler is reseeded with the shard's own stream
     (derived from the job seed and the shard coordinates), so the draws are
     independent of the shard's position in this worker's list — the property
     that makes any shard-to-worker assignment produce identical estimates.
-
-    ``state`` lets an in-process caller (the scheduler's ``n_jobs=1`` path,
-    which keeps one state across adaptive rounds) reuse a built
-    ``(oracle, explainer)`` pair instead of rebuilding it per call; its
-    counters are reset on entry so the report carries this call's deltas
-    only, while its cache stays warm across calls — wall-clock changes,
-    values never do (memoisation of a deterministic black box).
     """
-    if isinstance(spec, (bytes, bytearray)):
-        spec = pickle.loads(bytes(spec))
-    if state is None:
-        state = build_worker_state(spec)
-    oracle, explainer = state
-    oracle.reset_counters()
     results: list[ShardResult] = []
-    for shard in shards:
+    for position, shard in enumerate(shards):
+        if fault is not None and fault.die_after_shards is not None \
+                and position >= fault.die_after_shards:
+            os._exit(23)  # a mid-task crash: no reply, EOF on the pipe
         explainer.sampler.reseed(
             shard_rng(spec.job_seed, shard.cell_position, shard.chunk_index)
         )
@@ -89,9 +115,103 @@ def run_worker(spec: "ExplainJobSpec | bytes", shards: "list[ExplainShard]",
         results.append(
             ShardResult(shard.shard_id, shard.cell_position, shard.chunk_index, tracker)
         )
+    return results
+
+
+def run_worker(spec: "ExplainJobSpec | bytes", shards: "list[ExplainShard]",
+               worker_index: int = 0, state=None) -> WorkerReport:
+    """Cold-path execution: one fresh stack, one shard list, the whole cache.
+
+    ``state`` lets an in-process caller reuse a built ``(oracle, explainer)``
+    pair instead of rebuilding it per call; its counters are reset on entry
+    so the report carries this call's deltas only, while its cache stays warm
+    across calls — wall-clock changes, values never do (memoisation of a
+    deterministic black box).
+    """
+    spec = _load_spec(spec)
+    rebuilt = 0
+    if state is None:
+        state = build_worker_state(spec)
+        rebuilt = 1
+    oracle, explainer = state
+    oracle.reset_counters()
+    results = _drain_shards(spec, explainer, shards)
+    cache_size = len(oracle.cache) if oracle.cache is not None else 0
     return WorkerReport(
         worker_index=worker_index,
         shard_results=results,
         statistics=oracle.statistics(),
         cache=oracle.cache,
+        rebuilt=rebuilt,
+        # the whole cache crosses the boundary when this report was computed
+        # in a worker process; an in-process caller (state reuse) ships nothing
+        entries_shipped=cache_size if rebuilt else 0,
+        resident_cache_size=cache_size,
     )
+
+
+def run_resident_worker(spec: "ExplainJobSpec | bytes | None", spec_key: str,
+                        shards: "list[ExplainShard]", worker_index: int = 0,
+                        *, resident: dict,
+                        fault: WorkerFault | None = None) -> WorkerReport:
+    """Warm-path execution: resident stack lookup, cache-diff shipping.
+
+    ``resident`` is the worker-lifetime state dict (the pool hands its
+    process-global one to every resident task; the scheduler's in-process
+    and degraded paths pass their own).  The stack for ``spec_key`` is built
+    at most once per dict — every later round reuses it, which is the whole
+    point of the warm pool — and the report ships only the cache entries
+    inserted since this worker's previous sync plus this round's counter
+    deltas.  ``fault`` is the test harness's injection hook
+    (:class:`~repro.parallel.job.WorkerFault`); production rounds never set
+    it.  ``spec`` may be ``None`` when the caller knows this state dict
+    already holds the stack (the scheduler ships the payload once per worker
+    process, then sends bare shard lists).
+
+    Diff shipping is **at-most-once**: the high-water mark advances when the
+    diff is cut, so a report that later fails to cross the pipe does not
+    re-ship its entries on the next round.  That loss is deliberate — the
+    dominant failure there is an unpicklable entry, which would fail every
+    retry identically; values are unaffected either way (the cache is pure
+    memoisation) and the degraded in-process run rebuilds its own warmth.
+    """
+    if fault is not None and fault.hang_seconds is not None:
+        time.sleep(fault.hang_seconds)
+    state = resident.get(spec_key)
+    rebuilt = 0
+    if state is None:
+        if spec is None:
+            raise RuntimeError(
+                f"no resident oracle stack for job {spec_key!r} and no spec "
+                "payload to build one from"
+            )
+        spec = _load_spec(spec)
+        oracle, explainer = build_worker_state(spec)
+        mark = oracle.cache.high_water_mark() if oracle.cache is not None else 0
+        state = ResidentState(spec, oracle, explainer, cache_mark=mark)
+        resident[spec_key] = state
+        rebuilt = 1
+    oracle = state.oracle
+    oracle.reset_counters()
+    results = _drain_shards(state.spec, state.explainer, shards, fault=fault)
+    if oracle.cache is not None:
+        cache_diff = oracle.cache.entries_since(state.cache_mark)
+        state.cache_mark = oracle.cache.high_water_mark()
+        cache_size = len(oracle.cache)
+    else:
+        cache_diff = []
+        cache_size = 0
+    report = WorkerReport(
+        worker_index=worker_index,
+        shard_results=results,
+        statistics=oracle.statistics(),
+        cache=None,
+        cache_diff=cache_diff,
+        rebuilt=rebuilt,
+        entries_shipped=len(cache_diff),
+        resident_cache_size=cache_size,
+    )
+    if fault is not None and fault.unpicklable_report:
+        report.statistics = dict(report.statistics)
+        report.statistics["_poison"] = lambda: None  # defeats pickling
+    return report

@@ -266,6 +266,15 @@ class BinaryRepairOracle:
         # repro.parallel; stays 0 on purely sequential oracles)
         self.parallel_workers = 0   # widest worker fan-out absorbed so far
         self.parallel_shards = 0    # shards whose counters were absorbed
+        # warm-pool bookkeeping (also absorbed from the scheduler): how often
+        # a worker had to build its oracle stack from the job spec, how many
+        # cache entries actually crossed a process boundary coming home, and
+        # the health events of the pool — shards re-executed after a worker
+        # failure and worker processes the pool had to replace
+        self.worker_rebuilds = 0
+        self.cache_entries_shipped = 0
+        self.shards_requeued = 0
+        self.workers_restarted = 0
 
         if target_value is None:
             reference_clean = algorithm.repair_table(self.constraints, dirty_table)
@@ -680,6 +689,10 @@ class BinaryRepairOracle:
         self.pairs_batched += stats.get("pairs_batched", 0)
         self.pairs_deduped += stats.get("pairs_deduped", 0)
         self.max_batch_size = max(self.max_batch_size, stats.get("max_batch_size", 0))
+        self.worker_rebuilds += stats.get("worker_rebuilds", 0)
+        self.cache_entries_shipped += stats.get("cache_entries_shipped", 0)
+        self.shards_requeued += stats.get("shards_requeued", 0)
+        self.workers_restarted += stats.get("workers_restarted", 0)
         if self._cache is not None:
             self._cache.hits += stats.get("cache_hits", 0)
             self._cache.misses += stats.get("cache_misses", 0)
@@ -710,6 +723,10 @@ class BinaryRepairOracle:
         self.max_batch_size = 0
         self.parallel_workers = 0
         self.parallel_shards = 0
+        self.worker_rebuilds = 0
+        self.cache_entries_shipped = 0
+        self.shards_requeued = 0
+        self.workers_restarted = 0
         if self._cache is not None:
             self._cache.reset_counters()
         if self.stats_engine is not None:
@@ -730,6 +747,10 @@ class BinaryRepairOracle:
             "max_batch_size": self.max_batch_size,
             "parallel_workers": self.parallel_workers,
             "parallel_shards": self.parallel_shards,
+            "worker_rebuilds": self.worker_rebuilds,
+            "cache_entries_shipped": self.cache_entries_shipped,
+            "shards_requeued": self.shards_requeued,
+            "workers_restarted": self.workers_restarted,
         }
         if self.stats_engine is not None:
             stats.update(self.stats_engine.statistics())

@@ -27,6 +27,14 @@ class OracleCache:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
         self._entries: OrderedDict[Hashable, int] = OrderedDict()
+        #: per-key insertion sequence numbers (see :meth:`entries_since`);
+        #: iteration order is ascending sequence — deletions never reorder a
+        #: dict and re-inserted keys always receive a fresh, larger number
+        self._sequence: dict[Hashable, int] = {}
+        #: monotone insertion counter — never decremented, not even by
+        #: :meth:`clear`, so high-water marks taken by a diff-shipping reader
+        #: survive evictions and resets
+        self._next_sequence = 0
         self.hits = 0
         self.misses = 0
         #: lifetime count of LRU evictions — a non-zero value on a bounded
@@ -43,10 +51,14 @@ class OracleCache:
         return None
 
     def put(self, key: Hashable, value: int) -> None:
+        if key not in self._entries:
+            self._sequence[key] = self._next_sequence
+            self._next_sequence += 1
         self._entries[key] = value
         self._entries.move_to_end(key)
         if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            del self._sequence[evicted]
             self.evictions += 1
 
     def __len__(self) -> int:
@@ -64,6 +76,41 @@ class OracleCache:
         entries a single shared cache would have dropped.
         """
         return list(self._entries.items())
+
+    def high_water_mark(self) -> int:
+        """The insertion sequence a diff-shipping reader should remember.
+
+        Entries inserted from now on satisfy ``sequence >= mark``; the mark is
+        monotone for the cache's whole lifetime (evictions and :meth:`clear`
+        never reuse sequence numbers), so a mark taken at any sync point stays
+        a valid cut forever — the property the warm worker pool's per-worker
+        cache diffs rest on.
+        """
+        return self._next_sequence
+
+    def entries_since(self, mark: int) -> list[tuple[Hashable, int]]:
+        """Entries inserted at or after ``mark``, in insertion order.
+
+        The diff half of warm-pool cache shipping: a worker remembers
+        :meth:`high_water_mark` at its last sync and ships only this slice
+        home each round.  An entry evicted *and re-inserted* after the mark is
+        included (its answer was recomputed, so it must travel again); an
+        entry inserted before the mark never is, even if later refreshed by
+        :meth:`get`/:meth:`put` — the receiving side already holds its answer
+        and the oracle is deterministic.
+
+        Cost is O(diff), not O(cache): ``_sequence`` iterates in ascending
+        sequence order, so walking it backwards stops at the first entry
+        older than the mark — a big resident cache shipping a small diff
+        touches only the diff.
+        """
+        newer: list[tuple[Hashable, int]] = []
+        for key in reversed(self._sequence):
+            if self._sequence[key] < mark:
+                break
+            newer.append((key, self._entries[key]))
+        newer.reverse()
+        return newer
 
     def merge_entries(self, other: "OracleCache") -> "OracleCache":
         """Absorb another cache's *entries* (not its counters) into this one.
@@ -99,7 +146,10 @@ class OracleCache:
         return self
 
     def clear(self) -> None:
+        # _next_sequence is deliberately NOT reset: outstanding high-water
+        # marks must keep partitioning correctly across a clear
         self._entries.clear()
+        self._sequence.clear()
         self.reset_counters()
 
     def reset_counters(self) -> None:

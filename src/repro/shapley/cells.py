@@ -127,6 +127,21 @@ class CellShapleyExplainer:
         which matches :data:`BATCH_CHUNK_SIZE`).  Changing it changes the
         seed partition and therefore the draws; it must be held fixed when
         comparing runs.
+    warm_pool:
+        When ``True`` (default) the ``n_jobs`` path keeps one
+        :class:`~repro.parallel.pool.WorkerPool` with resident worker oracle
+        stacks alive for the explainer's lifetime — spawned on the first
+        parallel call, reused across every :meth:`estimate_cell` /
+        :meth:`explain` call and every adaptive round, shipping only new
+        cache entries home.  ``False`` forces the cold path: a transient
+        pool and a full worker-stack rebuild per round.  Estimates are
+        bit-identical either way.  The explainer is a context manager;
+        :meth:`close` shuts the pool down.
+    worker_timeout:
+        Seconds the warm pool waits for a worker's round report before
+        declaring it hung and requeueing its shards onto a live worker
+        (default: wait indefinitely; worker death is detected immediately
+        either way).
     """
 
     def __init__(
@@ -140,6 +155,8 @@ class CellShapleyExplainer:
         batched_pairs: bool = True,
         n_jobs: int | None = None,
         samples_per_shard: int | None = None,
+        warm_pool: bool = True,
+        worker_timeout: float | None = None,
     ):
         self.oracle = oracle
         self.policy = ReplacementPolicy.from_name(policy)
@@ -151,6 +168,11 @@ class CellShapleyExplainer:
             raise ValueError(f"n_jobs must be a positive integer or None, got {n_jobs}")
         self.n_jobs = int(n_jobs) if n_jobs is not None else None
         self.samples_per_shard = samples_per_shard
+        self.warm_pool = bool(warm_pool)
+        self.worker_timeout = worker_timeout
+        #: schedulers by worker count, each owning one (lazily spawned) warm
+        #: pool — cached so repeated estimates reuse resident worker state
+        self._schedulers: dict[int, "object"] = {}
         #: the integer the sharded scheduler partitions into per-shard seeds;
         #: resolved immediately for int/None seeds, deferred for a live
         #: generator so purely sequential use never consumes an extra draw
@@ -188,11 +210,42 @@ class CellShapleyExplainer:
         return self._job_seed
 
     def _scheduler(self, n_jobs: int):
-        from repro.parallel import ShardedExplainScheduler
+        """The (cached) sharded scheduler for ``n_jobs`` workers.
 
-        return ShardedExplainScheduler.from_explainer(
-            self, n_jobs=n_jobs, samples_per_shard=self.samples_per_shard
-        )
+        One scheduler — and therefore one warm pool with resident worker
+        stacks — serves every parallel call of this explainer; the cold-pool
+        mode caches the scheduler too (it keeps the in-process resident
+        state that ``n_jobs=1`` always had).
+        """
+        scheduler = self._schedulers.get(n_jobs)
+        if scheduler is None:
+            from repro.parallel import ShardedExplainScheduler
+
+            scheduler = ShardedExplainScheduler.from_explainer(
+                self, n_jobs=n_jobs, samples_per_shard=self.samples_per_shard,
+                warm_pool=self.warm_pool, worker_timeout=self.worker_timeout,
+            )
+            self._schedulers[n_jobs] = scheduler
+        return scheduler
+
+    def close(self) -> None:
+        """Shut down any warm worker pools this explainer spawned.
+
+        Safe to call repeatedly and never required for correctness — pool
+        workers are daemonic and die with the parent — but long-lived
+        processes explaining many tables should close explainers they are
+        done with (or use them as context managers) to free the worker
+        processes promptly.
+        """
+        for scheduler in self._schedulers.values():
+            scheduler.close()
+        self._schedulers.clear()
+
+    def __enter__(self) -> "CellShapleyExplainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- single-cell estimate ------------------------------------------------------------
 

@@ -1,0 +1,199 @@
+"""Golden-determinism snapshot: cell-Shapley values pinned across the grid.
+
+Every engine lever this library has grown — incremental views, paired walks,
+second-order walks, shared statistics, batched pairs, the sharded scheduler,
+and now the warm worker pool — is contractually *invisible in the numbers*.
+This test pins the actual numbers: the cell-Shapley values of both bundled
+black boxes across the engine flag grid × ``n_jobs`` ∈ {None, 1, 2} ×
+{warm, cold} pool, against a committed JSON fixture
+(``tests/fixtures/golden_shapley.json``).
+
+Two invariants are asserted on top of the snapshot itself:
+
+* ``n_jobs=1`` ≡ ``n_jobs=2`` ≡ warm ≡ cold, bit-for-bit (the sharded plan
+  is worker-count- and pool-lifecycle-invariant);
+* ``n_jobs=None`` is its own pinned stream (serial draws differ from the
+  sharded partition by design — the fixture records both).
+
+On failure the report names every drifted entry with its old and new value.
+To regenerate after an *intentional* sampling change::
+
+    PYTHONPATH=src python tests/test_golden_determinism.py --regenerate
+
+(or set ``TREX_REGEN_GOLDEN=1`` for one pytest run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    BinaryRepairOracle,
+    CellRef,
+    CellShapleyExplainer,
+    GreedyHolisticRepair,
+    SimpleRuleRepair,
+    la_liga_constraints,
+    la_liga_dirty_table,
+)
+
+# the full grid spawns 2-worker pools for half its 32 entries: it runs in
+# the dedicated CI soak job, not in every fast-set matrix job
+pytestmark = [pytest.mark.parallel, pytest.mark.slow]
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_shapley.json"
+
+CELL_OF_INTEREST = CellRef(4, "Country")
+PROBES = [CellRef(4, "City"), CellRef(0, "Country")]
+N_SAMPLES = 6
+SAMPLES_PER_SHARD = 3
+SEED = 23
+POLICY = "mode"  # deterministic replacement values: drift means drift
+
+#: (incremental, paired, second_order, shared_stats, batched_pairs) — the
+#: same ladder the engine benchmark cross-checks
+ENGINE_PATHS = {
+    "full": (False, False, False, False, False),
+    "incremental": (True, False, False, False, False),
+    "paired_nobatch": (True, True, True, False, False),
+    "paired_batched": (True, True, True, True, True),
+}
+
+ALGORITHMS = {
+    "simple": lambda second_order: SimpleRuleRepair(second_order=second_order),
+    "greedy": lambda second_order: GreedyHolisticRepair(
+        max_changes=20, second_order=second_order),
+}
+
+#: the scheduler/pool axis: (n_jobs, warm_pool)
+EXECUTION_MODES = {
+    "njobs=None": (None, True),
+    "njobs=1": (1, True),
+    "njobs=2/warm": (2, True),
+    "njobs=2/cold": (2, False),
+}
+
+
+def run_grid_entry(algorithm_name: str, path_name: str,
+                   mode_name: str) -> dict[str, float]:
+    incremental, paired, second_order, shared_stats, batched_pairs = \
+        ENGINE_PATHS[path_name]
+    n_jobs, warm_pool = EXECUTION_MODES[mode_name]
+    oracle = BinaryRepairOracle(
+        ALGORITHMS[algorithm_name](second_order),
+        la_liga_constraints(), la_liga_dirty_table(), CELL_OF_INTEREST,
+        incremental=incremental, paired=paired,
+        shared_stats=shared_stats, batched_pairs=batched_pairs,
+    )
+    with CellShapleyExplainer(
+        oracle, policy=POLICY, rng=SEED,
+        incremental=incremental, paired=paired,
+        shared_stats=shared_stats, batched_pairs=batched_pairs,
+        n_jobs=n_jobs, samples_per_shard=SAMPLES_PER_SHARD,
+        warm_pool=warm_pool,
+    ) as explainer:
+        result = explainer.explain(cells=PROBES, n_samples=N_SAMPLES)
+    return {str(cell): value for cell, value in result.values.items()}
+
+
+def compute_grid() -> dict[str, dict[str, float]]:
+    grid: dict[str, dict[str, float]] = {}
+    for algorithm_name in ALGORITHMS:
+        for path_name in ENGINE_PATHS:
+            for mode_name in EXECUTION_MODES:
+                key = f"{algorithm_name}/{path_name}/{mode_name}"
+                grid[key] = run_grid_entry(algorithm_name, path_name, mode_name)
+    return grid
+
+
+def write_fixture(grid: dict) -> None:
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "_comment": "Golden cell-Shapley values; regenerate with "
+                    "`PYTHONPATH=src python tests/test_golden_determinism.py "
+                    "--regenerate` after an intentional sampling change.",
+        "config": {"probes": [str(cell) for cell in PROBES],
+                   "n_samples": N_SAMPLES,
+                   "samples_per_shard": SAMPLES_PER_SHARD,
+                   "seed": SEED, "policy": POLICY},
+        "values": grid,
+    }
+    FIXTURE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return compute_grid()
+
+
+def test_worker_count_and_pool_lifecycle_are_invisible(grid):
+    """njobs=1 ≡ njobs=2 ≡ warm ≡ cold, bit-for-bit, on every grid row."""
+    for algorithm_name in ALGORITHMS:
+        for path_name in ENGINE_PATHS:
+            prefix = f"{algorithm_name}/{path_name}"
+            reference = grid[f"{prefix}/njobs=1"]
+            for mode_name in ("njobs=2/warm", "njobs=2/cold"):
+                assert grid[f"{prefix}/{mode_name}"] == reference, \
+                    f"{prefix}/{mode_name} drifted from the in-process plan"
+
+
+def test_engine_paths_agree_per_execution_mode(grid):
+    """Every engine-flag combination yields the same values (per mode)."""
+    for algorithm_name in ALGORITHMS:
+        for mode_name in EXECUTION_MODES:
+            suffix = f"{algorithm_name}/%s/{mode_name}"
+            reference = grid[suffix % "full"]
+            for path_name in ("incremental", "paired_nobatch", "paired_batched"):
+                assert grid[suffix % path_name] == reference, \
+                    f"{suffix % path_name} drifted from the full-rescan path"
+
+
+def test_values_match_the_committed_golden_fixture(grid):
+    if os.environ.get("TREX_REGEN_GOLDEN"):
+        write_fixture(grid)
+        pytest.skip(f"regenerated {FIXTURE}")
+    assert FIXTURE.exists(), (
+        f"golden fixture {FIXTURE} is missing — generate it with "
+        "`PYTHONPATH=src python tests/test_golden_determinism.py --regenerate` "
+        "and commit the file"
+    )
+    golden = json.loads(FIXTURE.read_text())["values"]
+    drifted: list[str] = []
+    for key in sorted(set(golden) | set(grid)):
+        if key not in grid:
+            drifted.append(f"  {key}: in fixture but no longer computed")
+            continue
+        if key not in golden:
+            drifted.append(f"  {key}: computed but missing from fixture")
+            continue
+        for cell in sorted(set(golden[key]) | set(grid[key])):
+            old = golden[key].get(cell)
+            new = grid[key].get(cell)
+            if old != new:
+                drifted.append(f"  {key} :: {cell}: fixture={old!r} now={new!r}")
+    assert not drifted, (
+        "cell-Shapley values drifted from the golden fixture:\n"
+        + "\n".join(drifted)
+        + "\n\nIf this change is intentional, regenerate with\n"
+        "  PYTHONPATH=src python tests/test_golden_determinism.py --regenerate\n"
+        "and commit the updated fixture."
+    )
+
+
+def main(argv: "list[str]") -> int:
+    if "--regenerate" not in argv:
+        print(__doc__)
+        return 2
+    grid = compute_grid()
+    write_fixture(grid)
+    print(f"wrote {len(grid)} golden grid entries to {FIXTURE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,246 @@
+"""Fault injection: the warm pool must absorb failures without changing bits.
+
+Three environmental failures are injected into real worker processes via
+:class:`~repro.parallel.job.WorkerFault`:
+
+* a worker **killed mid-shard** (hard ``os._exit`` after one shard) — the
+  parent sees EOF, restarts the worker and requeues its shards onto the
+  surviving worker;
+* a worker **hanging past the pool timeout** — the parent terminates and
+  replaces it, then requeues;
+* a worker whose report is **unpicklable** (a poisoned resident-state
+  update) — the worker answers with an error and the shards degrade to an
+  in-process run, which needs no pickling.
+
+In every case the Shapley values, standard errors and sample counts must be
+bit-identical to a fault-free run (shard draws are seeded by coordinates, so
+re-execution lands on the same numbers wherever it happens), a
+``RuntimeWarning`` must surface, and the health counters
+(``shards_requeued``, ``workers_restarted``) must appear in
+``oracle.statistics()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BinaryRepairOracle,
+    CellRef,
+    CellShapleyExplainer,
+    SimpleRuleRepair,
+    la_liga_constraints,
+    la_liga_dirty_table,
+)
+from repro.parallel import ShardedExplainScheduler, WorkerFault, WorkerPool
+
+pytestmark = pytest.mark.parallel
+
+CELL_OF_INTEREST = CellRef(4, "Country")
+PROBES = [CellRef(4, "City"), CellRef(0, "Country")]
+N_SAMPLES = 12
+SAMPLES_PER_SHARD = 4
+
+
+def make_scheduler(fault_injector=None, worker_timeout=None, n_jobs=2):
+    oracle = BinaryRepairOracle(
+        SimpleRuleRepair(), la_liga_constraints(), la_liga_dirty_table(),
+        CELL_OF_INTEREST,
+    )
+    explainer = CellShapleyExplainer(oracle, policy="null", rng=23)
+    scheduler = ShardedExplainScheduler.from_explainer(
+        explainer, n_jobs=n_jobs, samples_per_shard=SAMPLES_PER_SHARD,
+        worker_timeout=worker_timeout, fault_injector=fault_injector,
+    )
+    return scheduler, oracle
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The fault-free outcome every injected run must reproduce exactly."""
+    scheduler, _ = make_scheduler()
+    with scheduler:
+        return scheduler.run(PROBES, N_SAMPLES)
+
+
+def assert_bit_identical(outcome, reference) -> None:
+    assert outcome.estimates == reference.estimates
+    for cell in PROBES:
+        assert outcome.estimates[cell].n_samples == reference.estimates[cell].n_samples
+
+
+def test_worker_killed_mid_shard_requeues_bit_identically(reference):
+    def injector(worker_index, round_index):
+        if worker_index == 0 and round_index == 0:
+            return WorkerFault(die_after_shards=1)
+        return None
+
+    scheduler, oracle = make_scheduler(fault_injector=injector)
+    with scheduler, pytest.warns(RuntimeWarning, match="died mid-task"):
+        outcome = scheduler.run(PROBES, N_SAMPLES, absorb_into=oracle)
+    assert_bit_identical(outcome, reference)
+    # worker 0 held half the 6-shard plan; all of it was re-executed
+    assert outcome.statistics["shards_requeued"] == 3
+    assert outcome.statistics["workers_restarted"] == 1
+    # the counter surface reaches the parent oracle's statistics()
+    statistics = oracle.statistics()
+    assert statistics["shards_requeued"] == 3
+    assert statistics["workers_restarted"] == 1
+
+
+def test_worker_timeout_requeues_bit_identically(reference):
+    def injector(worker_index, round_index):
+        if worker_index == 1 and round_index == 0:
+            return WorkerFault(hang_seconds=60.0)
+        return None
+
+    scheduler, oracle = make_scheduler(fault_injector=injector,
+                                       worker_timeout=2.0)
+    with scheduler, pytest.warns(RuntimeWarning, match="timed out"):
+        outcome = scheduler.run(PROBES, N_SAMPLES, absorb_into=oracle)
+    assert_bit_identical(outcome, reference)
+    assert oracle.statistics()["shards_requeued"] == 3
+    assert oracle.statistics()["workers_restarted"] == 1
+
+
+def test_unpicklable_report_degrades_in_process_bit_identically(reference):
+    def injector(worker_index, round_index):
+        if worker_index == 0 and round_index == 0:
+            return WorkerFault(unpicklable_report=True)
+        return None
+
+    scheduler, oracle = make_scheduler(fault_injector=injector)
+    with scheduler, pytest.warns(RuntimeWarning, match="not picklable"):
+        outcome = scheduler.run(PROBES, N_SAMPLES, absorb_into=oracle)
+    assert_bit_identical(outcome, reference)
+    statistics = oracle.statistics()
+    assert statistics["shards_requeued"] == 3
+    # the worker answered (it is alive and sane) — nothing was restarted,
+    # the shards simply ran in the parent process instead
+    assert statistics["workers_restarted"] == 0
+
+
+def test_fault_free_runs_report_clean_counters(reference):
+    scheduler, oracle = make_scheduler()
+    with scheduler:
+        outcome = scheduler.run(PROBES, N_SAMPLES, absorb_into=oracle)
+    assert_bit_identical(outcome, reference)
+    statistics = oracle.statistics()
+    assert statistics["shards_requeued"] == 0
+    assert statistics["workers_restarted"] == 0
+    assert statistics["worker_rebuilds"] == 2
+
+
+def test_fault_during_adaptive_round_keeps_stop_points(reference):
+    """A round-1 crash must not move run_adaptive's stopping decisions."""
+    def injector(worker_index, round_index):
+        if worker_index == 0 and round_index == 1:
+            return WorkerFault(die_after_shards=0)
+        return None
+
+    kwargs = dict(tolerance=1e-9, min_samples=8, max_samples=12)
+    clean_scheduler, _ = make_scheduler()
+    with clean_scheduler:
+        clean = clean_scheduler.run_adaptive(PROBES, **kwargs)
+    faulty_scheduler, oracle = make_scheduler(fault_injector=injector)
+    with faulty_scheduler, pytest.warns(RuntimeWarning, match="died mid-task"):
+        faulty = faulty_scheduler.run_adaptive(PROBES, **kwargs, absorb_into=oracle)
+    assert faulty.estimates == clean.estimates
+    assert oracle.statistics()["workers_restarted"] == 1
+    assert oracle.statistics()["shards_requeued"] >= 1
+
+
+def test_pool_requeues_onto_surviving_warm_worker():
+    """The requeue target is the live worker, not a cold in-process run."""
+    def injector(worker_index, round_index):
+        if worker_index == 0 and round_index == 0:
+            return WorkerFault(die_after_shards=0)
+        return None
+
+    scheduler, oracle = make_scheduler(fault_injector=injector)
+    with scheduler, pytest.warns(RuntimeWarning, match="died mid-task"):
+        scheduler.run(PROBES, N_SAMPLES, absorb_into=oracle)
+        # worker 1 ran its own task and the requeued one: its stack was built
+        # once, the replacement for worker 0 never ran anything
+        assert oracle.statistics()["worker_rebuilds"] == 1
+        # the next round reuses the restarted worker 0, which rebuilds once
+        scheduler.run(PROBES, N_SAMPLES, absorb_into=oracle)
+    statistics = oracle.statistics()
+    assert statistics["worker_rebuilds"] == 2
+    assert statistics["workers_restarted"] == 1
+
+
+def test_double_death_requeues_onto_the_surviving_warm_worker(reference):
+    """With two of three workers dead, both requeues land on the survivor.
+
+    Regression for the requeue candidate scan: an outcome produced *by* a
+    requeue must not vouch for the (restarted, cold) slot it was originally
+    assigned to — only a worker that itself answered is a valid target.
+    """
+    def injector(worker_index, round_index):
+        if round_index == 1 and worker_index in (0, 1):
+            return WorkerFault(die_after_shards=0)
+        return None
+
+    scheduler, oracle = make_scheduler(fault_injector=injector, n_jobs=3)
+    with scheduler:
+        scheduler.run(PROBES, N_SAMPLES, absorb_into=oracle)  # round 0: clean
+        with pytest.warns(RuntimeWarning, match="died mid-task"):
+            outcome = scheduler.run(PROBES, N_SAMPLES, absorb_into=oracle)
+    assert_bit_identical(outcome, reference)
+    statistics = oracle.statistics()
+    assert statistics["workers_restarted"] == 2
+    assert statistics["shards_requeued"] == 4  # both dead workers' 2-shard lists
+    # the survivor's resident stack served every requeue: stacks were built
+    # exactly once per original worker, in round 0, and never again
+    assert statistics["worker_rebuilds"] == 3
+
+
+def _boom(x):
+    raise ValueError(f"bad input {x}")
+
+
+def _die_in_child(x):
+    import multiprocessing
+    import os
+
+    if x == 7 and multiprocessing.parent_process() is not None:
+        os._exit(3)  # crash only inside pool workers, never in the parent
+    return x * 2
+
+
+def test_run_worker_tasks_surfaces_health_events():
+    """The transient (cold-path) pool reports restarts and requeued tasks."""
+    from repro.parallel import run_worker_tasks
+
+    health: dict = {}
+    with pytest.warns(RuntimeWarning, match="died mid-task"):
+        results = run_worker_tasks(_die_in_child, [(7,), (1,)], 2, health=health)
+    # the crashing task degraded to the parent process and still answered
+    assert results == [14, 2]
+    assert health["requeued_tasks"] == [0]
+    # both the original worker and the requeue candidate died on x == 7
+    assert health["workers_restarted"] == 2
+
+
+def test_cold_scheduler_counts_health_events_from_the_transient_pool():
+    """worker_timeout and health counters reach the cold path too."""
+    scheduler, oracle = make_scheduler(n_jobs=2)
+    scheduler.warm_pool = False
+    with scheduler:
+        outcome = scheduler.run(PROBES, N_SAMPLES, absorb_into=oracle)
+    statistics = oracle.statistics()
+    assert statistics["shards_requeued"] == 0
+    assert statistics["workers_restarted"] == 0
+    assert statistics["worker_rebuilds"] == 2
+    assert outcome.estimates  # sanity: the run produced estimates
+
+
+def test_worker_pool_task_error_degrades_with_default_fallback():
+    """A deterministic task exception surfaces in the parent, like inline."""
+    from repro.parallel.pool import PoolTask
+
+    with WorkerPool(2) as pool:
+        with pytest.warns(RuntimeWarning, match="could not complete"):
+            with pytest.raises(ValueError, match="bad input 7"):
+                pool.run_tasks([PoolTask(_boom, (7,))])

@@ -11,7 +11,12 @@ Three contracts are pinned here:
   sequential engine (same values as before the subsystem existed);
 * **merged early stopping** — adaptive runs decide convergence on the merged
   cross-shard accumulator, so the stopping point matches the in-process run
-  for every worker count.
+  for every worker count;
+* **pool-lifecycle invariance** — the warm pool (resident worker stacks,
+  cache-diff shipping) and the cold rebuild-per-round pool produce
+  bit-identical estimates across the engine flag grid (property-based over
+  seeds), and a cached scheduler reusing its pool across calls changes
+  counters only, never values.
 """
 
 from __future__ import annotations
@@ -33,12 +38,15 @@ from repro.parallel import partition_samples, shard_rng
 from repro.shapley.convergence import ConvergenceTracker, RunningMean
 from repro.shapley.permutation import permutation_shapley
 
+pytestmark = pytest.mark.parallel
+
 CELL_OF_INTEREST = CellRef(4, "Country")
 PROBES = [CellRef(4, "City"), CellRef(0, "Country")]
 
 
 def make_explainer(n_jobs, policy="sample", rng=23, algorithm=None,
-                   samples_per_shard=4, flags=(True, True, True, True)):
+                   samples_per_shard=4, flags=(True, True, True, True),
+                   warm_pool=True):
     incremental, paired, shared_stats, batched_pairs = flags
     oracle = BinaryRepairOracle(
         algorithm or SimpleRuleRepair(),
@@ -53,6 +61,7 @@ def make_explainer(n_jobs, policy="sample", rng=23, algorithm=None,
         incremental=incremental, paired=paired,
         shared_stats=shared_stats, batched_pairs=batched_pairs,
         n_jobs=n_jobs, samples_per_shard=samples_per_shard,
+        warm_pool=warm_pool,
     )
     return explainer, oracle
 
@@ -154,6 +163,88 @@ def test_standalone_scheduler_returns_merged_cache():
     assert outcome.cache is not None and len(outcome.cache) > 0
     # nothing was absorbed: the parent oracle still only counts the reference repair
     assert oracle.calls == 0
+
+
+# ---------------------------------------------------------------------------
+# warm pool: resident worker state must be invisible in the numbers
+
+
+@pytest.mark.parametrize("flags", [
+    (False, False, False, False),
+    (True, False, False, False),
+    (True, True, True, True),
+])
+@settings(max_examples=3, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_warm_and_cold_pools_bit_identical(flags, seed):
+    """Resident stacks + diff shipping vs rebuild-per-round: same bits."""
+    warm, warm_oracle = explain_with(2, flags=flags, rng=seed, warm_pool=True)
+    cold, _ = explain_with(2, flags=flags, rng=seed, warm_pool=False)
+    inline, _ = explain_with(1, flags=flags, rng=seed)
+    assert warm.values == cold.values == inline.values, flags
+    assert warm.standard_errors == cold.standard_errors == inline.standard_errors
+    assert warm_oracle.parallel_workers == 2
+
+
+def test_cached_scheduler_reuses_warm_pool_across_calls():
+    """One explainer = one pool; only the first round builds worker stacks."""
+    explainer, oracle = make_explainer(2, policy="null")
+    with explainer:
+        first = explainer.estimate_cell(CellRef(4, "City"), n_samples=8)
+        second = explainer.estimate_cell(CellRef(4, "City"), n_samples=8)
+        scheduler = explainer._scheduler(2)
+        assert explainer._scheduler(2) is scheduler  # cached, not rebuilt
+    # identical chunk seeds -> identical repeat estimate, warm or not
+    assert second == first
+    assert len(scheduler.round_log) == 2
+    assert scheduler.round_log[0]["worker_rebuilds"] == 2
+    assert scheduler.round_log[1]["worker_rebuilds"] == 0
+    assert oracle.statistics()["worker_rebuilds"] == 2
+    # the second call hit the workers' resident caches: nothing new to ship
+    assert (scheduler.round_log[1]["cache_entries_shipped"]
+            < scheduler.round_log[1]["cache_entries_resident"])
+
+
+def test_close_shuts_the_pool_down_and_the_next_call_respawns():
+    explainer, _ = make_explainer(2, policy="null")
+    first = explainer.estimate_cell(CellRef(4, "City"), n_samples=8)
+    scheduler = explainer._scheduler(2)
+    assert scheduler._pool is not None
+    explainer.close()
+    assert scheduler._pool is None
+    # a fresh scheduler (and pool) serves later calls with identical values
+    again = explainer.estimate_cell(CellRef(4, "City"), n_samples=8)
+    assert again == first
+    explainer.close()
+
+
+def test_reusing_a_closed_scheduler_stays_parallel(recwarn):
+    """close() must drop the residency map: fresh workers need the payload.
+
+    A stale map would dispatch payload-free tasks to the respawned (empty)
+    workers, silently degrading every round to in-process execution with a
+    warning per worker — values would stay right, parallelism would not.
+    """
+    explainer, oracle = make_explainer(2, policy="null")
+    scheduler = explainer._scheduler(2)
+    first = scheduler.run(PROBES, 8, absorb_into=oracle)
+    scheduler.close()
+    again = scheduler.run(PROBES, 8, absorb_into=oracle)
+    scheduler.close()
+    assert again.estimates == first.estimates
+    assert not [w for w in recwarn if "no resident oracle stack" in str(w.message)]
+    statistics = oracle.statistics()
+    assert statistics["shards_requeued"] == 0
+    # both pool lifetimes rebuilt their two worker stacks, nothing degraded
+    assert statistics["worker_rebuilds"] == 4
+
+
+def test_cold_pool_rebuilds_every_round():
+    explainer, oracle = make_explainer(2, policy="null", warm_pool=False)
+    with explainer:
+        explainer.estimate_cell(CellRef(4, "City"), n_samples=8)
+        explainer.estimate_cell(CellRef(4, "City"), n_samples=8)
+    assert oracle.statistics()["worker_rebuilds"] == 4  # 2 workers x 2 rounds
 
 
 # ---------------------------------------------------------------------------
