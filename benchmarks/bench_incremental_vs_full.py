@@ -69,7 +69,9 @@ from repro import (
     SimpleRuleRepair,
     SoccerLeagueGenerator,
 )
+from repro.constraints.incremental import repair_walk_for
 from repro.dataset.errors import inject_errors
+from repro.dataset.generators import HospitalGenerator
 from repro.shapley.cells import relevant_cells
 
 #: largest table size exercised by bench_scaling_cells.py
@@ -87,6 +89,7 @@ PAIRED_FLOOR_GREEDY = float(os.environ.get("TREX_BENCH_PAIRED_FLOOR", "2.0"))
 PAIRED_FLOOR_SIMPLE = float(os.environ.get("TREX_BENCH_PAIRED_FLOOR_SIMPLE", "2.0"))
 PARALLEL_FLOOR = float(os.environ.get("TREX_BENCH_PARALLEL_FLOOR", "1.5"))
 WARM_POOL_FLOOR = float(os.environ.get("TREX_BENCH_WARM_FLOOR", "1.2"))
+VECTORIZED_FLOOR = float(os.environ.get("TREX_BENCH_VEC_FLOOR", "1.5"))
 BENCH_JSON = os.environ.get("TREX_BENCH_JSON", "BENCH_shapley.json")
 
 #: the sharded-scheduler comparison (greedy black box, 2 workers); more
@@ -102,6 +105,13 @@ N_PROBES_PARALLEL = 4
 #: (exactly what the warm pool deletes) is the measured quantity
 WARM_POOL_ROUNDS = 3
 WARM_POOL_SAMPLES_PER_SHARD = 4
+
+#: table size of the vectorised-walk scaling point: one greedy repair step
+#: (degree ranking + one candidate-trial pass) at dictionary-encoded scale,
+#: timed on both engines with detection and encoding primed (telemetry, no
+#: floor — the floor is asserted on the 50-row greedy loop where both paths
+#: fit the benchmark budget)
+SCALING_ROWS = int(os.environ.get("TREX_BENCH_SCALING_ROWS", "5000"))
 
 #: (incremental, paired, second_order, shared_stats, batched_pairs) per path
 PATHS = {
@@ -122,20 +132,23 @@ def _setup(n_rows: int = N_ROWS):
     return constraints, dirty, report.cells()[0]
 
 
-def _make_algorithm(name: str, second_order: bool):
+def _make_algorithm(name: str, second_order: bool, vectorized: bool = True):
     if name == "simple":
-        return SimpleRuleRepair(second_order=second_order)
-    return GreedyHolisticRepair(max_changes=30, second_order=second_order)
+        return SimpleRuleRepair(second_order=second_order, vectorized=vectorized)
+    return GreedyHolisticRepair(max_changes=30, second_order=second_order,
+                                vectorized=vectorized)
 
 
 def _explain(constraints, dirty, cell, path: str, algorithm: str = "simple",
              policy: str = "mode", n_samples: int = N_SAMPLES,
-             n_probes: int = N_PROBES):
+             n_probes: int = N_PROBES, vectorized: bool = True):
     incremental, paired, second_order, shared_stats, batched_pairs = PATHS[path]
     oracle = BinaryRepairOracle(
-        _make_algorithm(algorithm, second_order), constraints, dirty, cell,
+        _make_algorithm(algorithm, second_order, vectorized), constraints,
+        dirty, cell,
         incremental=incremental, paired=paired,
         shared_stats=shared_stats, batched_pairs=batched_pairs,
+        vectorized=vectorized,
     )
     explainer = CellShapleyExplainer(oracle, policy=policy, rng=3,
                                      incremental=incremental, paired=paired,
@@ -145,6 +158,63 @@ def _explain(constraints, dirty, cell, path: str, algorithm: str = "simple",
     start = time.perf_counter()
     result = explainer.explain(cells=probes, n_samples=n_samples)
     return result, time.perf_counter() - start, oracle
+
+
+def _walk_scaling_points(reps: int = 3):
+    """One greedy repair step at dictionary-encoded scale (``SCALING_ROWS``
+    rows), timed on both engines.
+
+    Times what the vectorised engine actually changes inside the greedy
+    loop: degree ranking plus one candidate-trial pass — read off the
+    walk's class-partition counters and the batched ``count_if_many`` with
+    the flag on, versus a materialised ``ViolationSet`` with per-cell
+    ``count_for_cell`` lookups and one scalar ``count_if`` per candidate
+    with it off.  The shared per-table detector's one-time base detection
+    (an object-level pass either engine pays exactly once per process) and
+    the base-column dictionary encoding are primed outside the timed
+    region, so the numbers are per-step costs, not first-touch setup.  The
+    hospital generator is used because the soccer league is bounded by its
+    entity pools (~90 distinct rows).  Returns ``{vectorized: (seconds,
+    n_violations, totals)}`` with the min over ``reps`` runs per engine.
+    """
+    dataset = HospitalGenerator(seed=47).generate(SCALING_ROWS)
+    constraints = dataset.constraints()
+    dirty, report = inject_errors(dataset.table, rate=0.0, n_errors=25, seed=47)
+    cell = report.cells()[0]
+    pool = sorted(
+        {dirty.value(row, cell.attribute) for row in range(200)}, key=repr
+    )[:8]
+
+    def _view():
+        # the walk engages on views only: an empty-delta view over the base
+        return dirty.perturbed({}).mutable_snapshot()
+
+    # prime both engines: base detection into the shared detector cache,
+    # base-column codes into the table's dictionary encoding
+    for vectorized in (True, False):
+        warm = repair_walk_for(_view(), constraints, vectorized=vectorized)
+        warm.count_if(cell, pool[0])
+        warm.cell_degrees()
+
+    points = {}
+    for vectorized in (True, False):
+        best = None
+        for _ in range(reps):
+            walk = repair_walk_for(_view(), constraints, vectorized=vectorized)
+            start = time.perf_counter()
+            if vectorized:
+                n_violations, _degrees = walk.cell_degrees()
+                totals = walk.count_if_many(cell, pool)
+            else:
+                violations = walk.all_violations()
+                n_violations = len(violations)
+                for degree_cell in violations.cells_involved():
+                    violations.count_for_cell(degree_cell)
+                totals = [walk.count_if(cell, value) for value in pool]
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        points[vectorized] = (best, n_violations, totals)
+    return points
 
 
 def _explain_parallel(constraints, dirty, cell, n_jobs: int):
@@ -205,12 +275,14 @@ def _write_bench_json(payload: dict) -> None:
         "warm_pool_rounds": WARM_POOL_ROUNDS,
         "warm_pool_samples_per_shard": WARM_POOL_SAMPLES_PER_SHARD,
         "cpu_count": os.cpu_count(),
+        "scaling_rows": SCALING_ROWS,
         "floors": {
             "incremental_vs_full": SPEEDUP_FLOOR,
             "paired_vs_incremental_greedy": PAIRED_FLOOR_GREEDY,
             "paired_vs_incremental_simple": PAIRED_FLOOR_SIMPLE,
             "parallel_speedup": PARALLEL_FLOOR,
             "warm_pool_speedup": WARM_POOL_FLOOR,
+            "vectorized_speedup": VECTORIZED_FLOOR,
         },
     }
     payload["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
@@ -258,6 +330,21 @@ def test_paths_identical_and_paired_is_faster(benchmark):
             _, elapsed, _ = _explain(constraints, dirty, cell, path, **greedy_args)
             greedy_timings[path].append(elapsed)
 
+    # -- vectorised vs object engine: the same greedy paired loop ------------------------
+    greedy_novec, _, _ = _explain(constraints, dirty, cell, "paired",
+                                  vectorized=False, **greedy_args)
+    assert greedy_novec.values == greedy_results["paired"].values
+    novec_timings = []
+    for _ in range(2):
+        _, elapsed, _ = _explain(constraints, dirty, cell, "paired",
+                                 vectorized=False, **greedy_args)
+        novec_timings.append(elapsed)
+
+    # -- vectorised greedy step at dictionary-encoded scale (SCALING_ROWS rows) ----------
+    scaling = _walk_scaling_points()
+    # identical violations and candidate-trial counts at scale
+    assert scaling[True][1:] == scaling[False][1:]
+
     # -- sharded scheduler: 2 workers vs the identical in-process plan -------------------
     parallel_results = {}
     parallel_timings = {n_jobs: [] for n_jobs in (1, PARALLEL_JOBS)}
@@ -298,6 +385,7 @@ def test_paths_identical_and_paired_is_faster(benchmark):
 
     best = {f"simple_{path}": min(times) for path, times in simple_timings.items()}
     best.update({f"greedy_{path}": min(times) for path, times in greedy_timings.items()})
+    best["greedy_paired_novec"] = min(novec_timings)
     best["greedy_sharded_1job"] = min(parallel_timings[1])
     best[f"greedy_sharded_{PARALLEL_JOBS}jobs"] = min(parallel_timings[PARALLEL_JOBS])
     best["simple_warm_pool"] = min(warm_pool_timings["warm"])
@@ -312,6 +400,8 @@ def test_paths_identical_and_paired_is_faster(benchmark):
         "parallel_speedup": (best["greedy_sharded_1job"]
                              / best[f"greedy_sharded_{PARALLEL_JOBS}jobs"]),
         "warm_pool_speedup": best["simple_cold_pool"] / best["simple_warm_pool"],
+        "vectorized_speedup": best["greedy_paired_novec"] / best["greedy_paired"],
+        "vectorized_walk_scaling": scaling[False][0] / scaling[True][0],
     }
     print_table(
         f"evaluation paths — cell Shapley, {N_ROWS} rows (best-of runs)",
@@ -329,6 +419,12 @@ def test_paths_identical_and_paired_is_faster(benchmark):
              f"{best['greedy_incremental'] / best['greedy_paired_nobatch']:.2f}x"],
             ["greedy holistic", "paired+batched+stats", f"{best['greedy_paired']:.3f}",
              f"{speedups['paired_vs_incremental_greedy']:.2f}x"],
+            ["greedy holistic", "paired, object path", f"{best['greedy_paired_novec']:.3f}",
+             f"{speedups['vectorized_speedup']:.2f}x slower than vectorised"],
+            ["greedy holistic", f"step @ {SCALING_ROWS} rows, vectorised",
+             f"{scaling[True][0]:.3f}",
+             f"{speedups['vectorized_walk_scaling']:.2f}x vs object "
+             f"({scaling[False][0]:.3f}s)"],
             ["greedy holistic", "sharded plan, 1 job", f"{best['greedy_sharded_1job']:.3f}",
              "(parallel baseline)"],
             ["greedy holistic", f"sharded, {PARALLEL_JOBS} workers",
@@ -344,6 +440,12 @@ def test_paths_identical_and_paired_is_faster(benchmark):
     _write_bench_json({
         "seconds": {key: round(value, 4) for key, value in best.items()},
         "speedups": {key: round(value, 2) for key, value in speedups.items()},
+        "vectorized_walk_scaling": {
+            "n_rows": SCALING_ROWS,
+            "vectorized_seconds": round(scaling[True][0], 4),
+            "object_seconds": round(scaling[False][0], 4),
+            "n_violations": scaling[True][1],
+        },
         "batch_scheduler": {
             key: batch_stats.get(key, 0)
             for key in ("batches", "pairs_batched", "pairs_deduped",
@@ -384,6 +486,11 @@ def test_paths_identical_and_paired_is_faster(benchmark):
         f"paired path is only {speedups['paired_vs_incremental_simple']:.2f}x faster "
         f"than the incremental path on the rule-repair loop "
         f"(floor: {PAIRED_FLOOR_SIMPLE}x)"
+    )
+    assert speedups["vectorized_speedup"] >= VECTORIZED_FLOOR, (
+        f"the vectorised engine is only {speedups['vectorized_speedup']:.2f}x "
+        f"faster than the object path on the greedy paired loop "
+        f"(floor: {VECTORIZED_FLOOR}x)"
     )
     # the parallel floor needs real cores: a single-CPU box can only
     # time-slice two workers, so there the ratio is recorded as telemetry

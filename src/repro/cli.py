@@ -70,9 +70,11 @@ def load_constraints(path: str | Path):
     return constraints
 
 
-def _build_algorithm(name: str):
+def _build_algorithm(name: str, vectorized: bool = True):
     if name not in ALGORITHMS:
         raise TRexError(f"unknown algorithm {name!r}; expected one of {sorted(ALGORITHMS)}")
+    if name in ("simple", "greedy"):
+        return ALGORITHMS[name](vectorized=vectorized)
     return ALGORITHMS[name]()
 
 
@@ -94,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(repair_parser)
     repair_parser.add_argument("--algorithm", default="simple", choices=sorted(ALGORITHMS))
     repair_parser.add_argument("--output", help="write the repaired table to this CSV file")
+    repair_parser.add_argument("--no-vectorized", action="store_true",
+                               help="evaluate constraint checks on the per-cell object "
+                                    "path instead of dictionary-encoded code arrays; "
+                                    "results are identical, only slower")
 
     explain_parser = subparsers.add_parser("explain", help="explain the repair of one cell")
     _add_common_arguments(explain_parser)
@@ -112,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
                                      "worker's oracle stack every round instead of "
                                      "keeping them resident (the warm default); "
                                      "results are identical, only slower")
+    explain_parser.add_argument("--no-vectorized", action="store_true",
+                                help="evaluate constraint checks on the per-cell object "
+                                     "path instead of dictionary-encoded code arrays "
+                                     "(also settable via TREX_VECTORIZED=0); results "
+                                     "are identical, only slower")
     explain_parser.add_argument("--policy", default="sample", choices=["sample", "null", "mode"],
                                 help="replacement policy for out-of-coalition cells")
     explain_parser.add_argument("--constraints-only", action="store_true",
@@ -143,7 +154,8 @@ def _command_violations(args) -> int:
 def _command_repair(args) -> int:
     table = read_csv(args.table)
     constraints = load_constraints(args.constraints)
-    algorithm = _build_algorithm(args.algorithm)
+    vectorized = not args.no_vectorized and TRexConfig().vectorized
+    algorithm = _build_algorithm(args.algorithm, vectorized=vectorized)
     result = algorithm.repair(constraints, table)
     print(repair_summary(table, result.clean))
     if args.output:
@@ -155,16 +167,20 @@ def _command_repair(args) -> int:
 def _command_explain(args) -> int:
     table = read_csv(args.table)
     constraints = load_constraints(args.constraints)
-    algorithm = _build_algorithm(args.algorithm)
+    defaults = TRexConfig()
+    # --no-vectorized wins over the TREX_VECTORIZED environment default
+    vectorized = not args.no_vectorized and defaults.vectorized
+    algorithm = _build_algorithm(args.algorithm, vectorized=vectorized)
     cell = CellRef.parse(args.cell)
     if args.jobs is not None and args.jobs < 1:
         raise TRexError(f"--jobs must be a positive integer, got {args.jobs}")
     config = TRexConfig(
-        seed=args.seed if args.seed is not None else TRexConfig().seed,
+        seed=args.seed if args.seed is not None else defaults.seed,
         cell_samples=args.samples,
         replacement_policy=args.policy,
         n_jobs=args.jobs,
         warm_pool=not args.cold_pool,
+        vectorized=vectorized,
     )
     explainer = TRExExplainer(algorithm, constraints, table, config)
     repaired_cells = explainer.repaired_cells()

@@ -7,6 +7,7 @@ harness can tighten or loosen them from a single place.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +23,17 @@ SHAPLEY_ATOL = 1e-9
 #: Default number of permutation samples for the cell-Shapley estimator
 #: (Example 2.5 of the paper leaves ``m`` as a user parameter).
 DEFAULT_CELL_SAMPLES = 500
+
+
+def default_vectorized() -> bool:
+    """Library-wide default for the vectorised engine paths.
+
+    ``True`` unless ``TREX_VECTORIZED=0`` is set — the CI matrix uses the
+    environment switch to run the whole fast test set under both defaults
+    (results are bit-identical either way; only the evaluation strategy
+    changes).
+    """
+    return os.environ.get("TREX_VECTORIZED", "1") != "0"
 
 
 @dataclass
@@ -55,6 +67,11 @@ class TRexConfig:
         resident oracle stacks) alive across rounds, shipping only new cache
         entries home (the default).  ``False`` forces the cold
         rebuild-per-round path; results are bit-identical either way.
+    vectorized:
+        Whether the engine evaluates FD checks, statistics builds and greedy
+        ``count_if`` trials over dictionary-encoded code arrays (the
+        default).  ``False`` forces the per-cell object path; results are
+        bit-identical either way.
     """
 
     seed: int = DEFAULT_SEED
@@ -64,6 +81,7 @@ class TRexConfig:
     cache_oracle: bool = True
     n_jobs: int | None = None
     warm_pool: bool = True
+    vectorized: bool = field(default_factory=default_vectorized)
     extra: dict = field(default_factory=dict)
 
     def rng(self) -> np.random.Generator:
@@ -80,6 +98,7 @@ class TRexConfig:
             cache_oracle=self.cache_oracle,
             n_jobs=self.n_jobs,
             warm_pool=self.warm_pool,
+            vectorized=self.vectorized,
             extra=dict(self.extra),
         )
 

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.predicates import Operator, Predicate, TUPLE_1
 from repro.constraints.violations import (
@@ -59,6 +61,59 @@ __all__ = [
 #: Equivalence-class marker for null cells in ``!=`` partitioning: all nulls
 #: form one class (``null != null`` is unsatisfied, ``null != value`` holds).
 _NULL_CLASS = object()
+
+
+# -- vectorised (dictionary-encoded) key building ----------------------------------
+#
+# The vectorised engine paths evaluate equality keys over int32 code arrays
+# from the base table's append-only dictionaries: per view, each equality
+# column is the base's encoded column plus a sparse code-space delta, the
+# per-column codes are packed into one int64 per row, and the group structure
+# falls out of one ``np.unique`` pass instead of a per-row Python loop.  The
+# decoded group keys are plain value tuples, so vectorised-built state is
+# fully interoperable with the object-path maintenance that runs on top.
+
+
+def _unpack_key(packed_value: int, multipliers: Sequence[int],
+                decode_tables: Sequence[list]) -> tuple:
+    """Decode one packed key back into its value tuple."""
+    parts: list = [None] * len(decode_tables)
+    for j in range(len(decode_tables) - 1, 0, -1):
+        packed_value, code = divmod(packed_value, multipliers[j])
+        parts[j] = decode_tables[j][code]
+    parts[0] = decode_tables[0][packed_value]
+    return tuple(parts)
+
+
+def _groups_from_packed(packed, valid, multipliers: Sequence[int],
+                        decode_tables: Sequence[list],
+                        overridden: Iterable[int]):
+    """Group rows by packed key — the vectorised twin of the walk-index build.
+
+    Returns ``(groups, keys)`` exactly as the object path would produce them:
+    group keys are decoded value tuples inserted in first-appearance order,
+    row lists ascend, and ``keys`` records the (possibly ``None``) key of
+    every row whose equality cells the view overrides.
+    """
+    groups: dict[tuple, list[int]] = {}
+    valid_rows = np.nonzero(valid)[0]
+    if valid_rows.size:
+        unique_vals, first_idx, inverse = np.unique(
+            packed[valid_rows], return_index=True, return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        counts = np.bincount(inverse, minlength=len(unique_vals))
+        starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+        sorted_rows = valid_rows[order]
+        for u in np.argsort(first_idx, kind="stable"):
+            key = _unpack_key(int(unique_vals[u]), multipliers, decode_tables)
+            groups[key] = sorted_rows[starts[u]:starts[u] + counts[u]].tolist()
+    keys: dict[int, tuple | None] = {}
+    for row_id in overridden:
+        keys[row_id] = (
+            _unpack_key(int(packed[row_id]), multipliers, decode_tables)
+            if valid[row_id] else None
+        )
+    return groups, keys
 
 
 def _is_ne_join(predicate: Predicate) -> bool:
@@ -164,6 +219,13 @@ class IncrementalViolationDetector:
         self._states: dict[DenialConstraint, _ConstraintState] = {}
         self._indexes: dict[tuple[str, ...], MultiColumnIndex] = {}
         self._columns: dict[str, Any] = {}  # base column arrays, fetched once
+        #: packed base-key arrays per equality shape (vectorised path),
+        #: keyed by the dictionary sizes they were packed under
+        self._packed_contexts: dict[tuple[str, ...], tuple] = {}
+        #: multi-coalition prime results parked per (view fingerprint, shape);
+        #: populated by :meth:`precompute_walk_indexes`, popped (exclusively)
+        #: by each view's :class:`RepairWalk`
+        self._prime_cache: dict[tuple, tuple] = {}
         for constraint in constraints:
             self._state(constraint)
 
@@ -189,6 +251,161 @@ class IncrementalViolationDetector:
             base_violations = list(find_violations(self.table, constraint))
             state = self._states[constraint] = _ConstraintState(plan, index, base_violations)
         return state
+
+    # -- vectorised key building (dictionary-encoded path) -----------------------
+
+    def _encoded_eq_base(self, eq_attrs: tuple[str, ...]):
+        """Base code arrays + decode tables for one equality shape, or ``None``."""
+        store = self.table.store
+        encoding = store.encoding()
+        code_columns = []
+        decode_tables = []
+        for attribute in eq_attrs:
+            codes = encoding.codes(store, attribute)
+            if codes is None:
+                return None
+            code_columns.append(codes)
+            decode_tables.append(encoding.dictionary(attribute)._values)
+        return code_columns, decode_tables
+
+    def _packed_eq_base(self, eq_attrs: tuple[str, ...], code_columns,
+                        decode_tables):
+        """Packed base keys + validity for one shape (cached, read-only).
+
+        Multi-column keys pack each component code with the current
+        dictionary sizes as multipliers; the cache is invalidated when a
+        dictionary outgrows the sizes it was packed under (callers encode
+        view deltas *before* asking, so grown codes always fit).
+        """
+        if len(code_columns) == 1:
+            sizes: tuple[int, ...] = ()  # single column: no packing, never stale
+        else:
+            sizes = tuple(len(table) for table in decode_tables)
+        cached = self._packed_contexts.get(eq_attrs)
+        if cached is not None and cached[0] == sizes:
+            return cached[1], cached[2], cached[3]
+        multipliers = list(sizes) if sizes else [1]
+        packed = code_columns[0].astype(np.int64)
+        valid = code_columns[0] != 0
+        for j in range(1, len(code_columns)):
+            packed *= multipliers[j]
+            packed += code_columns[j]
+            valid &= code_columns[j] != 0
+        self._packed_contexts[eq_attrs] = (sizes, packed, valid, multipliers)
+        return packed, valid, multipliers
+
+    def _packed_view_keys(self, view_store, eq_attrs: tuple[str, ...]):
+        """One view's equality keys as a packed code array, or ``None``.
+
+        The base's packed keys are shared; the view contributes only a
+        sparse code-space scatter.  Returns ``(packed, valid, multipliers,
+        decode_tables, overridden)`` — ``packed``/``valid`` are read-only
+        when the view has no equality overrides (they alias the base cache).
+        """
+        base = self._encoded_eq_base(eq_attrs)
+        if base is None:
+            return None
+        code_columns, decode_tables = base
+        override_codes: list[dict[int, int]] = []
+        overridden: set[int] = set()
+        for attribute in eq_attrs:
+            encoded = view_store.encoded_delta(attribute)
+            if encoded is None:
+                return None
+            override_codes.append(encoded)
+            overridden.update(encoded)
+        packed, valid, multipliers = self._packed_eq_base(
+            eq_attrs, code_columns, decode_tables)
+        if overridden:
+            packed = packed.copy()
+            valid = valid.copy()
+            self._scatter_packed(packed, valid, overridden, override_codes,
+                                 code_columns, multipliers)
+        return packed, valid, multipliers, decode_tables, overridden
+
+    @staticmethod
+    def _scatter_packed(packed, valid, overridden, override_codes,
+                        code_columns, multipliers) -> None:
+        """Re-pack the overridden rows from their effective per-column codes."""
+        for row_id in overridden:
+            value = 0
+            parts_valid = True
+            for j, codes in enumerate(code_columns):
+                code = override_codes[j].get(row_id)
+                if code is None:
+                    code = int(codes[row_id])
+                if code == 0:
+                    parts_valid = False
+                value = code if j == 0 else value * multipliers[j] + code
+            packed[row_id] = value
+            valid[row_id] = parts_valid
+
+    def precompute_walk_indexes(self, views_with_fingerprints,
+                                constraints: Sequence[DenialConstraint]) -> int:
+        """The multi-coalition walk: stacked key builds for a batch of views.
+
+        The batch scheduler calls this with every distinct coalition view of
+        one ``query_pairs`` pass.  For each equality shape the constraints
+        partition on, all views' keys are evaluated as one stacked
+        ``(n_views, n_rows)`` code matrix — the base's packed row broadcast
+        once, each view contributing only its sparse code-space scatter —
+        and the per-view group structures are parked under the view's
+        fingerprint for its :class:`RepairWalk` to consume exclusively
+        (:meth:`RepairWalk._build_windex_vectorized` pops them).  Unclaimed
+        entries are dropped at the next precompute.  Returns the number of
+        parked builds.
+        """
+        self._prime_cache.clear()
+        shapes: list[tuple[str, ...]] = []
+        for constraint in constraints:
+            plan = self._state(constraint).plan
+            if plan.kind == "eq" and plan.eq_attrs not in shapes:
+                shapes.append(plan.eq_attrs)
+        parked = 0
+        encoding = self.table.store.encoding()
+        for eq_attrs in shapes:
+            base = self._encoded_eq_base(eq_attrs)
+            if base is None:
+                encoding.fallback_checks += len(views_with_fingerprints)
+                continue
+            code_columns, decode_tables = base
+            # encode every view's delta first: the dictionaries may grow and
+            # the packing multipliers must bound the grown code space
+            usable = []
+            for view, fingerprint in views_with_fingerprints:
+                if getattr(view, "base", None) is not self.table:
+                    continue  # foreign root: its codes live in another encoding
+                override_codes: list[dict[int, int]] | None = []
+                overridden: set[int] = set()
+                for attribute in eq_attrs:
+                    encoded = view.store.encoded_delta(attribute)
+                    if encoded is None:
+                        override_codes = None
+                        break
+                    override_codes.append(encoded)
+                    overridden.update(encoded)
+                if override_codes is None:
+                    encoding.fallback_checks += 1
+                    continue
+                usable.append((fingerprint, override_codes, overridden))
+            if not usable:
+                continue
+            packed_base, valid_base, multipliers = self._packed_eq_base(
+                eq_attrs, code_columns, decode_tables)
+            matrix = np.tile(packed_base, (len(usable), 1))
+            valid = np.tile(valid_base, (len(usable), 1))
+            for i, (_fingerprint, override_codes, overridden) in enumerate(usable):
+                if overridden:
+                    self._scatter_packed(matrix[i], valid[i], overridden,
+                                         override_codes, code_columns,
+                                         multipliers)
+            for i, (fingerprint, _override_codes, overridden) in enumerate(usable):
+                built = _groups_from_packed(matrix[i], valid[i], multipliers,
+                                            decode_tables, overridden)
+                self._prime_cache[(fingerprint, eq_attrs)] = built
+                encoding.vectorized_checks += 1
+                parked += 1
+        return parked
 
     # -- public queries ----------------------------------------------------------
 
@@ -542,15 +759,16 @@ class RepairWalk:
     mutates the detector's shared per-base state.
     """
 
-    __slots__ = ("view", "detector", "constraints", "_log", "_cstates",
-                 "_windexes", "_dirty_rows", "_local_rows", "_pristine_rows",
-                 "_row_log_pos")
+    __slots__ = ("view", "detector", "constraints", "vectorized", "_log",
+                 "_cstates", "_windexes", "_dirty_rows", "_local_rows",
+                 "_pristine_rows", "_row_log_pos")
 
     def __init__(self, view: PerturbationView, constraints: Iterable[DenialConstraint],
-                 detector: IncrementalViolationDetector):
+                 detector: IncrementalViolationDetector, vectorized: bool = False):
         self.view = view
         self.detector = detector
         self.constraints = list(constraints)
+        self.vectorized = vectorized
         self._log = view.change_log
         self._cstates: dict[DenialConstraint, _WalkConstraint] = {}
         self._windexes: dict[tuple[str, ...], _WalkIndex] = {}
@@ -615,32 +833,38 @@ class RepairWalk:
     def _windex(self, eq_attrs: tuple[str, ...]) -> _WalkIndex:
         walk_index = self._windexes.get(eq_attrs)
         if walk_index is None:
-            # Built from scratch in one ascending row pass (groups come out
-            # sorted) instead of forking the base index and replaying the full
-            # delta: on the heavily nulled coalition views most rows just drop
-            # out of the index, so per-row bisect moves would dominate.
             base_index = self.detector._index_for(eq_attrs)
-            build_key_of = base_index.build_key_of
-            delta_columns = self.view.delta_by_column()
-            eq_overrides = [delta_columns.get(attribute) for attribute in eq_attrs]
-            overridden: set[int] = set()
-            for overrides in eq_overrides:
-                if overrides:
-                    overridden.update(overrides)
-            keys: dict[int, tuple | None] = {}
-            groups: dict[tuple, list[int]] = {}
-            for row_id in range(self.view.n_rows):
-                if row_id in overridden:
-                    key = keys[row_id] = self._view_key(eq_attrs, row_id, eq_overrides)
-                else:
-                    key = build_key_of(row_id)
-                if key is None:
-                    continue
-                rows = groups.get(key)
-                if rows is None:
-                    groups[key] = [row_id]
-                else:
-                    rows.append(row_id)
+            built = self._build_windex_vectorized(eq_attrs) if self.vectorized \
+                else None
+            if built is not None:
+                groups, keys = built
+            else:
+                # Built from scratch in one ascending row pass (groups come
+                # out sorted) instead of forking the base index and replaying
+                # the full delta: on the heavily nulled coalition views most
+                # rows just drop out of the index, so per-row bisect moves
+                # would dominate.
+                build_key_of = base_index.build_key_of
+                delta_columns = self.view.delta_by_column()
+                eq_overrides = [delta_columns.get(attribute) for attribute in eq_attrs]
+                overridden: set[int] = set()
+                for overrides in eq_overrides:
+                    if overrides:
+                        overridden.update(overrides)
+                keys = {}
+                groups = {}
+                for row_id in range(self.view.n_rows):
+                    if row_id in overridden:
+                        key = keys[row_id] = self._view_key(eq_attrs, row_id, eq_overrides)
+                    else:
+                        key = build_key_of(row_id)
+                    if key is None:
+                        continue
+                    rows = groups.get(key)
+                    if rows is None:
+                        groups[key] = [row_id]
+                    else:
+                        rows.append(row_id)
             index = MultiColumnIndex.__new__(MultiColumnIndex)
             index.attributes = base_index.attributes
             index._groups = groups
@@ -649,6 +873,30 @@ class RepairWalk:
         else:
             self._sync_windex(walk_index, eq_attrs)
         return walk_index
+
+    def _build_windex_vectorized(self, eq_attrs: tuple[str, ...]):
+        """``(groups, keys)`` via the code path, or ``None`` to fall back.
+
+        Consumes a multi-coalition precomputed build when the batch
+        scheduler parked one under this view's fingerprint
+        (:meth:`IncrementalViolationDetector.precompute_walk_indexes`);
+        otherwise the view's keys are packed and grouped standalone.
+        """
+        detector = self.detector
+        encoding = detector.table.store.encoding()
+        if detector._prime_cache and not self._log:
+            built = detector._prime_cache.pop(
+                (self.view.fingerprint(), eq_attrs), None)
+            if built is not None:
+                return built
+        packed = detector._packed_view_keys(self.view.store, eq_attrs)
+        if packed is None:
+            encoding.fallback_checks += 1
+            return None
+        packed_arr, valid, multipliers, decode_tables, overridden = packed
+        encoding.vectorized_checks += 1
+        return _groups_from_packed(packed_arr, valid, multipliers,
+                                   decode_tables, overridden)
 
     def _sync_windex(self, walk_index: _WalkIndex, eq_attrs: tuple[str, ...]) -> None:
         log = self._log
@@ -806,10 +1054,37 @@ class RepairWalk:
 
         return class_of
 
+    def _class_values(self, plan: _ConstraintPlan) -> "list | None":
+        """Per-row view classes of the ``!=`` attribute, decoded in one pass.
+
+        The vectorised twin of :meth:`_class_reader`: the base column's code
+        array is translated through the decode table (``_NULL_CLASS`` at code
+        0) as one list comprehension, then the view's sparse overrides are
+        patched in.  ``None`` when the column is unencodable.
+        """
+        ne_attr = plan.single_ne_attr
+        store = self.detector.table.store
+        encoding = store.encoding()
+        codes = encoding.codes(store, ne_attr)
+        if codes is None:
+            encoding.fallback_checks += 1
+            return None
+        translate = list(encoding.dictionary(ne_attr)._values)
+        translate[0] = _NULL_CLASS
+        classes = [translate[code] for code in codes.tolist()]
+        overrides = self.view.delta_by_column().get(ne_attr)
+        if overrides:
+            for row_id, value in overrides.items():
+                classes[row_id] = _NULL_CLASS if is_null(value) else value
+        encoding.vectorized_checks += 1
+        return classes
+
     def _build_fd_state(self, plan: _ConstraintPlan) -> _FDClassState:
         """Class-partition state of the current view, one pass over the index."""
         walk_index = self._windex(plan.eq_attrs)
-        class_of = self._class_reader(plan)
+        classes = self._class_values(plan) if self.vectorized else None
+        class_of = classes.__getitem__ if classes is not None \
+            else self._class_reader(plan)
         fd = _FDClassState()
         groups = fd.groups
         assigned = fd.assigned
@@ -1038,6 +1313,190 @@ class RepairWalk:
                 count += 1
         return count
 
+    def count_if_many(self, cell: CellRef, values: Sequence[Any]) -> list[int]:
+        """``[count_if(cell, v) for v in values]`` with the per-call work hoisted.
+
+        Greedy candidate scoring calls this once per violating cell instead
+        of once per candidate: constraints are synced once, every
+        candidate-independent term is computed once, and the per-candidate
+        remainder runs as class-counter lookups in a tight loop.
+        Bit-identical to the one-at-a-time path.
+        """
+        self._consume_writes()
+        row_id, attribute = cell.row, cell.attribute
+        n_values = len(values)
+        totals = [0] * n_values
+        encoding = self.detector.table.store.encoding() if self.vectorized else None
+        for constraint in self.constraints:
+            plan = self.detector._state(constraint).plan
+            if plan.kind == "pairs":
+                if attribute not in plan.mentioned:
+                    base = len(self.violations_for(constraint))
+                    for i in range(n_values):
+                        totals[i] += base
+                else:
+                    if encoding is not None:
+                        encoding.fallback_checks += n_values
+                    for i, value in enumerate(values):
+                        trial = self.view.perturbed({cell: value}, trusted=True)
+                        totals[i] += len(find_violations(trial, constraint))
+                continue
+            state = self._synced_state(constraint)
+            fd = state.fd
+            if fd is None and plan.single_ne_attr is not None and attribute in plan.mentioned:
+                fd = state.fd = self._build_fd_state(plan)
+                state.violations = None
+            if fd is not None:
+                if attribute not in plan.mentioned:
+                    base = fd.total
+                    for i in range(n_values):
+                        totals[i] += base
+                    continue
+                base = fd.total - fd.row_violation_count(row_id)
+            else:
+                if attribute not in plan.mentioned:
+                    base = len(state.violations)
+                    for i in range(n_values):
+                        totals[i] += base
+                    continue
+                base = sum(1 for v in state.violations if row_id not in v.rows)
+            if plan.kind == "single":
+                row = dict(self._row_of(row_id))
+                check = plan.residual_check
+                for i, value in enumerate(values):
+                    row[attribute] = value
+                    totals[i] += base + (1 if check(row, row) else 0)
+                continue
+            self._count_row_if_many(constraint, plan, row_id, attribute,
+                                    values, base, totals, encoding)
+        return totals
+
+    def _count_row_if_many(self, constraint: DenialConstraint, plan: _ConstraintPlan,
+                           row_id: int, attribute: str, values: Sequence[Any],
+                           base: int, totals: list[int], encoding) -> None:
+        """Fold one eq-kind constraint's per-candidate term into ``totals``."""
+        ne_attr = plan.single_ne_attr
+        n_values = len(values)
+        if ne_attr is None:
+            # general residual: partner scans per candidate, no hoisting
+            if encoding is not None:
+                encoding.fallback_checks += n_values
+            for i, value in enumerate(values):
+                totals[i] += base + self._count_row_if(constraint, plan, row_id,
+                                                       attribute, value)
+            return
+        walk_index = self._windex(plan.eq_attrs)
+        eq_attrs = plan.eq_attrs
+        fd = self._cstates[constraint].fd
+        assignment = fd.assigned.get(row_id)
+        if encoding is not None:
+            encoding.vectorized_checks += n_values
+        if attribute not in eq_attrs:
+            # one fixed key (and group) for every candidate
+            keys = walk_index.keys
+            key = keys[row_id] if row_id in keys else walk_index.index.build_key_of(row_id)
+            group = fd.groups.get(key) if key is not None else None
+            if group is None:
+                for i in range(n_values):
+                    totals[i] += base
+                return
+            counter_get = group[0].get
+            m = group[1]
+            own_group = assignment is not None and assignment[0] == key
+            if own_group:
+                m -= 1  # exclude the row's own current occupancy
+            own_class = assignment[1] if own_group else None
+            if attribute == ne_attr:
+                for i, value in enumerate(values):
+                    class_i = _NULL_CLASS if is_null(value) else value
+                    n = counter_get(class_i, 0)
+                    if own_group and own_class == class_i:
+                        n -= 1
+                    totals[i] += base + 2 * (m - n)
+            else:
+                value_i = self._value_of(row_id, ne_attr)
+                class_i = _NULL_CLASS if is_null(value_i) else value_i
+                n = counter_get(class_i, 0)
+                if own_group and own_class == class_i:
+                    n -= 1
+                count = 2 * (m - n)
+                for i in range(n_values):
+                    totals[i] += base + count
+            return
+        # the candidate feeds the equality key: rebuild it per candidate
+        slot = eq_attrs.index(attribute)
+        parts: list | None = []
+        for eq_attr in eq_attrs:
+            if eq_attr == attribute:
+                parts.append(None)  # slot for the candidate
+                continue
+            part = self._value_of(row_id, eq_attr)
+            if is_null(part):
+                parts = None
+                break
+            parts.append(part)
+        if parts is None:
+            for i in range(n_values):
+                totals[i] += base  # a null component never satisfies the eq-join
+            return
+        value_i = self._value_of(row_id, ne_attr)
+        class_i = _NULL_CLASS if is_null(value_i) else value_i
+        groups_get = fd.groups.get
+        for i, value in enumerate(values):
+            if is_null(value):
+                totals[i] += base
+                continue
+            parts[slot] = value
+            key = tuple(parts)
+            group = groups_get(key)
+            if group is None:
+                totals[i] += base
+                continue
+            counter, m, _contribution = group
+            n = counter.get(class_i, 0)
+            if assignment is not None and assignment[0] == key:
+                m -= 1
+                if assignment[1] == class_i:
+                    n -= 1
+            totals[i] += base + 2 * (m - n)
+
+    def cell_degrees(self) -> tuple[int, dict[CellRef, int]]:
+        """Violation total and per-cell degrees, no ``Violation`` objects.
+
+        Equivalent to materialising :meth:`all_violations` and reading
+        ``count_for_cell`` for every involved cell, but FD-shape constraints
+        contribute straight from their class-partition counters: every row of
+        a mixed group participates, its degree is the O(1)
+        ``row_violation_count``, and its cells are the row crossed with the
+        constraint's attributes.  Only non-FD constraints still walk their
+        explicit violation lists.
+        """
+        counts: dict[CellRef, int] = {}
+        total = 0
+        for constraint in self.constraints:
+            state = self._synced_state(constraint)
+            plan = self.detector._state(constraint).plan
+            fd = state.fd
+            if fd is None and plan.single_ne_attr is not None:
+                fd = state.fd = self._build_fd_state(plan)
+                state.violations = None
+            if fd is not None:
+                total += fd.total
+                if fd.total:
+                    attrs = plan.eq_attrs + (plan.single_ne_attr,)
+                    for row_id in self.violating_rows_for(constraint):
+                        degree = fd.row_violation_count(row_id)
+                        for attr in attrs:
+                            cell = CellRef(row_id, attr)
+                            counts[cell] = counts.get(cell, 0) + degree
+                continue
+            violations = self.violations_for(constraint)
+            total += len(violations)
+            for violation in violations:
+                for cell in violation.cells():
+                    counts[cell] = counts.get(cell, 0) + 1
+        return total, counts
+
     # -- pair forking -------------------------------------------------------------------
 
     def fork_onto(self, view: PerturbationView,
@@ -1056,6 +1515,7 @@ class RepairWalk:
         clone.view = view
         clone.detector = self.detector
         clone.constraints = list(self.constraints)
+        clone.vectorized = self.vectorized
         clone._log = view.change_log
         clone._row_log_pos = len(clone._log)
         clone._pristine_rows = self._pristine_rows  # shared row cache (see class doc)
@@ -1100,16 +1560,20 @@ class RepairWalk:
 
 
 def repair_walk_for(table: Table,
-                    constraints: Sequence[DenialConstraint]) -> RepairWalk | None:
+                    constraints: Sequence[DenialConstraint],
+                    vectorized: bool = False) -> RepairWalk | None:
     """A :class:`RepairWalk` over ``table``, or ``None`` off the view hot path.
 
     Repair algorithms call this on their working snapshot: a
     :class:`PerturbationView` gets second-order maintenance, everything else
     (plain tables, the reference path) returns ``None`` and the caller falls
-    back to per-pass detection.
+    back to per-pass detection.  ``vectorized`` switches the walk's builds
+    and candidate trials onto the dictionary-encoded code path (results are
+    bit-identical either way).
     """
     if isinstance(table, PerturbationView):
-        return RepairWalk(table, constraints, detector_for(table.base))
+        return RepairWalk(table, constraints, detector_for(table.base),
+                          vectorized=vectorized)
     return None
 
 

@@ -1,0 +1,199 @@
+"""Dictionary encoding: per-column value↔``int32``-code mappings.
+
+The vectorised engine paths (``vectorized=True``) evaluate FD re-checks,
+mixed-group detection and greedy ``count_if`` trials as comparisons over
+integer code arrays instead of Python-object loops.  The encoding layer that
+makes this possible lives here:
+
+* :class:`ColumnDictionary` — one column's value↔code mapping.  Code ``0`` is
+  reserved for NULL (``None`` / ``NaN``); real values get codes ``1..n`` in
+  first-seen order.  The dictionary only ever *grows* (append-only), so codes
+  assigned against the base table stay valid for every overlay delta built on
+  top of it — a perturbed cell just appends a new code if its value is unseen.
+* :class:`TableEncoding` — the per-table bundle: one dictionary per column,
+  lazily-encoded base code arrays, and the encode/check telemetry surfaced
+  through ``oracle.statistics()``.
+
+Both classes are plain-data and pickle cleanly, so the encoding travels
+inside ``ExplainJobSpec`` (the spec pickles the whole dirty table) and a warm
+worker re-uses the parent's dictionaries for its resident lifetime instead of
+re-encoding per shard.
+
+Values that are unhashable cannot be dictionary keys; such a column is marked
+non-encodable and every check touching it falls back to the object path (the
+``fallback_checks`` counter keeps that visible).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable
+
+import numpy as np
+
+#: the reserved code for NULL cells (``None`` / ``NaN``)
+NULL_CODE = 0
+
+
+class ColumnDictionary:
+    """Append-only value↔code mapping for one column.
+
+    Codes are dense ``int32`` starting at 1 (0 is :data:`NULL_CODE`); the
+    decode table keeps the *original* value objects, so decoding returns the
+    identical objects the object path would see.
+    """
+
+    __slots__ = ("_code_of", "_values", "encodable")
+
+    def __init__(self) -> None:
+        self._code_of: dict[Any, int] = {}
+        #: decode table; index 0 is the NULL sentinel
+        self._values: list[Any] = [None]
+        self.encodable = True
+
+    def __len__(self) -> int:
+        """Number of distinct non-null values seen so far."""
+        return len(self._code_of)
+
+    def code_for(self, value: Any, *, is_null) -> int:
+        """The code of ``value``, appending a fresh one if unseen."""
+        if is_null(value):
+            return NULL_CODE
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._values)
+            self._code_of[value] = code
+            self._values.append(value)
+        return code
+
+    def decode(self, code: int) -> Any:
+        return self._values[code]
+
+    def encode_values(self, values: Iterable[Any], mask: np.ndarray,
+                      out: np.ndarray) -> None:
+        """Fill ``out`` with codes for ``values`` (``mask`` marks nulls)."""
+        code_of = self._code_of
+        decode = self._values
+        for i, value in enumerate(values):
+            if mask[i]:
+                out[i] = NULL_CODE
+                continue
+            code = code_of.get(value)
+            if code is None:
+                code = len(decode)
+                code_of[value] = code
+                decode.append(value)
+            out[i] = code
+
+
+class TableEncoding:
+    """Per-table dictionary bundle with cached base code arrays + telemetry.
+
+    The encoding is attached to a :class:`~repro.engine.storage.ColumnStore`
+    (one per base table), shared by every copy of that store, and invalidated
+    per-column on base mutation.  Dictionaries are append-only, so deltas and
+    overlays built while an encoding exists never invalidate existing codes.
+    """
+
+    __slots__ = ("_dicts", "_codes", "encode_seconds", "vectorized_checks",
+                 "fallback_checks")
+
+    def __init__(self) -> None:
+        self._dicts: dict[str, ColumnDictionary] = {}
+        self._codes: dict[str, np.ndarray] = {}
+        #: wall-clock spent encoding base columns into code arrays
+        self.encode_seconds = 0.0
+        #: constraint checks evaluated over code arrays
+        self.vectorized_checks = 0
+        #: checks that fell back to the object path (non-equality DC
+        #: predicates, unencodable columns)
+        self.fallback_checks = 0
+
+    def dictionary(self, name: str) -> ColumnDictionary:
+        dictionary = self._dicts.get(name)
+        if dictionary is None:
+            dictionary = self._dicts[name] = ColumnDictionary()
+        return dictionary
+
+    def invalidate(self, name: str) -> None:
+        """Drop the cached code array after a base-store cell write.
+
+        The dictionary itself survives — it is append-only, so existing codes
+        stay correct; only the materialised base array is stale.
+        """
+        self._codes.pop(name, None)
+
+    def codes(self, store, name: str) -> np.ndarray | None:
+        """The base store's column as an ``int32`` code array (cached).
+
+        Returns ``None`` when the column holds unhashable values — callers
+        must fall back to the object path (and count it).
+        """
+        codes = self._codes.get(name)
+        if codes is not None:
+            return codes
+        dictionary = self.dictionary(name)
+        if not dictionary.encodable:
+            return None
+        from repro.engine.storage import null_mask
+
+        column = store.column(name)
+        mask = null_mask(column)
+        out = np.empty(len(column), dtype=np.int32)
+        start = time.perf_counter()
+        try:
+            dictionary.encode_values(column, mask, out)
+        except TypeError:
+            # unhashable values in this column — permanently object-path
+            dictionary.encodable = False
+            return None
+        finally:
+            self.encode_seconds += time.perf_counter() - start
+        self._codes[name] = out
+        return out
+
+    def code_for(self, name: str, value: Any) -> int | None:
+        """The code of one value in ``name``'s dictionary (grown on demand).
+
+        ``None`` when the column is unencodable or the value unhashable.
+        """
+        from repro.engine.storage import is_null
+
+        dictionary = self.dictionary(name)
+        if not dictionary.encodable:
+            return None
+        try:
+            return dictionary.code_for(value, is_null=is_null)
+        except TypeError:
+            return None
+
+    def dictionary_sizes(self) -> dict[str, int]:
+        """Distinct non-null values per encoded column (telemetry)."""
+        return {name: len(d) for name, d in sorted(self._dicts.items())}
+
+    def telemetry(self) -> dict[str, Any]:
+        return {
+            "encode_seconds": round(self.encode_seconds, 6),
+            "vectorized_checks": self.vectorized_checks,
+            "fallback_checks": self.fallback_checks,
+            "dictionary_sizes": self.dictionary_sizes(),
+        }
+
+    def absorb_counters(self, telemetry: dict) -> None:
+        """Fold a worker's shipped telemetry into this encoding's counters."""
+        self.encode_seconds += telemetry.get("encode_seconds", 0.0)
+        self.vectorized_checks += telemetry.get("vectorized_checks", 0)
+        self.fallback_checks += telemetry.get("fallback_checks", 0)
+
+    def reset_counters(self) -> None:
+        self.encode_seconds = 0.0
+        self.vectorized_checks = 0
+        self.fallback_checks = 0
+
+    def __getstate__(self):
+        return (self._dicts, self._codes, self.encode_seconds,
+                self.vectorized_checks, self.fallback_checks)
+
+    def __setstate__(self, state):
+        (self._dicts, self._codes, self.encode_seconds,
+         self.vectorized_checks, self.fallback_checks) = state

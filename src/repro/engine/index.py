@@ -21,7 +21,9 @@ from bisect import bisect_left, insort
 from collections import defaultdict
 from typing import Any, Iterable, Iterator, Mapping
 
-from repro.engine.storage import is_null
+import numpy as np
+
+from repro.engine.storage import is_null, null_mask
 
 
 def _group_remove(groups: dict, key: Any, row: int) -> None:
@@ -63,10 +65,15 @@ class HashIndex:
         self.attribute = attribute
         groups: dict[Any, list[int]] = defaultdict(list)
         column = store.column(attribute)
-        for row_id, value in enumerate(column):
-            if is_null(value):
-                continue
-            groups[value].append(row_id)
+        try:
+            # one C-level null scan; valid rows come back ascending, so group
+            # insertion order matches the per-cell loop exactly
+            valid_rows = np.nonzero(~null_mask(column))[0].tolist()
+        except TypeError:  # exotic values where elementwise == misbehaves
+            valid_rows = [row_id for row_id, value in enumerate(column)
+                          if not is_null(value)]
+        for row_id in valid_rows:
+            groups[column[row_id]].append(row_id)
         # enumeration order is ascending, so the append-built groups are
         # already sorted; sort defensively to make the invariant explicit
         self._groups: dict[Any, list[int]] = {
@@ -132,11 +139,21 @@ class MultiColumnIndex:
         groups: dict[tuple, list[int]] = defaultdict(list)
         columns = [store.column(attr) for attr in self.attributes]
         build_keys: list[tuple | None] = []
+        try:
+            if not columns:
+                raise TypeError("no indexed columns")
+            invalid = null_mask(columns[0])
+            for column in columns[1:]:
+                invalid |= null_mask(column)
+            invalid = invalid.tolist()
+        except TypeError:  # exotic values where elementwise == misbehaves
+            invalid = [any(is_null(column[row_id]) for column in columns)
+                       for row_id in range(store.n_rows)]
         for row_id in range(store.n_rows):
-            key = tuple(column[row_id] for column in columns)
-            if any(is_null(part) for part in key):
+            if invalid[row_id]:
                 build_keys.append(None)
                 continue
+            key = tuple(column[row_id] for column in columns)
             build_keys.append(key)
             groups[key].append(row_id)
         self._groups = {key: sorted(rows) for key, rows in groups.items()}

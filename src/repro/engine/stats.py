@@ -17,12 +17,12 @@ Null cells are excluded from every count.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Any, Hashable, Iterable, Mapping
+from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.config import make_rng
-from repro.engine.storage import ColumnStore, is_null, values_differ
+from repro.engine.storage import ColumnStore, is_null, null_mask, values_differ
 
 
 _UNSET = object()
@@ -36,10 +36,16 @@ class ColumnStatistics:
 
     def __init__(self, store: ColumnStore, attribute: str):
         self.attribute = attribute
-        counts: Counter = Counter()
-        for value in store.column(attribute):
-            if not is_null(value):
-                counts[value] += 1
+        column = store.column(attribute)
+        try:
+            # one C-level null scan + Counter build instead of a per-cell loop;
+            # Counter(iterable) keys in first-seen order, exactly like the loop
+            counts = Counter(column[~null_mask(column)].tolist())
+        except TypeError:  # exotic values where elementwise == misbehaves
+            counts = Counter()
+            for value in column:
+                if not is_null(value):
+                    counts[value] += 1
         self._counts = counts
         self._total = sum(counts.values())
         self._most_common = _UNSET
@@ -178,11 +184,16 @@ class CooccurrenceStatistics:
             counts: dict[Hashable, Counter] = defaultdict(Counter)
             given_column = self._store.column(given)
             target_column = self._store.column(target)
-            for row in range(self._store.n_rows):
-                given_value = given_column[row]
-                target_value = target_column[row]
-                if is_null(given_value) or is_null(target_value):
-                    continue
+            try:
+                # both null masks in one pass each; the compressed zip visits
+                # the surviving rows in the same ascending order as the loop
+                valid = ~(null_mask(given_column) | null_mask(target_column))
+                pairs = zip(given_column[valid].tolist(),
+                            target_column[valid].tolist())
+            except TypeError:  # exotic values where elementwise == misbehaves
+                pairs = ((g, t) for g, t in zip(given_column, target_column)
+                         if not is_null(g) and not is_null(t))
+            for given_value, target_value in pairs:
                 counts[given_value][target_value] += 1
             self._pair_counts[key] = dict(counts)
         return self._pair_counts[key]
@@ -196,6 +207,24 @@ class CooccurrenceStatistics:
             return 0.0
         total = sum(counts.values())
         return counts.get(target_value, 0) / total
+
+    def conditional_probability_many(
+        self, target: str, target_values: Sequence[Any], given: str, given_value: Any
+    ) -> list[float]:
+        """``[conditional_probability(target, v, given, given_value) for v in
+        target_values]`` with the counts dict and its total fetched once.
+
+        Greedy candidate scoring conditions every candidate of one cell on the
+        same sibling value; each element is the identical
+        ``count / total`` division the scalar method performs, so scores are
+        bit-identical.
+        """
+        counts = self._counts_for(given, target).get(given_value)
+        if not counts:
+            return [0.0] * len(target_values)
+        total = sum(counts.values())
+        counts_get = counts.get
+        return [counts_get(value, 0) / total for value in target_values]
 
     def most_probable(
         self, target: str, given: str, given_value: Any, default: Any = None

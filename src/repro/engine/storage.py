@@ -35,6 +35,20 @@ def values_differ(old: Any, new: Any) -> bool:
     return old != new and not (is_null(old) and is_null(new))
 
 
+def null_mask(column: np.ndarray) -> np.ndarray:
+    """Boolean mask of null cells (``None`` / ``NaN``) in one pass.
+
+    Equivalent to ``[is_null(v) for v in column]`` but the two elementwise
+    comparisons run as C-level loops: ``column == None`` catches the ``None``
+    sentinel and ``column != column`` catches ``NaN`` (the only value that
+    compares unequal to itself).  Statistics builds and detector rebuild
+    loops use this instead of one Python ``is_null`` call per cell.
+    """
+    mask = column == None  # noqa: E711 — elementwise on object arrays
+    mask |= column != column
+    return mask
+
+
 class Fingerprint:
     """A hashable content snapshot with its hash computed exactly once.
 
@@ -82,7 +96,7 @@ class ColumnStore:
     addressing, column scans and cheap whole-table copies.
     """
 
-    __slots__ = ("_columns", "_names", "_n_rows", "_fingerprint")
+    __slots__ = ("_columns", "_names", "_n_rows", "_fingerprint", "_encoding")
 
     def __init__(self, columns: Mapping[str, Sequence[Any]]):
         if not columns:
@@ -97,6 +111,7 @@ class ColumnStore:
             name: np.array(list(values), dtype=object) for name, values in columns.items()
         }
         self._fingerprint: Fingerprint | None = None
+        self._encoding = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -171,6 +186,8 @@ class ColumnStore:
         self._check_row(row)
         self._columns[name][row] = value
         self._fingerprint = None
+        if self._encoding is not None:
+            self._encoding.invalidate(name)
 
     def copy(self) -> "ColumnStore":
         """Return a deep-enough copy (fresh arrays, shared immutable values)."""
@@ -179,7 +196,28 @@ class ColumnStore:
         clone._n_rows = self._n_rows
         clone._columns = {name: col.copy() for name, col in self._columns.items()}
         clone._fingerprint = self._fingerprint  # same content, same fingerprint
+        clone._encoding = None  # copies diverge; each lazily builds its own
         return clone
+
+    # -- dictionary encoding ----------------------------------------------------
+
+    def encoding(self):
+        """The store's :class:`~repro.engine.encoding.TableEncoding` (lazy).
+
+        Built on first use and kept for the store's lifetime — dictionaries
+        are append-only so overlay deltas never invalidate existing codes,
+        and the bundle pickles with the store (a job spec ships it once).
+        """
+        if self._encoding is None:
+            from repro.engine.encoding import TableEncoding
+
+            self._encoding = TableEncoding()
+        return self._encoding
+
+    def encoded_column(self, name: str):
+        """``int32`` code array for one column (``None`` if unencodable)."""
+        self._check_column(name)
+        return self.encoding().codes(self, name)
 
     # -- comparison / hashing helpers -------------------------------------------
 

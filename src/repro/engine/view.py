@@ -116,6 +116,28 @@ class OverlayStore:
         """
         return self._grouped()[1]
 
+    def encoded_delta(self, name: str) -> "dict[int, int] | None":
+        """One column's delta in code space: ``{row: int32 code}``.
+
+        Codes come from the *base* store's append-only dictionaries, so they
+        are directly comparable with the base's encoded column — the
+        vectorised engine paths overlay them onto the base code array instead
+        of re-encoding whole columns per coalition.  Returns ``None`` when
+        the column (or a delta value) is unencodable; callers fall back to
+        the object path.
+        """
+        overrides = self._grouped()[1].get(name)
+        if not overrides:
+            return {}
+        encoding = self._base.encoding()
+        encoded: dict[int, int] = {}
+        for row, value in overrides.items():
+            code = encoding.code_for(name, value)
+            if code is None:
+                return None
+            encoded[row] = code
+        return encoded
+
     # -- access ---------------------------------------------------------------
 
     def column(self, name: str) -> np.ndarray:
@@ -200,6 +222,7 @@ class OverlayStore:
             name: self.column(name).copy() for name in self._base.column_names
         }
         clone._fingerprint = None
+        clone._encoding = None
         return clone
 
     # -- comparison / hashing helpers -------------------------------------------

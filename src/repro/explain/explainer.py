@@ -135,6 +135,7 @@ class TRExExplainer:
             cell=cell,
             target_value=repair_result.clean[cell],
             use_cache=self.config.cache_oracle,
+            vectorized=self.config.vectorized,
         )
 
     def explain_constraints(self, cell: CellRef, exact: bool = True,

@@ -91,32 +91,56 @@ class ExplanationReport:
         """One compact ``key=value`` line from an oracle counter dict.
 
         Zero-valued batch/engine counters are dropped so runs without the
-        batch scheduler (or without shared statistics) stay short.
+        batch scheduler (or without shared statistics) stay short.  Nested
+        telemetry groups (the ``encoding`` dict) are skipped here — they get
+        a dedicated line from :meth:`_format_group`.
         """
         always = ("oracle_calls", "repair_runs", "cache_hits", "cache_misses")
         parts = [f"{key}={value}" for key, value in counters.items()
-                 if key in always or value]
+                 if not isinstance(value, dict) and (key in always or value)]
+        return " ".join(parts)
+
+    @staticmethod
+    def _format_group(counters: dict) -> str:
+        """One nested telemetry group (e.g. ``encoding``) on a compact line.
+
+        Leaf dicts — the per-column ``dictionary_sizes`` — render inline as
+        ``name:size`` pairs so the CLI report shows the whole code layer at a
+        glance.
+        """
+        parts = []
+        for key, value in counters.items():
+            if isinstance(value, dict):
+                inner = ",".join(f"{name}:{size}" for name, size in value.items())
+                parts.append(f"{key}=[{inner}]")
+            else:
+                parts.append(f"{key}={value}")
         return " ".join(parts)
 
     def _statistics_lines(self) -> list[str]:
         """Render the oracle's counters (cache, pair walks, batch scheduler).
 
         Surfacing ``BinaryRepairOracle.statistics()`` here makes perf
-        regressions (cache thrash, vanished batching, silent pair fallbacks)
-        visible in every CLI explain run without firing up the benchmark.
+        regressions (cache thrash, vanished batching, silent pair fallbacks,
+        vectorised checks falling back to the object path) visible in every
+        CLI explain run without firing up the benchmark.
         """
         statistics = self.explanation.oracle_statistics
         if not statistics:
             return []
         lines = ["Oracle statistics:"]
-        if any(isinstance(value, dict) for value in statistics.values()):
-            for scope, counters in statistics.items():
-                if isinstance(counters, dict):
-                    lines.append(f"  {scope:11s}: {self._format_counters(counters)}")
-                else:
-                    lines.append(f"  {scope}: {counters}")
-        else:
-            lines.append(f"  {self._format_counters(statistics)}")
+        # explain() nests one counter dict per scope ("constraints"/"cells");
+        # single-scope explanations carry a flat dict (plus nested telemetry
+        # groups like "encoding", which are dicts but not scopes)
+        scoped = all(isinstance(value, dict) for value in statistics.values())
+        scopes = statistics.items() if scoped else [("", statistics)]
+        for scope, counters in scopes:
+            prefix = f"{scope:11s}: " if scope else ""
+            lines.append(f"  {prefix}{self._format_counters(counters)}")
+            for group, values in counters.items():
+                if isinstance(values, dict):
+                    label = f"{scope}.{group}" if scope else group
+                    lines.append(f"    {label}: {self._format_group(values)}")
         return lines
 
     # -- full report -------------------------------------------------------------------

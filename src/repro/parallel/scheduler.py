@@ -183,6 +183,7 @@ class ShardedExplainScheduler:
             oracle_paired=oracle.paired,
             oracle_shared_stats=oracle.shared_stats,
             oracle_batched_pairs=oracle.batched_pairs,
+            oracle_vectorized=oracle.vectorized,
             explainer_incremental=explainer.incremental,
             explainer_paired=explainer.paired,
             explainer_shared_stats=explainer.shared_stats,

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.constraints.dc import DenialConstraint, constraint_set_names
+from repro.constraints.incremental import detector_for
 from repro.dataset.table import CellRef, PerturbationView, RepairDelta, Table
 from repro.engine.stats import SharedStatistics
 from repro.engine.storage import NULL
@@ -202,6 +203,15 @@ class BinaryRepairOracle:
         detection state is primed on the first instance and forked at the
         single differing cell for the second.  ``False`` forces every pair
         onto two independent repairs.  Answers are identical either way.
+    vectorized:
+        Evaluate the engine's builds over dictionary-encoded code arrays and
+        run :meth:`query_pairs`' grouped passes through the **multi-coalition
+        walk**: every distinct coalition view of one batch has its equality
+        keys built in one stacked code-matrix pass
+        (:meth:`~repro.constraints.incremental.IncrementalViolationDetector.precompute_walk_indexes`)
+        instead of one primed build per group.  Encoding telemetry is merged
+        into :meth:`statistics`.  ``False`` forces the per-cell object path;
+        answers are bit-identical either way.
     shared_stats:
         Maintain one revertible :class:`~repro.engine.stats.SharedStatistics`
         instance for the oracle's whole lifetime and *move* it onto each
@@ -235,6 +245,7 @@ class BinaryRepairOracle:
         paired: bool = True,
         shared_stats: bool = True,
         batched_pairs: bool = True,
+        vectorized: bool = True,
         cache_size: int | None = None,
     ):
         self.algorithm = algorithm
@@ -245,6 +256,7 @@ class BinaryRepairOracle:
         self.paired = paired
         self.shared_stats = bool(shared_stats) and bool(incremental)
         self.batched_pairs = bool(batched_pairs)
+        self.vectorized = bool(vectorized)
         #: the explainer-lifetime statistics instance, moved between coalition
         #: overlays instead of rebuilt per instance (None off the shared path)
         self.stats_engine: SharedStatistics | None = (
@@ -538,6 +550,23 @@ class BinaryRepairOracle:
             type(self.algorithm).repair_pair_group
             is not RepairAlgorithm.repair_pair_group
         )
+        # the multi-coalition walk: build every distinct coalition view's
+        # equality keys as one stacked code-matrix pass up front; the walks
+        # primed below pop their group structures from the detector's cache
+        # (keyed by view fingerprint) instead of re-deriving them one by one
+        if (self.vectorized and self.paired and self.incremental
+                and getattr(self.algorithm, "vectorized", False)):
+            seen_fingerprints = set()
+            batch_views = []
+            for entry in pending:
+                if entry[5] is None or entry[3] in seen_fingerprints:
+                    continue
+                seen_fingerprints.add(entry[3])
+                batch_views.append((entry[1], entry[3]))
+            if batch_views:
+                detector_for(self.dirty_table).precompute_walk_indexes(
+                    batch_views, constraints
+                )
         answered: dict = {}
         cache = self._cache
         cell, target = self.cell, self.target_value
@@ -700,6 +729,12 @@ class BinaryRepairOracle:
         if self.stats_engine is not None:
             self.stats_engine.leases += stats.get("stats_leases", 0)
             self.stats_engine.cells_moved += stats.get("stats_cells_moved", 0)
+        encoding_stats = stats.get("encoding")
+        if encoding_stats:
+            # a worker oracle's encode time and check counts fold into the
+            # parent table's encoding (dictionary sizes are not additive —
+            # the parent keeps its own)
+            self.dirty_table.store.encoding().absorb_counters(encoding_stats)
 
     @property
     def cache_hits(self) -> int:
@@ -732,6 +767,9 @@ class BinaryRepairOracle:
         if self.stats_engine is not None:
             self.stats_engine.leases = 0
             self.stats_engine.cells_moved = 0
+        encoding = self.dirty_table.store._encoding
+        if encoding is not None:
+            encoding.reset_counters()
 
     def statistics(self) -> dict[str, int]:
         stats = {
@@ -754,4 +792,7 @@ class BinaryRepairOracle:
         }
         if self.stats_engine is not None:
             stats.update(self.stats_engine.statistics())
+        encoding = self.dirty_table.store._encoding
+        if encoding is not None:
+            stats["encoding"] = encoding.telemetry()
         return stats

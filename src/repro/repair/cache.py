@@ -167,22 +167,39 @@ class OracleCache:
 #: high-water mark of one run, not an additive workload
 _MAX_COUNTERS = frozenset({"max_batch_size", "parallel_workers"})
 
+#: nested counter groups whose *every* leaf aggregates by maximum — the
+#: encoding telemetry's per-column dictionary sizes describe the largest
+#: dictionary any worker held, not an additive count
+_MAX_GROUPS = frozenset({"dictionary_sizes"})
+
+
+def _merge_counter(merged: dict, key, value, max_all: bool = False) -> None:
+    """Merge one counter into ``merged`` (recursing into nested groups)."""
+    if isinstance(value, dict):
+        group = merged.setdefault(key, {})
+        group_max = max_all or key in _MAX_GROUPS
+        for sub_key, sub_value in value.items():
+            _merge_counter(group, sub_key, sub_value, max_all=group_max)
+    elif max_all or key in _MAX_COUNTERS:
+        merged[key] = max(merged.get(key, 0), value)
+    else:
+        merged[key] = merged.get(key, 0) + value
+
 
 def aggregate_oracle_statistics(stats_dicts) -> dict[str, int]:
     """Fold per-worker ``oracle.statistics()`` dicts into one aggregate.
 
     Counters are summed across workers except the high-water marks
-    (``max_batch_size``, ``parallel_workers``), which take the maximum.  Used
-    by the sharded scheduler to report one statistics dict for a whole
-    parallel run, and usable standalone to combine any oracle counter dicts.
+    (``max_batch_size``, ``parallel_workers``), which take the maximum.
+    Nested groups (the ``encoding`` telemetry) merge recursively, with
+    ``dictionary_sizes`` leaves taking the per-column maximum.  Used by the
+    sharded scheduler to report one statistics dict for a whole parallel run,
+    and usable standalone to combine any oracle counter dicts.
     """
     merged: dict[str, int] = {}
     for stats in stats_dicts:
         for key, value in stats.items():
-            if key in _MAX_COUNTERS:
-                merged[key] = max(merged.get(key, 0), value)
-            else:
-                merged[key] = merged.get(key, 0) + value
+            _merge_counter(merged, key, value)
     return merged
 
 

@@ -52,12 +52,20 @@ class GreedyHolisticRepair(RepairAlgorithm):
         re-check a single row instead of re-deriving the whole delta.
         ``False`` restores first-order per-step detection.  Results are
         identical either way.
+    vectorized:
+        Run the walk's builds over dictionary-encoded code arrays and score
+        each cell's whole candidate pool in one batched pass
+        (:meth:`~repro.constraints.incremental.RepairWalk.count_if_many` +
+        batched co-occurrence scoring) instead of one ``count_if`` and one
+        pair-table fetch per candidate.  Only effective with
+        ``second_order=True`` on a view; results are bit-identical either
+        way.
     """
 
     name = "greedy-holistic"
 
     def __init__(self, max_changes: int = 200, max_candidates: int = 20,
-                 second_order: bool = True):
+                 second_order: bool = True, vectorized: bool = True):
         if max_changes <= 0:
             raise RepairError(f"max_changes must be positive, got {max_changes}")
         if max_candidates <= 0:
@@ -65,6 +73,7 @@ class GreedyHolisticRepair(RepairAlgorithm):
         self.max_changes = max_changes
         self.max_candidates = max_candidates
         self.second_order = bool(second_order)
+        self.vectorized = bool(vectorized)
 
     # -- candidate scoring ---------------------------------------------------------
 
@@ -92,6 +101,32 @@ class GreedyHolisticRepair(RepairAlgorithm):
             )
         return score
 
+    def _cooccurrence_scores(self, table: Table, cell: CellRef,
+                             values: Sequence[Any]) -> list[float]:
+        """Batched :meth:`_cooccurrence_score` over a whole candidate pool.
+
+        One pair-table fetch (and one total) per sibling attribute serves
+        every candidate; accumulation runs per attribute in the same order as
+        the scalar method, so each candidate's score is the identical
+        left-to-right float sum.
+        """
+        scores = [0.0] * len(values)
+        if not values:
+            return scores
+        cooccurrence = table.stats.cooccurrence
+        for attribute in table.attributes:
+            if attribute == cell.attribute:
+                continue
+            other_value = table.value(cell.row, attribute)
+            if is_null(other_value):
+                continue
+            probabilities = cooccurrence.conditional_probability_many(
+                cell.attribute, values, attribute, other_value
+            )
+            for i, probability in enumerate(probabilities):
+                scores[i] += probability
+        return scores
+
     def _total_violations_if(self, table: Table, constraints: Sequence[DenialConstraint],
                              cell: CellRef, value: Any) -> int:
         """Total number of violations in the table if ``cell`` were set to ``value``.
@@ -110,7 +145,8 @@ class GreedyHolisticRepair(RepairAlgorithm):
         constraints = list(constraints)
         if not constraints:
             return current
-        walk = repair_walk_for(current, constraints) if self.second_order else None
+        walk = (repair_walk_for(current, constraints, vectorized=self.vectorized)
+                if self.second_order else None)
         return self._repair_loop(constraints, current, walk)
 
     def repair_pair(
@@ -157,7 +193,8 @@ class GreedyHolisticRepair(RepairAlgorithm):
                  for without_table in without_tables],
             )
         with_work = with_table.mutable_snapshot(name=f"{with_table.name}_repaired")
-        walk_with = repair_walk_for(with_work, constraints) if self.second_order else None
+        walk_with = (repair_walk_for(with_work, constraints, vectorized=self.vectorized)
+                     if self.second_order else None)
         if walk_with is None:
             return (
                 self._repair_loop(constraints, with_work, None),
@@ -180,28 +217,57 @@ class GreedyHolisticRepair(RepairAlgorithm):
 
     def _repair_loop(self, constraints: list[DenialConstraint], current: Table,
                      walk: RepairWalk | None) -> Table:
+        batched = walk is not None and self.vectorized
         for _ in range(self.max_changes):
-            if walk is not None:
-                violations = walk.all_violations()
+            if batched:
+                # degrees straight from the walk's class-partition counters:
+                # no Violation objects are materialised on the hot path
+                total_before, degrees = walk.cell_degrees()
+                if not total_before:
+                    break
+                cells = sorted(degrees,
+                               key=lambda c: (-degrees[c], c.row, c.attribute))
+                max_degree = degrees[cells[0]]
+                top_cells = [c for c in cells if degrees[c] == max_degree]
             else:
-                violations = find_all_violations_fast(current, constraints)
-            if not violations:
-                break
-            total_before = len(violations)
+                if walk is not None:
+                    violations = walk.all_violations()
+                else:
+                    violations = find_all_violations_fast(current, constraints)
+                if not violations:
+                    break
+                total_before = len(violations)
 
-            # Consider the cells with the highest violation degree (the classic
-            # "most conflicting cell" heuristic); among those, pick the single
-            # (cell, value) re-assignment that minimises the table's total
-            # violation count, preferring values that co-occur with the tuple.
-            cells = violations.cells_involved()
-            cells.sort(key=lambda c: (-violations.count_for_cell(c), c.row, c.attribute))
-            max_degree = violations.count_for_cell(cells[0])
-            top_cells = [c for c in cells if violations.count_for_cell(c) == max_degree]
+                # Consider the cells with the highest violation degree (the
+                # classic "most conflicting cell" heuristic); among those, pick
+                # the single (cell, value) re-assignment that minimises the
+                # table's total violation count, preferring values that
+                # co-occur with the tuple.
+                cells = violations.cells_involved()
+                cells.sort(key=lambda c: (-violations.count_for_cell(c), c.row, c.attribute))
+                max_degree = violations.count_for_cell(cells[0])
+                top_cells = [c for c in cells if violations.count_for_cell(c) == max_degree]
 
             best: tuple | None = None  # (total, -cooccurrence, value repr, cell, value)
             for cell in top_cells:
                 current_value = current[cell]
-                for candidate in self._candidate_values(current, cell):
+                candidates = self._candidate_values(current, cell)
+                if batched:
+                    pool = [value for value in candidates
+                            if not value == current_value]
+                    totals = walk.count_if_many(cell, pool)
+                    coocs = self._cooccurrence_scores(current, cell, pool)
+                    for candidate, total, cooc in zip(pool, totals, coocs):
+                        key = (
+                            total,
+                            -cooc,
+                            repr(candidate),
+                            (cell.row, cell.attribute),
+                        )
+                        if best is None or key < best[:4]:
+                            best = (*key, cell, candidate)
+                    continue
+                for candidate in candidates:
                     if candidate == current_value:
                         continue
                     if walk is not None:

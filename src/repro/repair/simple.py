@@ -115,6 +115,12 @@ class SimpleRuleRepair(RepairAlgorithm):
         wrote) when repairing a :class:`~repro.dataset.table.PerturbationView`.
         ``False`` restores the first-order behaviour of re-deriving every pass
         from the base snapshot.  Results are identical either way.
+    vectorized:
+        Build the walk's equality indexes and class partitions over
+        dictionary-encoded code arrays (and consume the batch scheduler's
+        multi-coalition precomputed builds).  Only effective with
+        ``second_order=True`` on a view; results are bit-identical either
+        way.
     """
 
     name = "simple-rules"
@@ -125,6 +131,7 @@ class SimpleRuleRepair(RepairAlgorithm):
         derive_missing: bool = True,
         max_iterations: int = 10,
         second_order: bool = True,
+        vectorized: bool = True,
     ):
         if max_iterations <= 0:
             raise RepairError(f"max_iterations must be positive, got {max_iterations}")
@@ -132,6 +139,7 @@ class SimpleRuleRepair(RepairAlgorithm):
         self.derive_missing = derive_missing
         self.max_iterations = max_iterations
         self.second_order = bool(second_order)
+        self.vectorized = bool(vectorized)
         self._derived_rules: dict[DenialConstraint, RepairRule | None] = {}
 
     def _rule_for(self, constraint: DenialConstraint) -> RepairRule | None:
@@ -152,7 +160,8 @@ class SimpleRuleRepair(RepairAlgorithm):
         # RepairWalk, or per pass against the base by find_violations_auto;
         # plain tables take the original copy + full-rescan path.
         current = table.mutable_snapshot(name=f"{table.name}_repaired")
-        walk = repair_walk_for(current, constraints) if self.second_order else None
+        walk = (repair_walk_for(current, constraints, vectorized=self.vectorized)
+                if self.second_order else None)
         return self._repair_loop(list(constraints), current, walk)
 
     def repair_pair(
@@ -197,7 +206,8 @@ class SimpleRuleRepair(RepairAlgorithm):
             differing_cells_lists, len(without_tables)
         )
         with_work = with_table.mutable_snapshot(name=f"{with_table.name}_repaired")
-        walk_with = repair_walk_for(with_work, constraints) if self.second_order else None
+        walk_with = (repair_walk_for(with_work, constraints, vectorized=self.vectorized)
+                     if self.second_order else None)
         if walk_with is None:
             return (
                 self._repair_loop(constraints, with_work, None),

@@ -55,19 +55,22 @@ SAMPLES_PER_SHARD = 3
 SEED = 23
 POLICY = "mode"  # deterministic replacement values: drift means drift
 
-#: (incremental, paired, second_order, shared_stats, batched_pairs) — the
-#: same ladder the engine benchmark cross-checks
+#: (incremental, paired, second_order, shared_stats, batched_pairs,
+#: vectorized) — the same ladder the engine benchmark cross-checks, plus the
+#: dictionary-encoded engine toggled off on the fully-flagged path
 ENGINE_PATHS = {
-    "full": (False, False, False, False, False),
-    "incremental": (True, False, False, False, False),
-    "paired_nobatch": (True, True, True, False, False),
-    "paired_batched": (True, True, True, True, True),
+    "full": (False, False, False, False, False, True),
+    "incremental": (True, False, False, False, False, True),
+    "paired_nobatch": (True, True, True, False, False, True),
+    "paired_batched": (True, True, True, True, True, True),
+    "paired_batched_novec": (True, True, True, True, True, False),
 }
 
 ALGORITHMS = {
-    "simple": lambda second_order: SimpleRuleRepair(second_order=second_order),
-    "greedy": lambda second_order: GreedyHolisticRepair(
-        max_changes=20, second_order=second_order),
+    "simple": lambda second_order, vectorized: SimpleRuleRepair(
+        second_order=second_order, vectorized=vectorized),
+    "greedy": lambda second_order, vectorized: GreedyHolisticRepair(
+        max_changes=20, second_order=second_order, vectorized=vectorized),
 }
 
 #: the scheduler/pool axis: (n_jobs, warm_pool)
@@ -81,14 +84,15 @@ EXECUTION_MODES = {
 
 def run_grid_entry(algorithm_name: str, path_name: str,
                    mode_name: str) -> dict[str, float]:
-    incremental, paired, second_order, shared_stats, batched_pairs = \
-        ENGINE_PATHS[path_name]
+    incremental, paired, second_order, shared_stats, batched_pairs, \
+        vectorized = ENGINE_PATHS[path_name]
     n_jobs, warm_pool = EXECUTION_MODES[mode_name]
     oracle = BinaryRepairOracle(
-        ALGORITHMS[algorithm_name](second_order),
+        ALGORITHMS[algorithm_name](second_order, vectorized),
         la_liga_constraints(), la_liga_dirty_table(), CELL_OF_INTEREST,
         incremental=incremental, paired=paired,
         shared_stats=shared_stats, batched_pairs=batched_pairs,
+        vectorized=vectorized,
     )
     with CellShapleyExplainer(
         oracle, policy=POLICY, rng=SEED,
@@ -148,7 +152,8 @@ def test_engine_paths_agree_per_execution_mode(grid):
         for mode_name in EXECUTION_MODES:
             suffix = f"{algorithm_name}/%s/{mode_name}"
             reference = grid[suffix % "full"]
-            for path_name in ("incremental", "paired_nobatch", "paired_batched"):
+            for path_name in ("incremental", "paired_nobatch", "paired_batched",
+                              "paired_batched_novec"):
                 assert grid[suffix % path_name] == reference, \
                     f"{suffix % path_name} drifted from the full-rescan path"
 

@@ -114,6 +114,25 @@ def test_soak_is_bit_identical_across_pool_modes_and_inline(soak):
         assert warm_outcome.estimates[cell].n_samples == MAX_SAMPLES
 
 
+def test_soak_runs_on_the_vectorised_engine(soak):
+    """The resident stacks are vectorised and stay resident.
+
+    ``ExplainJobSpec`` ships the dirty table's column dictionaries once per
+    worker lifetime; the workers' code-array engines run against that
+    shipped encoding for their whole residency — so the vectorised checks
+    show up in the merged telemetry while ``worker_rebuilds`` still stops
+    at the pool width (vectorisation costs no extra rebuilds, and no
+    worker ever silently fell back to the object path).
+    """
+    _, _, oracle, _, _ = soak["warm"]
+    assert oracle.vectorized
+    statistics = oracle.statistics()
+    assert statistics["worker_rebuilds"] == N_JOBS
+    encoding = statistics["encoding"]
+    assert encoding["vectorized_checks"] > 0
+    assert encoding["fallback_checks"] == 0
+
+
 def test_no_health_events_during_a_clean_soak(soak):
     _, _, oracle, _, _ = soak["warm"]
     statistics = oracle.statistics()
