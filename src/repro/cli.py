@@ -118,6 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
                                      "worker's oracle stack every round instead of "
                                      "keeping them resident (the warm default); "
                                      "results are identical, only slower")
+    explain_parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                                help="with --jobs: wall-clock budget for the cell "
+                                     "sampling; on expiry the partial estimates "
+                                     "computed so far are reported (marked "
+                                     "INCOMPLETE) instead of hanging")
+    explain_parser.add_argument("--max-worker-restarts", type=int, default=None,
+                                metavar="N",
+                                help="with --jobs: per-worker-slot restart cap before "
+                                     "the slot is abandoned (crash-loop containment; "
+                                     "default 5, -1 lifts the cap)")
+    explain_parser.add_argument("--max-shard-attempts", type=int, default=None,
+                                metavar="N",
+                                help="with --jobs: cross-worker failures tolerated per "
+                                     "sampling shard before it is quarantined to the "
+                                     "in-process path (default 3, -1 lifts the cap)")
+    explain_parser.add_argument("--restart-backoff", type=float, default=None,
+                                metavar="SECONDS",
+                                help="with --jobs: base delay of the exponential "
+                                     "backoff slept before worker restarts "
+                                     "(default 0.05, 0 disables)")
     explain_parser.add_argument("--no-vectorized", action="store_true",
                                 help="evaluate constraint checks on the per-cell object "
                                      "path instead of dictionary-encoded code arrays "
@@ -174,6 +194,15 @@ def _command_explain(args) -> int:
     cell = CellRef.parse(args.cell)
     if args.jobs is not None and args.jobs < 1:
         raise TRexError(f"--jobs must be a positive integer, got {args.jobs}")
+    if args.deadline is not None and args.deadline < 0:
+        raise TRexError(f"--deadline must be non-negative, got {args.deadline}")
+
+    def _cap(value, default):
+        # -1 on the command line lifts a cap (None internally)
+        if value is None:
+            return default
+        return None if value < 0 else value
+
     config = TRexConfig(
         seed=args.seed if args.seed is not None else defaults.seed,
         cell_samples=args.samples,
@@ -181,6 +210,12 @@ def _command_explain(args) -> int:
         n_jobs=args.jobs,
         warm_pool=not args.cold_pool,
         vectorized=vectorized,
+        deadline_seconds=args.deadline,
+        max_worker_restarts=_cap(args.max_worker_restarts, defaults.max_worker_restarts),
+        max_shard_attempts=_cap(args.max_shard_attempts, defaults.max_shard_attempts),
+        restart_backoff_seconds=(defaults.restart_backoff_seconds
+                                 if args.restart_backoff is None
+                                 else max(0.0, args.restart_backoff)),
     )
     explainer = TRExExplainer(algorithm, constraints, table, config)
     repaired_cells = explainer.repaired_cells()

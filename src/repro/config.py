@@ -7,6 +7,7 @@ harness can tighten or loosen them from a single place.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
 
@@ -72,6 +73,25 @@ class TRexConfig:
         ``count_if`` trials over dictionary-encoded code arrays (the
         default).  ``False`` forces the per-cell object path; results are
         bit-identical either way.
+    deadline_seconds:
+        Optional wall-clock budget for one sampled cell-Shapley explanation
+        run on the ``n_jobs`` path.  On expiry the scheduler stops at a
+        round boundary and returns the merged *partial* estimates with
+        ``ShapleyResult.completed == False``.  ``None`` (default) means no
+        budget.  Sequential runs ignore it.
+    max_worker_restarts:
+        Per-worker-slot cap on process restarts (crash-loop containment);
+        once exceeded the slot stays dead and its work is requeued or run
+        in-process.  ``None`` lifts the cap.
+    max_shard_attempts:
+        Cross-worker failure cap per sampling shard; a shard that fails this
+        many times is quarantined to the in-process degrade path for the
+        rest of the scheduler's lifetime (values unchanged — only where the
+        shard is evaluated changes).  ``None`` lifts the cap.
+    restart_backoff_seconds:
+        Base delay of the bounded exponential backoff slept before each
+        worker restart (doubles per consecutive restart of the same slot,
+        capped).  ``0`` disables the backoff.
     """
 
     seed: int = DEFAULT_SEED
@@ -82,6 +102,10 @@ class TRexConfig:
     n_jobs: int | None = None
     warm_pool: bool = True
     vectorized: bool = field(default_factory=default_vectorized)
+    deadline_seconds: float | None = None
+    max_worker_restarts: int | None = 5
+    max_shard_attempts: int | None = 3
+    restart_backoff_seconds: float = 0.05
     extra: dict = field(default_factory=dict)
 
     def rng(self) -> np.random.Generator:
@@ -90,16 +114,20 @@ class TRexConfig:
 
     def with_seed(self, seed: int) -> "TRexConfig":
         """Return a copy of the configuration with a different seed."""
-        return TRexConfig(
-            seed=seed,
-            cell_samples=self.cell_samples,
-            replacement_policy=self.replacement_policy,
-            max_repair_iterations=self.max_repair_iterations,
-            cache_oracle=self.cache_oracle,
-            n_jobs=self.n_jobs,
-            warm_pool=self.warm_pool,
-            vectorized=self.vectorized,
-            extra=dict(self.extra),
+        return dataclasses.replace(self, seed=seed, extra=dict(self.extra))
+
+    def retry_policy(self):
+        """Build the pool :class:`~repro.parallel.pool.RetryPolicy` these knobs describe.
+
+        Imported lazily: ``repro.parallel`` imports this module, so a
+        top-level import here would be circular.
+        """
+        from repro.parallel.pool import RetryPolicy
+
+        return RetryPolicy(
+            max_worker_restarts=self.max_worker_restarts,
+            max_shard_attempts=self.max_shard_attempts,
+            backoff_base=self.restart_backoff_seconds,
         )
 
 

@@ -183,6 +183,8 @@ class TRExExplainer:
         explainer = CellShapleyExplainer(
             oracle, policy=self.config.replacement_policy, rng=self.config.seed,
             n_jobs=self.config.n_jobs, warm_pool=self.config.warm_pool,
+            retry_policy=self.config.retry_policy(),
+            deadline_seconds=self.config.deadline_seconds,
         )
         if cells is None and only_relevant:
             cells = relevant_cells(self.dirty_table, self.constraints, cell)

@@ -145,6 +145,20 @@ class ExplanationReport:
 
     # -- full report -------------------------------------------------------------------
 
+    def _incomplete_line(self) -> str | None:
+        """A warning line when the cell sampling hit its deadline budget.
+
+        ``ShapleyResult.completed`` is ``False`` only when a
+        ``deadline_seconds`` budget expired mid-plan; the ranking below is
+        then built from the merged *partial* estimates and must be read as
+        a preview, not the converged explanation.
+        """
+        result = self.explanation.cell_shapley
+        if result is None or result.completed:
+            return None
+        return (f"INCOMPLETE: deadline expired after {result.n_samples} "
+                f"cell sample(s); cell values are partial estimates")
+
     def to_text(self, top_k_cells: int | None = 10) -> str:
         explanation = self.explanation
         lines = [
@@ -153,6 +167,9 @@ class ExplanationReport:
             f"Cell of interest : {explanation.cell}",
             f"Repair           : {explanation.old_value!r} -> {explanation.new_value!r}",
         ]
+        incomplete = self._incomplete_line()
+        if incomplete:
+            lines.append(f"!! {incomplete}")
         lines.extend(self._statistics_lines())
         constraint_lines = self._constraint_lines()
         if constraint_lines:
@@ -172,6 +189,10 @@ class ExplanationReport:
             f"Repair: `{explanation.old_value!r}` → `{explanation.new_value!r}`",
             "",
         ]
+        incomplete = self._incomplete_line()
+        if incomplete:
+            lines.append(f"> **{incomplete}**")
+            lines.append("")
         statistics_lines = self._statistics_lines()
         if statistics_lines:
             lines.append("```")

@@ -123,6 +123,12 @@ class WorkerReport:
     #: size of the worker's resident cache when the report was cut — what
     #: whole-cache shipping would have cost this round
     resident_cache_size: int = 0
+    #: 1 when this task rebuilt its stack *seeded from a parent snapshot* (a
+    #: warm restart) instead of starting from an empty cache
+    warm_restart: int = 0
+    #: entries the parent's snapshot seeded into this worker's fresh cache
+    #: (they never ship back — the first sync mark is taken above them)
+    entries_seeded: int = 0
 
 
 @dataclass(frozen=True)
@@ -137,7 +143,13 @@ class WorkerFault:
       ``worker_timeout`` (the worker is terminated and replaced);
     * ``unpicklable_report`` — poison the report so it cannot cross the pipe
       (the worker answers with an error and the parent degrades the task
-      in-process).
+      in-process);
+    * ``slow_seconds`` — sleep *after* computing the report, before replying
+      (a slow reply: harmless under a generous timeout, a timeout/requeue or
+      a deadline expiry under a tight one — all value-preserving);
+    * ``corrupt_reply`` — answer with garbage instead of a
+      :class:`WorkerReport` (the scheduler detects the type violation and
+      re-runs the shards in-process).
 
     Faults attach to one dispatch only: a requeued task is always sent
     clean, modelling an environmental failure at the original placement.
@@ -146,3 +158,5 @@ class WorkerFault:
     die_after_shards: int | None = None
     hang_seconds: float | None = None
     unpicklable_report: bool = False
+    slow_seconds: float | None = None
+    corrupt_reply: bool = False

@@ -33,11 +33,50 @@ warning; results are unaffected because shard draws are seeded, not shared.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 _POOL_FAILURE_WARNED = False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on the pool's restart machinery (crash-loop containment).
+
+    Without a policy a worker slot whose replacement keeps dying is respawned
+    forever, as fast as ``fork`` allows.  The policy caps that loop along
+    three axes:
+
+    * ``backoff_base`` / ``backoff_factor`` / ``backoff_max`` — an
+      exponential delay before the *n*-th replacement of one slot, so a
+      systemic failure (OOM killer, broken interpreter) does not turn into a
+      fork storm; the pool sums the waited seconds into
+      ``backoff_seconds_total``.
+    * ``max_worker_restarts`` — per-slot replacement cap; a slot that
+      exceeds it is left dead (its tasks requeue or degrade in-process) and
+      ``None`` means unbounded.
+    * ``max_shard_attempts`` — consumed by the scheduler, not the pool: the
+      cross-worker failure count after which a shard is quarantined to the
+      in-process degrade path (see ``ShardedExplainScheduler``).
+
+    None of the knobs can change results — every re-execution venue draws
+    from the same shard-coordinate seeds.
+    """
+
+    max_worker_restarts: int | None = 5
+    max_shard_attempts: int | None = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+
+    def backoff_seconds(self, restart_index: int) -> float:
+        """Delay before the ``restart_index``-th replacement of one slot."""
+        if self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** restart_index)
 
 
 def process_context():
@@ -110,6 +149,7 @@ class TaskOutcome:
     worker_index: int          # worker that produced the result; -1 = in-process
     requeued: bool = False     # re-executed after the assigned worker failed
     degraded: bool = False     # ran in the parent process (no pipe crossed)
+    expired: bool = False      # dropped at the deadline; result is None
 
 
 def _default_fallback(task: "PoolTask"):
@@ -171,24 +211,36 @@ class WorkerPool:
         declaring it hung, replacing it and requeueing the task.  ``None``
         (default) waits indefinitely — worker *death* is still detected
         immediately via EOF on the pipe.
+    retry:
+        A :class:`RetryPolicy` bounding restarts (backoff between
+        replacements, per-slot cap).  ``None`` keeps the unbounded legacy
+        behaviour — restart immediately, forever.
 
     The pool is a context manager; :meth:`close` shuts the workers down.
-    ``workers_restarted`` / ``tasks_requeued`` count health events over the
-    pool's lifetime.
+    ``workers_restarted`` / ``tasks_requeued`` / ``tasks_expired`` /
+    ``backoff_seconds_total`` count health events over the pool's lifetime.
     """
 
-    def __init__(self, n_workers: int, timeout: float | None = None, context=None):
+    def __init__(self, n_workers: int, timeout: float | None = None, context=None,
+                 retry: "RetryPolicy | None" = None):
+        # assigned before any validation so close()/__del__ stay safe no
+        # matter where construction fails (partially built pools included)
+        self._workers: list[_PoolWorker | None] = []
+        self._closed = False
+        self.worker_generations: list[int] = []
+        self.workers_restarted = 0
+        self.tasks_requeued = 0
+        self.tasks_expired = 0
+        self.backoff_seconds_total = 0.0
         if int(n_workers) < 1:
             raise ValueError(f"n_workers must be a positive integer, got {n_workers}")
         self._context = context if context is not None else process_context()
         self.timeout = timeout
-        self.workers_restarted = 0
-        self.tasks_requeued = 0
+        self.retry = retry
         #: per-slot restart generation — bumped whenever the process behind a
         #: slot is replaced, so callers tracking per-worker resident state
         #: can tell "same warm process" from "fresh replacement"
-        self.worker_generations: list[int] = [0] * int(n_workers)
-        self._workers: list[_PoolWorker | None] = []
+        self.worker_generations = [0] * int(n_workers)
         try:
             for _ in range(int(n_workers)):
                 self._workers.append(_PoolWorker(self._context))
@@ -209,8 +261,16 @@ class WorkerPool:
         self.close()
 
     def close(self) -> None:
-        """Shut every worker down; safe to call repeatedly."""
-        workers, self._workers = self._workers, []
+        """Shut every worker down; idempotent and safe mid-construction.
+
+        ``_workers`` is the first attribute ``__init__`` assigns, so this is
+        callable on a pool whose constructor failed at any point (including
+        validation) — the slots spawned so far are stopped, later calls are
+        no-ops, and a closed pool refuses new work instead of degrading it
+        silently.
+        """
+        workers, self._workers = getattr(self, "_workers", []), []
+        self._closed = True
         for worker in workers:
             if worker is not None:
                 worker.stop()
@@ -224,7 +284,8 @@ class WorkerPool:
     # -- one round --------------------------------------------------------------------
 
     def run_tasks(self, tasks: Sequence[PoolTask],
-                  fallback: Callable[[PoolTask], Any] | None = None) -> list[TaskOutcome]:
+                  fallback: Callable[[PoolTask], Any] | None = None,
+                  deadline: float | None = None) -> list[TaskOutcome]:
         """Run ``tasks[i]`` on worker ``i`` and return outcomes in task order.
 
         The assignment is positional and static — determinism of "which
@@ -235,8 +296,19 @@ class WorkerPool:
         degraded in-process via ``fallback`` (default: ``fn(*args)`` in the
         parent, which re-raises deterministic task errors exactly like a
         sequential run would).
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant: a task
+        whose report has not arrived by then is *dropped*, not requeued —
+        its worker is replaced (it may be mid-computation and unusable) and
+        the outcome comes back with ``expired=True`` and a ``None`` result,
+        so the caller can stop cleanly with partial results instead of
+        hanging on a stuck fleet.
         """
         tasks = list(tasks)
+        if self._closed and tasks:
+            raise RuntimeError(
+                "worker pool is closed; build a new pool to run more tasks"
+            )
         if len(tasks) > len(self._workers):
             raise ValueError(
                 f"got {len(tasks)} tasks for {len(self._workers)} workers; "
@@ -255,16 +327,25 @@ class WorkerPool:
             if not dispatched[index]:
                 failed.append((index, "dead"))
                 continue
-            status, payload = self._collect(index)
+            status, payload = self._collect(index, deadline)
             if status == "ok":
                 outcomes[index] = TaskOutcome(payload, worker_index=index)
+            elif status == "deadline":
+                self._note_failure(index, status, payload)
+                self.tasks_expired += 1
+                outcomes[index] = TaskOutcome(None, worker_index=-1, expired=True)
             else:
                 self._note_failure(index, status, payload)
                 failed.append((index, status))
 
         for index, status in failed:
+            if deadline is not None and time.monotonic() >= deadline:
+                # no budget left to re-execute: surface the expiry instead
+                self.tasks_expired += 1
+                outcomes[index] = TaskOutcome(None, worker_index=-1, expired=True)
+                continue
             outcomes[index] = self._requeue(tasks[index], index, status,
-                                            outcomes, fallback)
+                                            outcomes, fallback, deadline)
         return outcomes  # type: ignore[return-value]
 
     # -- plumbing ---------------------------------------------------------------------
@@ -280,12 +361,18 @@ class WorkerPool:
             self._restart(index)
             return False
 
-    def _collect(self, index: int) -> tuple[str, Any]:
+    def _collect(self, index: int, deadline: float | None = None) -> tuple[str, Any]:
         worker = self._workers[index]
         if worker is None:  # pragma: no cover - dispatch already failed
             return ("dead", None)
         try:
-            if self.timeout is not None and not worker.connection.poll(self.timeout):
+            wait = self.timeout
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                wait = remaining if wait is None else min(wait, remaining)
+            if wait is not None and not worker.connection.poll(max(0.0, wait)):
+                if deadline is not None and time.monotonic() >= deadline:
+                    return ("deadline", None)
                 return ("timeout", None)
             return worker.connection.recv()
         except (EOFError, OSError):
@@ -302,6 +389,19 @@ class WorkerPool:
                 stacklevel=4,
             )
             return
+        if status == "deadline":
+            # the worker may be fine, just slow — but its report is of no use
+            # past the deadline, and leaving it mid-computation would poison
+            # the next round's pipe protocol, so the slot is replaced; no
+            # backoff (the job is already out of time)
+            warnings.warn(
+                f"pool worker {index} ran past the job deadline; replacing it "
+                "and dropping its task — the job returns partial estimates",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._restart(index, backoff=False)
+            return
         reason = (f"timed out after {self.timeout}s" if status == "timeout"
                   else "died mid-task")
         warnings.warn(
@@ -312,11 +412,29 @@ class WorkerPool:
         )
         self._restart(index)
 
-    def _restart(self, index: int) -> None:
+    def _restart(self, index: int, backoff: bool = True) -> None:
         worker = self._workers[index]
         if isinstance(worker, _PoolWorker):
             worker.kill()
+        prior_restarts = self.worker_generations[index]
         self.worker_generations[index] += 1
+        if self.retry is not None:
+            cap = self.retry.max_worker_restarts
+            if cap is not None and prior_restarts >= cap:
+                warnings.warn(
+                    f"pool worker {index} exceeded its restart cap ({cap}); "
+                    "leaving the slot dead — its tasks will requeue or run "
+                    "in-process, results are identical",
+                    RuntimeWarning,
+                    stacklevel=5,
+                )
+                self._workers[index] = None
+                return
+            if backoff:
+                delay = self.retry.backoff_seconds(prior_restarts)
+                if delay > 0:
+                    time.sleep(delay)
+                    self.backoff_seconds_total += delay
         try:
             self._workers[index] = _PoolWorker(self._context)
             self.workers_restarted += 1
@@ -325,7 +443,8 @@ class WorkerPool:
 
     def _requeue(self, task: PoolTask, index: int, status: str,
                  outcomes: Sequence[TaskOutcome | None],
-                 fallback: Callable[[PoolTask], Any]) -> TaskOutcome:
+                 fallback: Callable[[PoolTask], Any],
+                 deadline: float | None = None) -> TaskOutcome:
         self.tasks_requeued += 1
         clean = PoolTask(task.fn, task.args, resident=task.resident, fault=None)
         if status != "error":
@@ -342,12 +461,19 @@ class WorkerPool:
                     continue
                 if not self._dispatch(candidate, clean):
                     continue
-                candidate_status, payload = self._collect(candidate)
+                candidate_status, payload = self._collect(candidate, deadline)
                 if candidate_status == "ok":
                     return TaskOutcome(payload, worker_index=candidate,
                                        requeued=True)
                 self._note_failure(candidate, candidate_status, payload)
+                if candidate_status == "deadline":
+                    self.tasks_expired += 1
+                    return TaskOutcome(None, worker_index=-1,
+                                       requeued=True, expired=True)
                 break
+        if deadline is not None and time.monotonic() >= deadline:
+            self.tasks_expired += 1
+            return TaskOutcome(None, worker_index=-1, requeued=True, expired=True)
         return TaskOutcome(fallback(clean), worker_index=-1,
                            requeued=True, degraded=True)
 
@@ -359,7 +485,9 @@ def _run_stateless(fn: Callable, args: tuple) -> Any:
 
 def run_worker_tasks(fn: Callable, tasks: Sequence[tuple], n_jobs: int,
                      timeout: float | None = None,
-                     health: dict | None = None) -> list:
+                     health: dict | None = None,
+                     retry: "RetryPolicy | None" = None,
+                     deadline: float | None = None) -> list:
     """Run one ``fn(*task)`` call per task, in processes when ``n_jobs > 1``.
 
     The transient-pool entry point (the cold scheduler path and the sharded
@@ -373,7 +501,9 @@ def run_worker_tasks(fn: Callable, tasks: Sequence[tuple], n_jobs: int,
     abandoning the pool; passing a ``health`` dict surfaces what happened —
     ``workers_restarted``, the indexes of ``requeued_tasks``, and whether the
     round ``fanned_out`` to real processes at all — so callers can fold the
-    events into their counter surface.
+    events into their counter surface (plus ``expired_tasks`` and
+    ``backoff_seconds`` when a ``deadline`` / ``retry`` policy is active;
+    expired tasks come back as ``None`` results).
     """
     tasks = list(tasks)
     if health is not None:
@@ -381,7 +511,7 @@ def run_worker_tasks(fn: Callable, tasks: Sequence[tuple], n_jobs: int,
     if n_jobs <= 1 or len(tasks) <= 1:
         return [fn(*task) for task in tasks]
     try:
-        pool = WorkerPool(min(n_jobs, len(tasks)), timeout=timeout)
+        pool = WorkerPool(min(n_jobs, len(tasks)), timeout=timeout, retry=retry)
     except OSError as error:  # pragma: no cover - sandbox-dependent
         global _POOL_FAILURE_WARNED
         if not _POOL_FAILURE_WARNED:
@@ -395,11 +525,15 @@ def run_worker_tasks(fn: Callable, tasks: Sequence[tuple], n_jobs: int,
         return [fn(*task) for task in tasks]
     with pool:
         outcomes = pool.run_tasks(
-            [PoolTask(_run_stateless, (fn, tuple(task))) for task in tasks]
+            [PoolTask(_run_stateless, (fn, tuple(task))) for task in tasks],
+            deadline=deadline,
         )
     if health is not None:
         health["fanned_out"] = True
         health["workers_restarted"] = pool.workers_restarted
         health["requeued_tasks"] = [index for index, outcome in enumerate(outcomes)
-                                    if outcome.requeued]
+                                    if outcome.requeued and not outcome.expired]
+        health["expired_tasks"] = [index for index, outcome in enumerate(outcomes)
+                                   if outcome.expired]
+        health["backoff_seconds"] = pool.backoff_seconds_total
     return [outcome.result for outcome in outcomes]

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -50,7 +51,7 @@ from typing import Callable, Iterable, Sequence
 from repro.config import DEFAULT_CELL_SAMPLES
 from repro.dataset.table import CellRef
 from repro.parallel.job import ExplainJobSpec, ExplainShard, ShardResult, WorkerReport
-from repro.parallel.pool import PoolTask, WorkerPool, run_worker_tasks
+from repro.parallel.pool import PoolTask, RetryPolicy, WorkerPool, run_worker_tasks
 from repro.parallel.seeding import partition_samples
 from repro.parallel.worker import run_resident_worker, run_worker
 from repro.repair.cache import OracleCache, aggregate_oracle_statistics
@@ -66,9 +67,16 @@ DEFAULT_SAMPLES_PER_SHARD = BATCH_CHUNK_SIZE
 #: one private resident dict — the key only has to be stable)
 _LOCAL_KEY = "local"
 
-#: round-log counter keys summed into run statistics
+#: round-log counter keys summed into run statistics *and* absorbed into the
+#: parent oracle's attributes of the same name
 _POOL_COUNTERS = ("worker_rebuilds", "cache_entries_shipped",
-                  "shards_requeued", "workers_restarted")
+                  "shards_requeued", "workers_restarted",
+                  "warm_restarts", "cache_entries_seeded",
+                  "shards_poisoned", "restart_backoff_seconds")
+
+#: round-log bookkeeping keys that stay per-round (not oracle counters)
+_ROUND_ONLY_KEYS = ("cache_entries_resident", "shards_quarantined",
+                    "shards_dropped")
 
 
 @dataclass
@@ -86,6 +94,11 @@ class ParallelExplainResult:
     #: the merged cache — the absorbing oracle's when ``absorb_into`` was
     #: given, otherwise a standalone merge of the worker caches
     cache: OracleCache | None = None
+    #: ``False`` when the job's ``deadline_seconds`` expired before the plan
+    #: finished: the estimates are the merged *partial* state (every cell's
+    #: ``n_samples`` says how far it got) — never a hang, never a mid-merge
+    #: exception
+    completed: bool = True
 
 
 class ShardedExplainScheduler:
@@ -115,24 +128,45 @@ class ShardedExplainScheduler:
     fault_injector:
         Test-harness hook: ``fn(worker_index, round_index)`` returning a
         :class:`~repro.parallel.job.WorkerFault` (or ``None``) attached to
-        that worker's dispatch.  Production runs never set it.
+        that worker's dispatch (a :class:`~repro.parallel.chaos.FaultPlan`
+        is one).  Production runs never set it.
+    retry_policy:
+        Crash-loop containment (see :class:`~repro.parallel.pool.RetryPolicy`):
+        backoff between worker restarts, a per-slot restart cap, and the
+        per-shard attempt cap after which a shard is *quarantined* — executed
+        in-process for the rest of the scheduler's life instead of being
+        retried on workers forever (``shards_poisoned`` counts quarantine
+        events).  Defaults to ``RetryPolicy()``.
+    deadline_seconds:
+        Wall-clock budget per :meth:`run` / :meth:`run_adaptive` call.  On
+        expiry the scheduler stops at a round boundary (in-flight tasks past
+        the deadline are dropped, their workers replaced), merges what
+        every cell has so far and returns it with ``completed=False`` and a
+        ``deadline_expired`` counter — it never hangs and never raises
+        mid-merge.  ``None`` (default) runs to completion.
 
     The scheduler is a context manager; :meth:`close` shuts the warm pool
     down (idle workers cost memory, not correctness — they are daemonic and
     die with the parent either way).  ``round_log`` records one dict per
-    executed round (shard counts, rebuilds, shipped entries, requeues) for
-    tests and benchmarks.
+    executed round (shard counts, rebuilds, shipped/seeded entries,
+    requeues, quarantines, drops) for tests and benchmarks.
     """
 
     def __init__(self, spec: ExplainJobSpec, n_jobs: int = 1,
                  samples_per_shard: int | None = None, warm_pool: bool = True,
                  worker_timeout: float | None = None,
-                 fault_injector: "Callable | None" = None):
+                 fault_injector: "Callable | None" = None,
+                 retry_policy: RetryPolicy | None = None,
+                 deadline_seconds: float | None = None):
         if int(n_jobs) < 1:
             raise ValueError(f"n_jobs must be a positive integer, got {n_jobs}")
         if samples_per_shard is not None and int(samples_per_shard) < 1:
             raise ValueError(
                 f"samples_per_shard must be a positive integer, got {samples_per_shard}"
+            )
+        if deadline_seconds is not None and float(deadline_seconds) < 0:
+            raise ValueError(
+                f"deadline_seconds must be non-negative, got {deadline_seconds}"
             )
         self.spec = spec
         self.n_jobs = int(n_jobs)
@@ -143,6 +177,8 @@ class ShardedExplainScheduler:
         self.warm_pool = bool(warm_pool)
         self.worker_timeout = worker_timeout
         self.fault_injector = fault_injector
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.deadline_seconds = deadline_seconds
         self._spec_payload: bytes | None = None
         self._spec_key: str | None = None
         #: the in-process resident stack (n_jobs=1 and every degraded path),
@@ -154,6 +190,17 @@ class ShardedExplainScheduler:
         #: stack (an "ok" report) — those workers are sent shard lists only,
         #: not the job-spec payload, on later rounds
         self._resident_generations: dict[int, int] = {}
+        #: the scheduler's own running merge of every report's cache entries,
+        #: maintained *per round* (the absorb-into-oracle merge only happens
+        #: at the end of a run) — the snapshot source for warm restarts
+        self._seed_cache: OracleCache | None = None
+        if self.warm_pool and self.n_jobs > 1 and spec.use_cache:
+            self._seed_cache = (OracleCache(spec.cache_size)
+                                if spec.cache_size is not None else OracleCache())
+        #: cross-worker failure counts per shard coordinate, and the
+        #: coordinates already quarantined to in-process execution
+        self._shard_failures: dict[tuple[int, int], int] = {}
+        self._poisoned_shards: set[tuple[int, int]] = set()
         self._round_index = 0
         #: one bookkeeping dict per executed round — what the soak test and
         #: the warm-pool benchmark read
@@ -165,6 +212,8 @@ class ShardedExplainScheduler:
                        warm_pool: bool = True,
                        worker_timeout: float | None = None,
                        fault_injector: "Callable | None" = None,
+                       retry_policy: RetryPolicy | None = None,
+                       deadline_seconds: float | None = None,
                        ) -> "ShardedExplainScheduler":
         """Assemble the job spec from a live ``CellShapleyExplainer``."""
         oracle = explainer.oracle
@@ -191,7 +240,8 @@ class ShardedExplainScheduler:
         )
         return cls(spec, n_jobs=n_jobs, samples_per_shard=samples_per_shard,
                    warm_pool=warm_pool, worker_timeout=worker_timeout,
-                   fault_injector=fault_injector)
+                   fault_injector=fault_injector, retry_policy=retry_policy,
+                   deadline_seconds=deadline_seconds)
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -272,7 +322,8 @@ class ShardedExplainScheduler:
             return None
         if self._pool is None:
             try:
-                self._pool = WorkerPool(self.n_jobs, timeout=self.worker_timeout)
+                self._pool = WorkerPool(self.n_jobs, timeout=self.worker_timeout,
+                                        retry=self.retry_policy)
             except OSError as error:  # pragma: no cover - sandbox-dependent
                 self._pool_broken = True
                 warnings.warn(
@@ -284,7 +335,37 @@ class ShardedExplainScheduler:
                 return None
         return self._pool
 
-    def _execute(self, shards: Sequence[ExplainShard]) -> list[WorkerReport]:
+    def _note_shard_failures(self, shards: Sequence[ExplainShard],
+                             log: dict) -> None:
+        """Count one cross-worker failure against each shard; quarantine at cap.
+
+        A shard whose assignment keeps failing — worker death, hang, corrupt
+        or unpicklable reply — is most likely *causing* the failures (a
+        poison shard).  After ``retry_policy.max_shard_attempts`` failing
+        rounds its coordinates are quarantined: every later round routes it
+        straight to the in-process degrade path, ending the crash loop
+        without touching its values (shard draws are coordinate-seeded).
+        """
+        cap = self.retry_policy.max_shard_attempts
+        for shard in shards:
+            coords = (shard.cell_position, shard.chunk_index)
+            attempts = self._shard_failures.get(coords, 0) + 1
+            self._shard_failures[coords] = attempts
+            if (cap is not None and attempts >= cap
+                    and coords not in self._poisoned_shards):
+                self._poisoned_shards.add(coords)
+                log["shards_poisoned"] += 1
+                warnings.warn(
+                    f"shard (cell {shard.cell_position}, chunk "
+                    f"{shard.chunk_index}) failed {attempts} times across "
+                    "workers; quarantining it to in-process execution — "
+                    "results are identical",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+
+    def _execute(self, shards: Sequence[ExplainShard],
+                 deadline: float | None = None) -> list[WorkerReport]:
         """Round-robin the shards over the workers and collect their reports.
 
         The assignment (shard ``i`` → worker ``i mod n_tasks``) is static and
@@ -292,17 +373,37 @@ class ShardedExplainScheduler:
         spec (e.g. a custom repair algorithm holding a closure) degrades to
         in-process execution with a warning, mirroring the permutation
         estimator — the plan and therefore the values are unchanged.
+        Quarantined shards never reach a worker: they run in-process up
+        front (reported under worker index ``-1``).  Past-``deadline`` tasks
+        are dropped (``shards_dropped`` in the round log); the caller reads
+        that as the signal to stop at this round boundary.
         """
         round_index = self._round_index
         self._round_index += 1
-        n_tasks = max(1, min(self.n_jobs, len(shards)))
-        assignments = [list(shards[worker::n_tasks]) for worker in range(n_tasks)]
         log = {"round": round_index, "shards": len(shards),
-               "cache_entries_resident": 0,
+               **{key: 0 for key in _ROUND_ONLY_KEYS},
                **{key: 0 for key in _POOL_COUNTERS}}
-        if self.n_jobs == 1:
-            reports = [self._run_local(assignments[0], 0)]
-        else:
+        reports: list[WorkerReport] = []
+        healthy = list(shards)
+        if self._poisoned_shards:
+            quarantined = [
+                shard for shard in healthy
+                if (shard.cell_position, shard.chunk_index) in self._poisoned_shards
+            ]
+            if quarantined:
+                healthy = [
+                    shard for shard in healthy
+                    if (shard.cell_position, shard.chunk_index)
+                    not in self._poisoned_shards
+                ]
+                log["shards_quarantined"] = len(quarantined)
+                reports.append(self._run_local(quarantined, -1))
+        if healthy and self.n_jobs == 1:
+            reports.append(self._run_local(healthy, 0))
+        elif healthy:
+            n_tasks = max(1, min(self.n_jobs, len(healthy)))
+            assignments = [list(healthy[worker::n_tasks])
+                           for worker in range(n_tasks)]
             try:
                 payload = self._payload()
             except Exception as error:
@@ -314,36 +415,52 @@ class ShardedExplainScheduler:
                 )
                 payload = None
             if payload is None:
-                reports = [self._run_local(assignment, worker)
-                           for worker, assignment in enumerate(assignments)]
+                reports.extend(self._run_local(assignment, worker)
+                               for worker, assignment in enumerate(assignments))
             elif self.warm_pool:
-                reports = self._execute_warm(payload, assignments, round_index, log)
+                reports.extend(self._execute_warm(payload, assignments,
+                                                  round_index, log, deadline))
             else:
                 tasks = [(payload, assignment, worker)
                          for worker, assignment in enumerate(assignments)]
                 health: dict = {}
-                reports = run_worker_tasks(run_worker, tasks, n_tasks,
-                                           timeout=self.worker_timeout,
-                                           health=health)
+                raw = run_worker_tasks(run_worker, tasks, n_tasks,
+                                       timeout=self.worker_timeout,
+                                       health=health,
+                                       retry=self.retry_policy,
+                                       deadline=deadline)
                 log["workers_restarted"] += health.get("workers_restarted", 0)
-                log["shards_requeued"] += sum(
-                    len(assignments[index])
-                    for index in health.get("requeued_tasks", ())
-                )
+                log["restart_backoff_seconds"] += health.get("backoff_seconds", 0.0)
+                for index in health.get("requeued_tasks", ()):
+                    log["shards_requeued"] += len(assignments[index])
+                    self._note_shard_failures(assignments[index], log)
+                for index in health.get("expired_tasks", ()):
+                    log["shards_dropped"] += len(assignments[index])
+                cold_reports = [report for report in raw if report is not None]
                 if not health.get("fanned_out", False):
                     # the round ran inline (single task, or pool degrade):
                     # nothing crossed a process boundary
-                    for report in reports:
+                    for report in cold_reports:
                         report.entries_shipped = 0
+                reports.extend(cold_reports)
         for report in reports:
             log["worker_rebuilds"] += report.rebuilt
             log["cache_entries_shipped"] += report.entries_shipped
             log["cache_entries_resident"] += report.resident_cache_size
+            log["warm_restarts"] += report.warm_restart
+            log["cache_entries_seeded"] += report.entries_seeded
+        if self._seed_cache is not None:
+            # keep the scheduler's own merge current *per round* — the next
+            # replacement worker is seeded from exactly this state
+            for report in reports:
+                for key, value in report.cache_diff:
+                    self._seed_cache.put(key, value)
         self.round_log.append(log)
         return reports
 
     def _execute_warm(self, payload: bytes, assignments: Sequence[list],
-                      round_index: int, log: dict) -> list[WorkerReport]:
+                      round_index: int, log: dict,
+                      deadline: float | None = None) -> list[WorkerReport]:
         """One warm-pool round: resident tasks, health accounting.
 
         Workers that already confirmed a resident stack (an "ok" report from
@@ -352,12 +469,23 @@ class ShardedExplainScheduler:
         not once per round.  Requeued tasks always land on a worker that
         completed its own task this round, which therefore holds the stack
         even when the requeued message carries no payload.
+
+        A worker *without* a resident stack is additionally handed a
+        snapshot of the scheduler's merged seed cache (when it holds
+        anything): a replacement after a crash — or a whole fresh pool after
+        :meth:`close` — rebuilds its stack *warm*, resuming from the fleet's
+        accumulated answers instead of recomputing them.  Replies that are
+        not a :class:`WorkerReport` at all (a corrupt pipe, an injected
+        ``corrupt_reply`` fault) are discarded and the shards re-run
+        in-process — the type check is the last line of defence before the
+        merge.
         """
         pool = self._ensure_pool()
         if pool is None:
             return [self._run_local(assignment, worker)
                     for worker, assignment in enumerate(assignments)]
         key = self._spec_fingerprint()
+        seed_snapshot = None  # cut at most once per round, shared by every task
         tasks = []
         for worker, assignment in enumerate(assignments):
             fault = (self.fault_injector(worker, round_index)
@@ -366,26 +494,55 @@ class ShardedExplainScheduler:
                 self._resident_generations.get(worker)
                 == pool.worker_generations[worker]
             )
+            seed = None
+            if (not resident_already and self._seed_cache is not None
+                    and len(self._seed_cache)):
+                if seed_snapshot is None:
+                    seed_snapshot = self._seed_cache.snapshot()
+                seed = seed_snapshot
             tasks.append(PoolTask(
                 run_resident_worker,
-                (None if resident_already else payload, key, assignment, worker),
+                (None if resident_already else payload, key, assignment,
+                 worker, seed),
                 resident=True, fault=fault,
             ))
 
         def fallback(task: PoolTask) -> WorkerReport:
-            _, _, assignment, worker = task.args
+            _, _, assignment, worker, _ = task.args
             return self._run_local(assignment, worker)
 
         restarted_before = pool.workers_restarted
-        outcomes = pool.run_tasks(tasks, fallback=fallback)
+        backoff_before = pool.backoff_seconds_total
+        outcomes = pool.run_tasks(tasks, fallback=fallback, deadline=deadline)
+        reports: list[WorkerReport] = []
         for worker, outcome in enumerate(outcomes):
+            if outcome.expired:
+                log["shards_dropped"] += len(assignments[worker])
+                continue
+            report = outcome.result
+            if not isinstance(report, WorkerReport):
+                warnings.warn(
+                    f"pool worker {outcome.worker_index} replied with "
+                    f"{type(report).__name__} instead of a WorkerReport; "
+                    "re-running its shards in-process — results are identical",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                log["shards_requeued"] += len(assignments[worker])
+                self._note_shard_failures(assignments[worker], log)
+                reports.append(self._run_local(assignments[worker], worker))
+                continue
             if outcome.requeued:
                 log["shards_requeued"] += len(assignments[worker])
+                self._note_shard_failures(assignments[worker], log)
             if not outcome.degraded and outcome.worker_index >= 0:
                 self._resident_generations[outcome.worker_index] = \
                     pool.worker_generations[outcome.worker_index]
+            reports.append(report)
         log["workers_restarted"] += pool.workers_restarted - restarted_before
-        return [outcome.result for outcome in outcomes]
+        log["restart_backoff_seconds"] += \
+            pool.backoff_seconds_total - backoff_before
+        return reports
 
     @staticmethod
     def _ordered_results(reports: Iterable[WorkerReport]) -> list[ShardResult]:
@@ -393,6 +550,12 @@ class ShardedExplainScheduler:
         results = [result for report in reports for result in report.shard_results]
         results.sort(key=lambda result: (result.cell_position, result.chunk_index))
         return results
+
+    def _deadline(self) -> float | None:
+        """This run's absolute expiry instant (the budget starts now)."""
+        if self.deadline_seconds is None:
+            return None
+        return time.monotonic() + float(self.deadline_seconds)
 
     # -- fixed-sample runs ------------------------------------------------------------
 
@@ -404,18 +567,49 @@ class ShardedExplainScheduler:
         counters and cache should receive the workers' (usually the oracle
         the explainer was built on); without it the merged cache is returned
         standalone on the result.
+
+        With a ``deadline_seconds`` budget the plan is executed in *waves*
+        of one shard per worker, so the clock is consulted at every round
+        boundary; a wave that straddles the expiry drops its unfinished
+        tasks and the run returns the merged partial estimates with
+        ``completed=False``.  Wave partitioning cannot change values — every
+        shard's draws are seeded by its coordinates and the merge order is
+        plan order — it only refines the granularity of the round log.
         """
         cells = list(cells)
         shards = self.plan(cells, n_samples)
         trackers = [RunningMean() for _ in cells]
         reports: list[WorkerReport] = []
         round_start = len(self.round_log)
+        deadline = self._deadline()
+        completed = True
+        n_workers = 1
         if shards:
-            reports = self._execute(shards)
+            if deadline is None:
+                waves = [shards]
+            else:
+                width = max(1, self.n_jobs)
+                waves = [shards[start:start + width]
+                         for start in range(0, len(shards), width)]
+            for wave in waves:
+                if deadline is not None and time.monotonic() >= deadline:
+                    completed = False
+                    break
+                wave_reports = self._execute(wave, deadline=deadline)
+                reports.extend(wave_reports)
+                n_workers = max(n_workers, len(
+                    [report for report in wave_reports
+                     if report.worker_index >= 0]
+                ))
+                if self.round_log[-1]["shards_dropped"]:
+                    completed = False
+                    break
             for result in self._ordered_results(reports):
                 trackers[result.cell_position].merge(result.accumulator)
-        return self._merge(cells, trackers, reports, len(shards), absorb_into,
-                           rounds=self.round_log[round_start:])
+        return self._merge(cells, trackers, reports, absorb_into,
+                           n_workers=n_workers,
+                           rounds=self.round_log[round_start:],
+                           completed=completed)
 
     # -- adaptive runs ----------------------------------------------------------------
 
@@ -435,6 +629,12 @@ class ShardedExplainScheduler:
         every round reuses the same resident worker stacks: after round one
         no worker rebuilds anything (``worker_rebuilds`` stays at the pool
         width) and each round ships only its new cache entries.
+
+        A ``deadline_seconds`` budget is checked at every round boundary
+        (and enforced inside a round by the pool): on expiry the loop stops,
+        the converged-so-far state is merged and returned with
+        ``completed=False`` — per-cell ``n_samples`` records how far each
+        cell got.
         """
         cells = list(cells)
         trackers = [
@@ -444,11 +644,15 @@ class ShardedExplainScheduler:
         next_chunk = [0] * len(cells)
         active = [position for position, _ in enumerate(cells) if max_samples > 0]
         reports: list[WorkerReport] = []
-        n_shards = 0
         n_workers = 1
         shard_id = 0
         round_start = len(self.round_log)
+        deadline = self._deadline()
+        completed = True
         while active:
+            if deadline is not None and time.monotonic() >= deadline:
+                completed = False
+                break
             shards: list[ExplainShard] = []
             for position in active:
                 taken = trackers[position].accumulator.count
@@ -457,28 +661,34 @@ class ShardedExplainScheduler:
                                            next_chunk[position], chunk))
                 shard_id += 1
                 next_chunk[position] += 1
-            round_reports = self._execute(shards)
-            n_shards += len(shards)
-            n_workers = max(n_workers, len(round_reports))
+            round_reports = self._execute(shards, deadline=deadline)
+            n_workers = max(n_workers, len(
+                [report for report in round_reports if report.worker_index >= 0]
+            ))
             reports.extend(round_reports)
             for result in self._ordered_results(round_reports):
                 trackers[result.cell_position].merge(result.accumulator)
+            if self.round_log[-1]["shards_dropped"]:
+                completed = False
+                break
             active = [
                 position for position in active
                 if not trackers[position].converged()
                 and trackers[position].accumulator.count < max_samples
             ]
         accumulators = [tracker.accumulator for tracker in trackers]
-        return self._merge(cells, accumulators, reports, n_shards, absorb_into,
+        return self._merge(cells, accumulators, reports, absorb_into,
                            n_workers=n_workers,
-                           rounds=self.round_log[round_start:])
+                           rounds=self.round_log[round_start:],
+                           completed=completed)
 
     # -- merging ----------------------------------------------------------------------
 
     def _merge(self, cells: Sequence[CellRef], trackers: Sequence[RunningMean],
-               reports: Sequence[WorkerReport], n_shards: int, absorb_into,
+               reports: Sequence[WorkerReport], absorb_into,
                n_workers: int | None = None,
-               rounds: Sequence[dict] = ()) -> ParallelExplainResult:
+               rounds: Sequence[dict] = (),
+               completed: bool = True) -> ParallelExplainResult:
         # SampledShapleyEstimate normalises the degenerate n < 2 case itself
         estimates = {
             cell: SampledShapleyEstimate(
@@ -489,6 +699,8 @@ class ShardedExplainScheduler:
             )
             for cell, tracker in zip(cells, trackers)
         }
+        # shards actually executed (a deadline expiry can drop planned ones)
+        n_shards = sum(len(report.shard_results) for report in reports)
         if n_workers is None:
             n_workers = max(1, len(reports))
         statistics = aggregate_oracle_statistics(
@@ -503,6 +715,8 @@ class ShardedExplainScheduler:
         }
         for key, value in pool_counters.items():
             statistics[key] = statistics.get(key, 0) + value
+        if not completed:
+            statistics["deadline_expired"] = statistics.get("deadline_expired", 0) + 1
         # cache counters are absorbed from the per-report statistics
         # snapshots (see absorb_statistics); the cache objects contribute
         # entries only — warm reports as per-round diffs, cold reports as a
@@ -525,10 +739,11 @@ class ShardedExplainScheduler:
                     merge_report_entries(absorb_into.cache, report)
             absorb_into.parallel_workers = max(absorb_into.parallel_workers, n_workers)
             absorb_into.parallel_shards += n_shards
-            absorb_into.worker_rebuilds += pool_counters["worker_rebuilds"]
-            absorb_into.cache_entries_shipped += pool_counters["cache_entries_shipped"]
-            absorb_into.shards_requeued += pool_counters["shards_requeued"]
-            absorb_into.workers_restarted += pool_counters["workers_restarted"]
+            for key in _POOL_COUNTERS:
+                setattr(absorb_into, key,
+                        getattr(absorb_into, key) + pool_counters[key])
+            if not completed:
+                absorb_into.deadline_expired += 1
             cache = absorb_into.cache
         elif self.spec.use_cache:
             cache = (OracleCache(self.spec.cache_size)
@@ -546,4 +761,5 @@ class ShardedExplainScheduler:
             n_shards=n_shards,
             statistics=statistics,
             cache=cache,
+            completed=completed,
         )

@@ -153,6 +153,7 @@ def run_worker(spec: "ExplainJobSpec | bytes", shards: "list[ExplainShard]",
 
 def run_resident_worker(spec: "ExplainJobSpec | bytes | None", spec_key: str,
                         shards: "list[ExplainShard]", worker_index: int = 0,
+                        seed_snapshot: "dict | None" = None,
                         *, resident: dict,
                         fault: WorkerFault | None = None) -> WorkerReport:
     """Warm-path execution: resident stack lookup, cache-diff shipping.
@@ -169,6 +170,14 @@ def run_resident_worker(spec: "ExplainJobSpec | bytes | None", spec_key: str,
     already holds the stack (the scheduler ships the payload once per worker
     process, then sends bare shard lists).
 
+    ``seed_snapshot`` is the warm-restart half: an
+    :meth:`~repro.repair.cache.OracleCache.snapshot` of the parent's merged
+    cache, restored into a *freshly built* stack before the sync mark is
+    taken — the replacement worker resumes from the fleet's accumulated
+    answers (``warm_restart=1`` / ``entries_seeded`` on the report) and the
+    seeded entries never ship back home.  A stack that is already resident
+    ignores the snapshot: its own cache is at least as current.
+
     Diff shipping is **at-most-once**: the high-water mark advances when the
     diff is cut, so a report that later fails to cross the pipe does not
     re-ship its entries on the next round.  That loss is deliberate — the
@@ -180,14 +189,23 @@ def run_resident_worker(spec: "ExplainJobSpec | bytes | None", spec_key: str,
         time.sleep(fault.hang_seconds)
     state = resident.get(spec_key)
     rebuilt = 0
+    warm_restart = 0
+    entries_seeded = 0
     if state is None:
         if spec is None:
             raise RuntimeError(
                 f"no resident oracle stack for job {spec_key!r} and no spec "
-                "payload to build one from"
+                "payload to build one from (replacement workers receive the "
+                "payload with their first task; requeued tasks land on "
+                "workers that answered ok this round and therefore hold it)"
             )
         spec = _load_spec(spec)
         oracle, explainer = build_worker_state(spec)
+        if seed_snapshot is not None and oracle.cache is not None:
+            entries_seeded = oracle.cache.restore(seed_snapshot)
+            warm_restart = 1
+        # the mark is taken *after* seeding: seeded entries came from the
+        # parent, so the first diff home carries only this worker's new work
         mark = oracle.cache.high_water_mark() if oracle.cache is not None else 0
         state = ResidentState(spec, oracle, explainer, cache_mark=mark)
         resident[spec_key] = state
@@ -211,8 +229,15 @@ def run_resident_worker(spec: "ExplainJobSpec | bytes | None", spec_key: str,
         rebuilt=rebuilt,
         entries_shipped=len(cache_diff),
         resident_cache_size=cache_size,
+        warm_restart=warm_restart,
+        entries_seeded=entries_seeded,
     )
-    if fault is not None and fault.unpicklable_report:
-        report.statistics = dict(report.statistics)
-        report.statistics["_poison"] = lambda: None  # defeats pickling
+    if fault is not None:
+        if fault.slow_seconds is not None:
+            time.sleep(fault.slow_seconds)  # the work is done; the reply is late
+        if fault.unpicklable_report:
+            report.statistics = dict(report.statistics)
+            report.statistics["_poison"] = lambda: None  # defeats pickling
+        if fault.corrupt_reply:
+            return "\x00corrupt worker reply\x00"  # type: ignore[return-value]
     return report

@@ -287,6 +287,16 @@ class BinaryRepairOracle:
         self.cache_entries_shipped = 0
         self.shards_requeued = 0
         self.workers_restarted = 0
+        # fault-tolerance bookkeeping (PR 7): rebuilds seeded from a parent
+        # cache snapshot, entries those snapshots carried, shards quarantined
+        # to in-process execution after repeated cross-worker failures,
+        # runs that hit their wall-clock deadline, and seconds the pool spent
+        # backing off between worker restarts
+        self.warm_restarts = 0
+        self.cache_entries_seeded = 0
+        self.shards_poisoned = 0
+        self.deadline_expired = 0
+        self.restart_backoff_seconds = 0.0
 
         if target_value is None:
             reference_clean = algorithm.repair_table(self.constraints, dirty_table)
@@ -722,6 +732,11 @@ class BinaryRepairOracle:
         self.cache_entries_shipped += stats.get("cache_entries_shipped", 0)
         self.shards_requeued += stats.get("shards_requeued", 0)
         self.workers_restarted += stats.get("workers_restarted", 0)
+        self.warm_restarts += stats.get("warm_restarts", 0)
+        self.cache_entries_seeded += stats.get("cache_entries_seeded", 0)
+        self.shards_poisoned += stats.get("shards_poisoned", 0)
+        self.deadline_expired += stats.get("deadline_expired", 0)
+        self.restart_backoff_seconds += stats.get("restart_backoff_seconds", 0.0)
         if self._cache is not None:
             self._cache.hits += stats.get("cache_hits", 0)
             self._cache.misses += stats.get("cache_misses", 0)
@@ -762,6 +777,11 @@ class BinaryRepairOracle:
         self.cache_entries_shipped = 0
         self.shards_requeued = 0
         self.workers_restarted = 0
+        self.warm_restarts = 0
+        self.cache_entries_seeded = 0
+        self.shards_poisoned = 0
+        self.deadline_expired = 0
+        self.restart_backoff_seconds = 0.0
         if self._cache is not None:
             self._cache.reset_counters()
         if self.stats_engine is not None:
@@ -789,6 +809,11 @@ class BinaryRepairOracle:
             "cache_entries_shipped": self.cache_entries_shipped,
             "shards_requeued": self.shards_requeued,
             "workers_restarted": self.workers_restarted,
+            "warm_restarts": self.warm_restarts,
+            "cache_entries_seeded": self.cache_entries_seeded,
+            "shards_poisoned": self.shards_poisoned,
+            "deadline_expired": self.deadline_expired,
+            "restart_backoff_seconds": self.restart_backoff_seconds,
         }
         if self.stats_engine is not None:
             stats.update(self.stats_engine.statistics())

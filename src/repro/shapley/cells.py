@@ -142,6 +142,16 @@ class CellShapleyExplainer:
         declaring it hung and requeueing its shards onto a live worker
         (default: wait indefinitely; worker death is detected immediately
         either way).
+    retry_policy:
+        A :class:`~repro.parallel.pool.RetryPolicy` bounding the pool's
+        restart machinery on the ``n_jobs`` path (backoff between worker
+        restarts, per-slot restart cap, per-shard quarantine cap); ``None``
+        uses the scheduler's default policy.
+    deadline_seconds:
+        Wall-clock budget per :meth:`explain` / :meth:`estimate_cell` call
+        on the ``n_jobs`` path.  On expiry the merged partial estimates come
+        back with ``ShapleyResult.completed=False`` instead of hanging; the
+        sequential path ignores it.
     """
 
     def __init__(
@@ -157,6 +167,8 @@ class CellShapleyExplainer:
         samples_per_shard: int | None = None,
         warm_pool: bool = True,
         worker_timeout: float | None = None,
+        retry_policy=None,
+        deadline_seconds: float | None = None,
     ):
         self.oracle = oracle
         self.policy = ReplacementPolicy.from_name(policy)
@@ -170,6 +182,8 @@ class CellShapleyExplainer:
         self.samples_per_shard = samples_per_shard
         self.warm_pool = bool(warm_pool)
         self.worker_timeout = worker_timeout
+        self.retry_policy = retry_policy
+        self.deadline_seconds = deadline_seconds
         #: schedulers by worker count, each owning one (lazily spawned) warm
         #: pool — cached so repeated estimates reuse resident worker state
         self._schedulers: dict[int, "object"] = {}
@@ -224,6 +238,8 @@ class CellShapleyExplainer:
             scheduler = ShardedExplainScheduler.from_explainer(
                 self, n_jobs=n_jobs, samples_per_shard=self.samples_per_shard,
                 warm_pool=self.warm_pool, worker_timeout=self.worker_timeout,
+                retry_policy=self.retry_policy,
+                deadline_seconds=self.deadline_seconds,
             )
             self._schedulers[n_jobs] = scheduler
         return scheduler
@@ -366,12 +382,14 @@ class CellShapleyExplainer:
         values: dict[CellRef, float] = {}
         errors: dict[CellRef, float] = {}
         total_samples = 0
+        completed = True
         if self.n_jobs is not None and cells:
             # one sharded plan over the whole job: all (cell, chunk) shards
             # are scheduled together so the workers stay busy across cells
             outcome = self._scheduler(self.n_jobs).run(
                 cells, n_samples, absorb_into=self.oracle
             )
+            completed = outcome.completed
             for cell in cells:
                 estimate = outcome.estimates[cell]
                 values[cell] = estimate.value
@@ -389,6 +407,7 @@ class CellShapleyExplainer:
             n_samples=total_samples,
             n_evaluations=self.oracle.calls,
             method=f"cell-sampling-{self.policy.value}",
+            completed=completed,
         )
 
     # -- exact (tiny tables) ----------------------------------------------------------------

@@ -106,6 +106,11 @@ class ShapleyResult:
         Number of characteristic-function evaluations performed.
     method:
         Human-readable name of the computation method.
+    completed:
+        ``False`` when a wall-clock deadline expired before the sampling
+        plan finished — the values are the merged *partial* estimates
+        (``n_samples`` says how much sampling actually happened).  Exact
+        methods and runs without a deadline are always ``True``.
     """
 
     values: dict[Player, float]
@@ -113,6 +118,7 @@ class ShapleyResult:
     n_samples: int = 0
     n_evaluations: int = 0
     method: str = "exact"
+    completed: bool = True
 
     def __getitem__(self, player: Player) -> float:
         return self.values[player]

@@ -85,6 +85,32 @@ def test_report_surfaces_oracle_statistics(explainer, cell_of_interest, constrai
     assert "cache_hits=" in text
 
 
+def test_report_flags_deadline_expired_partial_results(dirty_table):
+    # a deadline-expired run returns completed=False; both renderings must
+    # carry a loud notice so partial estimates are never read as converged
+    from repro.explain.explainer import Explanation
+    from repro.shapley.game import ShapleyResult
+
+    partial = ShapleyResult(
+        values={CellRef(4, "City"): 0.5}, n_samples=3, completed=False
+    )
+    explanation = Explanation(
+        cell=CellRef(4, "Country"), old_value="España", new_value="Spain",
+        cell_shapley=partial,
+    )
+    report = ExplanationReport(explanation, dirty_table=dirty_table)
+    text = report.to_text()
+    assert "!! INCOMPLETE: deadline expired after 3 cell sample(s)" in text
+    markdown = report.to_markdown()
+    assert "> **INCOMPLETE: deadline expired" in markdown
+
+
+def test_report_stays_silent_when_sampling_completed(explanation, constraints):
+    report = ExplanationReport(explanation, constraints=constraints)
+    assert "INCOMPLETE" not in report.to_text()
+    assert "INCOMPLETE" not in report.to_markdown()
+
+
 def test_report_statistics_include_batch_counters(explainer, cell_of_interest, constraints):
     # explain() nests per-scope counter dicts; batch-scheduler counters from
     # the cell loop (batches, pairs) must be rendered when non-zero
