@@ -1,0 +1,64 @@
+"""Floor-regression guard for the recorded benchmark speedups.
+
+Diffs the ``speedups`` section of ``BENCH_shapley.json`` against the floors
+the run itself recorded under ``config.floors`` (which already reflect any
+``TREX_BENCH_*_FLOOR`` environment overrides active when the benchmark ran)
+and exits non-zero on any regression.  CI runs it right after the bench so a
+freshly written JSON that silently records a below-floor ratio fails the
+bench-smoke job even if the bench's own in-process assertion was relaxed or
+skipped — and anyone can point it at a committed JSON to audit the recorded
+perf trajectory:
+
+    python benchmarks/check_bench_floors.py [BENCH_shapley.json]
+
+Machine caveats mirror the bench: the ``parallel_speedup`` and
+``warm_pool_speedup`` floors need real cores, so they are skipped (with a
+note) when the recording machine had fewer CPUs than the worker count it
+drove.  Floors with no recorded speedup — an older JSON predating a metric —
+are reported and skipped, never silently passed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: floors needing >= ``config.parallel_jobs`` real cores on the recording box
+_MULTICORE_FLOORS = ("parallel_speedup", "warm_pool_speedup")
+
+
+def check(path: str = "BENCH_shapley.json") -> int:
+    with open(path) as handle:
+        data = json.load(handle)
+    config = data.get("config", {})
+    floors = config.get("floors", {})
+    speedups = data.get("speedups", {})
+    if not floors:
+        print(f"{path}: no config.floors section — nothing to check")
+        return 1
+    cpu_count = config.get("cpu_count") or 1
+    parallel_jobs = config.get("parallel_jobs") or 2
+    failures = []
+    for name, floor in sorted(floors.items()):
+        recorded = speedups.get(name)
+        if recorded is None:
+            print(f"SKIP  {name}: floor {floor}x but no recorded speedup")
+            continue
+        if name in _MULTICORE_FLOORS and cpu_count < parallel_jobs:
+            print(f"SKIP  {name}: {recorded}x recorded on a {cpu_count}-CPU "
+                  f"box (needs {parallel_jobs} cores to be meaningful)")
+            continue
+        verdict = "ok" if recorded >= floor else "REGRESSION"
+        print(f"{verdict:>4}  {name}: {recorded}x (floor {floor}x)")
+        if recorded < floor:
+            failures.append(name)
+    if failures:
+        print(f"\n{path}: {len(failures)} speedup(s) below floor: "
+              f"{', '.join(failures)}")
+        return 1
+    print(f"\n{path}: all recorded speedups at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else "BENCH_shapley.json"))

@@ -138,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="with --jobs: base delay of the exponential "
                                      "backoff slept before worker restarts "
                                      "(default 0.05, 0 disables)")
+    explain_parser.add_argument("--speculate", action="store_true",
+                                help="with --jobs: draw up to N sample chunks ahead "
+                                     "per unconverged cell each adaptive round, "
+                                     "discarding overshoot past the stopping point; "
+                                     "results are identical, only faster when few "
+                                     "cells remain active")
     explain_parser.add_argument("--no-vectorized", action="store_true",
                                 help="evaluate constraint checks on the per-cell object "
                                      "path instead of dictionary-encoded code arrays "
@@ -216,6 +222,7 @@ def _command_explain(args) -> int:
         restart_backoff_seconds=(defaults.restart_backoff_seconds
                                  if args.restart_backoff is None
                                  else max(0.0, args.restart_backoff)),
+        speculate=args.speculate,
     )
     explainer = TRExExplainer(algorithm, constraints, table, config)
     repaired_cells = explainer.repaired_cells()

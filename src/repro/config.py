@@ -92,6 +92,12 @@ class TRexConfig:
         Base delay of the bounded exponential backoff slept before each
         worker restart (doubles per consecutive restart of the same slot,
         capped).  ``0`` disables the backoff.
+    speculate:
+        Whether adaptive sampling on the ``n_jobs`` path draws up to
+        ``n_jobs`` chunks ahead per unconverged cell each round,
+        deterministically discarding overshoot past the merged stopping
+        point.  Estimates are bit-identical to the default ``False``; only
+        throughput and the speculation counters change.
     """
 
     seed: int = DEFAULT_SEED
@@ -106,6 +112,7 @@ class TRexConfig:
     max_worker_restarts: int | None = 5
     max_shard_attempts: int | None = 3
     restart_backoff_seconds: float = 0.05
+    speculate: bool = False
     extra: dict = field(default_factory=dict)
 
     def rng(self) -> np.random.Generator:

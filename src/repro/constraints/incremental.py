@@ -306,27 +306,33 @@ class IncrementalViolationDetector:
         if base is None:
             return None
         code_columns, decode_tables = base
-        override_codes: list[dict[int, int]] = []
-        overridden: set[int] = set()
+        override_arrays: list[tuple] = []
+        any_overridden = False
         for attribute in eq_attrs:
-            encoded = view_store.encoded_delta(attribute)
+            encoded = view_store.encoded_delta_arrays(attribute)
             if encoded is None:
                 return None
-            override_codes.append(encoded)
-            overridden.update(encoded)
+            override_arrays.append(encoded)
+            if len(encoded[0]):
+                any_overridden = True
         packed, valid, multipliers = self._packed_eq_base(
             eq_attrs, code_columns, decode_tables)
-        if overridden:
+        overridden: list[int] = []
+        if any_overridden:
             packed = packed.copy()
             valid = valid.copy()
-            self._scatter_packed(packed, valid, overridden, override_codes,
-                                 code_columns, multipliers)
+            overridden = self._scatter_packed_arrays(
+                packed, valid, override_arrays, code_columns, multipliers)
         return packed, valid, multipliers, decode_tables, overridden
 
     @staticmethod
     def _scatter_packed(packed, valid, overridden, override_codes,
                         code_columns, multipliers) -> None:
-        """Re-pack the overridden rows from their effective per-column codes."""
+        """Re-pack the overridden rows from their effective per-column codes.
+
+        The per-row reference twin of :meth:`_scatter_packed_arrays`
+        (property-tested equivalent); kept for the object-path comparison.
+        """
         for row_id in overridden:
             value = 0
             parts_valid = True
@@ -339,6 +345,31 @@ class IncrementalViolationDetector:
                 value = code if j == 0 else value * multipliers[j] + code
             packed[row_id] = value
             valid[row_id] = parts_valid
+
+    @staticmethod
+    def _scatter_packed_arrays(packed, valid, override_arrays,
+                               code_columns, multipliers) -> list[int]:
+        """Vectorised :meth:`_scatter_packed` fed by encoded-delta arrays.
+
+        ``override_arrays`` holds one ``(rows, codes)`` pair per equality
+        column (ascending rows).  All overridden rows are re-packed in one
+        masked pass per column; returns the sorted overridden row ids as
+        Python ints (walk-index ``keys`` dictionaries key on plain ints).
+        """
+        all_rows = np.unique(np.concatenate(
+            [rows for rows, _ in override_arrays]))
+        parts_valid = np.ones(all_rows.size, dtype=bool)
+        value = None
+        for j, codes in enumerate(code_columns):
+            column = codes[all_rows].astype(np.int64)
+            rows_j, codes_j = override_arrays[j]
+            if len(rows_j):
+                column[np.searchsorted(all_rows, rows_j)] = codes_j
+            parts_valid &= column != 0
+            value = column if j == 0 else value * multipliers[j] + column
+        packed[all_rows] = value
+        valid[all_rows] = parts_valid
+        return all_rows.tolist()
 
     def precompute_walk_indexes(self, views_with_fingerprints,
                                 constraints: Sequence[DenialConstraint]) -> int:
@@ -375,33 +406,37 @@ class IncrementalViolationDetector:
             for view, fingerprint in views_with_fingerprints:
                 if getattr(view, "base", None) is not self.table:
                     continue  # foreign root: its codes live in another encoding
-                override_codes: list[dict[int, int]] | None = []
-                overridden: set[int] = set()
+                override_arrays: list[tuple] | None = []
+                any_overridden = False
                 for attribute in eq_attrs:
-                    encoded = view.store.encoded_delta(attribute)
+                    encoded = view.store.encoded_delta_arrays(attribute)
                     if encoded is None:
-                        override_codes = None
+                        override_arrays = None
                         break
-                    override_codes.append(encoded)
-                    overridden.update(encoded)
-                if override_codes is None:
+                    override_arrays.append(encoded)
+                    if len(encoded[0]):
+                        any_overridden = True
+                if override_arrays is None:
                     encoding.fallback_checks += 1
                     continue
-                usable.append((fingerprint, override_codes, overridden))
+                usable.append((fingerprint, override_arrays, any_overridden))
             if not usable:
                 continue
             packed_base, valid_base, multipliers = self._packed_eq_base(
                 eq_attrs, code_columns, decode_tables)
             matrix = np.tile(packed_base, (len(usable), 1))
             valid = np.tile(valid_base, (len(usable), 1))
-            for i, (_fingerprint, override_codes, overridden) in enumerate(usable):
-                if overridden:
-                    self._scatter_packed(matrix[i], valid[i], overridden,
-                                         override_codes, code_columns,
-                                         multipliers)
-            for i, (fingerprint, _override_codes, overridden) in enumerate(usable):
+            scattered: list[list[int]] = []
+            for i, (_fingerprint, override_arrays, any_overridden) in enumerate(usable):
+                if any_overridden:
+                    scattered.append(self._scatter_packed_arrays(
+                        matrix[i], valid[i], override_arrays, code_columns,
+                        multipliers))
+                else:
+                    scattered.append([])
+            for i, (fingerprint, _override_arrays, _any) in enumerate(usable):
                 built = _groups_from_packed(matrix[i], valid[i], multipliers,
-                                            decode_tables, overridden)
+                                            decode_tables, scattered[i])
                 self._prime_cache[(fingerprint, eq_attrs)] = built
                 encoding.vectorized_checks += 1
                 parked += 1
@@ -977,10 +1012,12 @@ class RepairWalk:
                 else:
                     plan = self.detector._state(constraint).plan
                     groups = self._windex(plan.eq_attrs).index._groups
-                    rows = []
-                    for key in fd.mixed:
-                        rows.extend(groups[key])
-                    rows.sort()
+                    # one concatenate+sort over the mixed groups' row lists
+                    # (each already ascends) instead of a Python merge-sort;
+                    # the repairers consume the resulting plain-int list
+                    rows = np.sort(np.concatenate(
+                        [np.asarray(groups[key], dtype=np.int64)
+                         for key in fd.mixed])).tolist()
                 fd.rows_cache = rows
             return rows
         return sorted({row for violation in state.violations for row in violation.rows})
@@ -1322,8 +1359,17 @@ class RepairWalk:
         remainder runs as class-counter lookups in a tight loop.
         Bit-identical to the one-at-a-time path.
         """
+        return self.count_if_many_at(cell.row, cell.attribute, values)
+
+    def count_if_many_at(self, row_id: int, attribute: str,
+                         values: Sequence[Any]) -> list[int]:
+        """:meth:`count_if_many` addressed by ``(row, attribute)`` directly.
+
+        The array-ranking consumers feed trial batches straight from
+        :meth:`cell_degrees_arrays` coordinates; no :class:`CellRef` is built
+        unless a ``pairs``-kind constraint forces the object fallback.
+        """
         self._consume_writes()
-        row_id, attribute = cell.row, cell.attribute
         n_values = len(values)
         totals = [0] * n_values
         encoding = self.detector.table.store.encoding() if self.vectorized else None
@@ -1337,6 +1383,7 @@ class RepairWalk:
                 else:
                     if encoding is not None:
                         encoding.fallback_checks += n_values
+                    cell = CellRef(row_id, attribute)
                     for i, value in enumerate(values):
                         trial = self.view.perturbed({cell: value}, trusted=True)
                         totals[i] += len(find_violations(trial, constraint))
@@ -1496,6 +1543,73 @@ class RepairWalk:
                 for cell in violation.cells():
                     counts[cell] = counts.get(cell, 0) + 1
         return total, counts
+
+    def cell_degrees_arrays(self):
+        """Violation total and per-cell degrees as parallel arrays, no objects.
+
+        The bulk twin of :meth:`cell_degrees` (property-tested equivalent):
+        returns ``(total, rows, attr_codes, counts, attrs)`` where ``rows``/
+        ``attr_codes``/``counts`` are parallel ``int64`` arrays sorted by
+        ``(row, attr_code)`` and ``attrs`` is the sorted attribute tuple the
+        codes index into — so ordering by ``(row, attr_code)`` equals
+        ordering by ``(row, attribute)``.  FD-shape constraints contribute
+        whole ``rows × attrs`` blocks straight off their class-partition
+        counters; only non-FD constraints still walk violation objects.
+        The single ranked winner is the only :class:`CellRef` a consumer
+        ever needs to build.
+        """
+        total = 0
+        fd_parts: list[tuple[np.ndarray, np.ndarray, tuple[str, ...]]] = []
+        cell_parts: list[tuple[int, str]] = []
+        names: set[str] = set()
+        for constraint in self.constraints:
+            state = self._synced_state(constraint)
+            plan = self.detector._state(constraint).plan
+            fd = state.fd
+            if fd is None and plan.single_ne_attr is not None:
+                fd = state.fd = self._build_fd_state(plan)
+                state.violations = None
+            if fd is not None:
+                total += fd.total
+                if fd.total:
+                    attrs = plan.eq_attrs + (plan.single_ne_attr,)
+                    rows = self.violating_rows_for(constraint)
+                    degrees = [fd.row_violation_count(row_id) for row_id in rows]
+                    fd_parts.append((np.asarray(rows, dtype=np.int64),
+                                     np.asarray(degrees, dtype=np.int64),
+                                     attrs))
+                    names.update(attrs)
+                continue
+            violations = self.violations_for(constraint)
+            total += len(violations)
+            for violation in violations:
+                for cell in violation.cells():
+                    cell_parts.append((cell.row, cell.attribute))
+                    names.add(cell.attribute)
+        attrs_tuple = tuple(sorted(names))
+        if not attrs_tuple:
+            empty = np.empty(0, dtype=np.int64)
+            return total, empty, empty, empty, attrs_tuple
+        code_of = {name: code for code, name in enumerate(attrs_tuple)}
+        n_attrs = len(attrs_tuple)
+        packed_parts: list[np.ndarray] = []
+        count_parts: list[np.ndarray] = []
+        for rows, degrees, attrs in fd_parts:
+            codes = np.asarray([code_of[a] for a in attrs], dtype=np.int64)
+            packed_parts.append((rows[:, None] * n_attrs + codes[None, :]).ravel())
+            count_parts.append(np.repeat(degrees, len(attrs)))
+        if cell_parts:
+            packed_parts.append(np.asarray(
+                [row * n_attrs + code_of[attr] for row, attr in cell_parts],
+                dtype=np.int64))
+            count_parts.append(np.ones(len(cell_parts), dtype=np.int64))
+        packed = np.concatenate(packed_parts)
+        keys, inverse = np.unique(packed, return_inverse=True)
+        counts = np.bincount(
+            inverse, weights=np.concatenate(count_parts),
+            minlength=len(keys),
+        ).astype(np.int64)
+        return total, keys // n_attrs, keys % n_attrs, counts, attrs_tuple
 
     # -- pair forking -------------------------------------------------------------------
 

@@ -439,6 +439,9 @@ class PerturbationView(Table):
         self.schema = root.schema
         self.name = name or root.name
         items = assignments.items() if isinstance(assignments, Mapping) else assignments
+        inherited = base._store._encoded_cache if isinstance(base, PerturbationView) else None
+        if inherited:
+            items = list(items)  # the merge loop and the cache carry-over both read it
         root_value = root.value
         if prenormalized:
             # the caller built an already-normalised delta (e.g. the coalition
@@ -465,6 +468,15 @@ class PerturbationView(Table):
         # the overlay shares (does not copy) the delta dict, so in-place
         # set_value calls routed through Table.set_value stay visible here
         self._store = OverlayStore(root.store, delta)
+        if inherited:
+            # columns untouched by the merge keep the base view's encoded
+            # delta arrays: their per-column override dicts are identical and
+            # the dictionaries are append-only, so the codes stay valid
+            touched = {cell[1] for cell, _ in items}
+            cache = self._store._encoded_cache
+            for column, entry in inherited.items():
+                if column not in touched:
+                    cache[column] = entry
         self._stats = None
         #: shared-statistics engine inherited along the view lineage (the
         #: oracle/sampler install it on the root views they build); see

@@ -85,6 +85,55 @@ class ColumnDictionary:
                 decode.append(value)
             out[i] = code
 
+    def encode_bulk(self, values: np.ndarray, mask: np.ndarray,
+                    out: np.ndarray) -> None:
+        """Vectorised :meth:`encode_values`: one factorisation per call.
+
+        ``np.unique`` collapses the column to its distinct values, one
+        dictionary probe per *distinct* value builds an ``int32`` lookup
+        array, and a single gather translates the whole column.  Novel values
+        are appended to the decode table in first-appearance order — exactly
+        the order the per-value loop would assign, so both paths grow the
+        dictionary identically (property-tested).  Falls back to the
+        per-value loop when the values do not sort (mixed-type columns);
+        unhashable values raise ``TypeError`` either way, with the dictionary
+        left consistent.
+        """
+        nonnull = np.nonzero(~mask)[0]
+        out[mask] = NULL_CODE
+        if nonnull.size == 0:
+            return
+        present = values[nonnull]
+        try:
+            uniq, first, inverse = np.unique(
+                present, return_index=True, return_inverse=True
+            )
+        except TypeError:
+            # unsortable mixed types — the hash-based loop handles them fine
+            self.encode_values(values, mask, out)
+            return
+        code_of = self._code_of
+        decode = self._values
+        lookup = np.empty(len(uniq), dtype=np.int32)
+        pending: list[Any] = []
+        try:
+            # visit distinct values in first-appearance order so novel codes
+            # are assigned exactly as the per-value loop would
+            for position in np.argsort(first, kind="stable"):
+                value = uniq[position]
+                code = code_of.get(value)
+                if code is None:
+                    code = len(decode) + len(pending)
+                    code_of[value] = code
+                    pending.append(value)
+                lookup[position] = code
+        finally:
+            # one batched append; also runs on TypeError (unhashable value
+            # mid-loop) so codes already handed out stay decodable
+            if pending:
+                decode.extend(pending)
+        out[nonnull] = lookup[inverse]
+
 
 class TableEncoding:
     """Per-table dictionary bundle with cached base code arrays + telemetry.
@@ -142,7 +191,7 @@ class TableEncoding:
         out = np.empty(len(column), dtype=np.int32)
         start = time.perf_counter()
         try:
-            dictionary.encode_values(column, mask, out)
+            dictionary.encode_bulk(column, mask, out)
         except TypeError:
             # unhashable values in this column — permanently object-path
             dictionary.encodable = False
@@ -166,6 +215,44 @@ class TableEncoding:
             return dictionary.code_for(value, is_null=is_null)
         except TypeError:
             return None
+
+    def encode_delta(
+        self, name: str, overrides: "dict[int, Any]"
+    ) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Encode one column's override set ``{row: value}`` in one bulk pass.
+
+        Returns parallel ``(rows int64, codes int32)`` arrays sorted by row,
+        with novel values appended to ``name``'s dictionary in the same order
+        the per-value :meth:`code_for` loop would produce (dict-insertion
+        order of ``overrides``).  ``None`` when the column is unencodable or
+        a value is unhashable — mirroring :meth:`code_for`, the column's
+        ``encodable`` flag is *not* flipped: only base-column contents decide
+        that.
+        """
+        dictionary = self.dictionary(name)
+        if not dictionary.encodable:
+            return None
+        n = len(overrides)
+        if n == 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int32))
+        from repro.engine.storage import null_mask
+
+        rows = np.fromiter(overrides.keys(), dtype=np.int64, count=n)
+        values = np.fromiter(overrides.values(), dtype=object, count=n)
+        codes = np.empty(n, dtype=np.int32)
+        start = time.perf_counter()
+        try:
+            dictionary.encode_bulk(values, null_mask(values), codes)
+        except TypeError:
+            return None
+        finally:
+            self.encode_seconds += time.perf_counter() - start
+        order = np.argsort(rows, kind="stable")
+        rows, codes = rows[order], codes[order]
+        # shared across sibling views (cache carry-over) — freeze them
+        rows.flags.writeable = False
+        codes.flags.writeable = False
+        return rows, codes
 
     def dictionary_sizes(self) -> dict[str, int]:
         """Distinct non-null values per encoded column (telemetry)."""

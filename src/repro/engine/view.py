@@ -36,6 +36,12 @@ from repro.errors import UnknownAttributeError, UnknownRowError
 
 _MISSING = object()
 
+#: shared empty encoded-delta arrays for untouched columns (read-only)
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+_EMPTY_ROWS.flags.writeable = False
+_EMPTY_CODES = np.empty(0, dtype=np.int32)
+_EMPTY_CODES.flags.writeable = False
+
 
 class OverlayStore:
     """A sparse cell delta layered over a base :class:`ColumnStore`.
@@ -53,7 +59,7 @@ class OverlayStore:
     """
 
     __slots__ = ("_base", "_delta", "_by_row", "_by_column", "_materialized",
-                 "_fingerprint", "change_log")
+                 "_encoded_cache", "_fingerprint", "change_log")
 
     def __init__(self, base: ColumnStore, delta: dict):
         self._base = base
@@ -61,6 +67,10 @@ class OverlayStore:
         self._by_row: dict[int, dict[str, Any]] | None = None
         self._by_column: dict[str, dict[int, Any]] | None = None
         self._materialized: dict[str, np.ndarray] = {}
+        #: per-column encoded delta, ``name -> (rows, codes) | None``; filled
+        #: lazily by :meth:`encoded_delta_arrays`, primed from outside by
+        #: :meth:`adopt_encoded_delta`, invalidated per column on write
+        self._encoded_cache: dict[str, Any] = {}
         self._fingerprint: Fingerprint | None = None
         #: append-only ``(row, attribute)`` log of every :meth:`set_value`,
         #: including writes that restore the base value.  Second-order
@@ -138,6 +148,39 @@ class OverlayStore:
             encoded[row] = code
         return encoded
 
+    def encoded_delta_arrays(self, name: str) -> "tuple[np.ndarray, np.ndarray] | None":
+        """One column's delta in code space as parallel ``(rows, codes)`` arrays.
+
+        The bulk sibling of :meth:`encoded_delta`: rows are ascending
+        ``int64``, codes ``int32`` from the base dictionaries, the whole
+        override set encoded in one vectorised
+        :meth:`~repro.engine.encoding.TableEncoding.encode_delta` pass and
+        cached per column.  ``None`` marks an unencodable column (object-path
+        fallback), exactly when :meth:`encoded_delta` would return ``None``.
+        """
+        cached = self._encoded_cache.get(name, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        overrides = self._grouped()[1].get(name)
+        if not overrides:
+            result = (_EMPTY_ROWS, _EMPTY_CODES)
+        else:
+            result = self._base.encoding().encode_delta(name, overrides)
+        self._encoded_cache[name] = result
+        return result
+
+    def adopt_encoded_delta(self, name: str, rows: np.ndarray,
+                            codes: np.ndarray) -> None:
+        """Install a precomputed encoded delta for ``name``.
+
+        The coalition sampler's priming hook: deterministic-policy overlays
+        are born in code space (one masked slice of a precomputed per-column
+        encoding), so the view never re-encodes them.  The caller guarantees
+        ``rows`` ascend and the pair matches the column's current delta
+        contents under the base dictionaries.
+        """
+        self._encoded_cache[name] = (rows, codes)
+
     # -- access ---------------------------------------------------------------
 
     def column(self, name: str) -> np.ndarray:
@@ -211,6 +254,7 @@ class OverlayStore:
                     if not column_group:
                         del self._by_column[name]
         self._materialized.pop(name, None)
+        self._encoded_cache.pop(name, None)
         self._fingerprint = None
 
     def copy(self) -> ColumnStore:

@@ -185,6 +185,7 @@ class TRExExplainer:
             n_jobs=self.config.n_jobs, warm_pool=self.config.warm_pool,
             retry_policy=self.config.retry_policy(),
             deadline_seconds=self.config.deadline_seconds,
+            speculate=self.config.speculate,
         )
         if cells is None and only_relevant:
             cells = relevant_cells(self.dirty_table, self.constraints, cell)

@@ -67,13 +67,18 @@ Counters: ``worker_rebuilds`` (fresh oracle stacks built), ``warm_restarts``
 (rebuilds that were seeded from a snapshot), ``cache_entries_seeded``
 (entries restored from snapshots), ``cache_entries_shipped`` (diff entries
 shipped home), ``workers_restarted`` / ``restart_backoff_seconds``,
-``shards_requeued`` / ``shards_poisoned`` / ``deadline_expired``.  All flow
-through ``oracle.statistics()`` into the CLI report.
+``shards_requeued`` / ``shards_poisoned`` / ``deadline_expired``,
+``chunks_speculated`` (adaptive chunks drawn ahead of the merged stopping
+rule when ``speculate=True`` keeps every worker busy on small jobs) /
+``chunks_discarded`` (speculative results deterministically dropped past a
+cell's merged stopping point — overshoot never changes the estimates).  All
+flow through ``oracle.statistics()`` into the CLI report.
 
 Entry points for users are ``CellShapleyExplainer(..., n_jobs=...,
-deadline_seconds=...)``, ``TRexConfig(n_jobs=..., warm_pool=...,
-deadline_seconds=..., max_worker_restarts=...)`` and the CLI's ``--jobs`` /
-``--cold-pool`` / ``--deadline`` / ``--max-worker-restarts``; this package
+deadline_seconds=..., speculate=...)``, ``TRexConfig(n_jobs=...,
+warm_pool=..., deadline_seconds=..., max_worker_restarts=...,
+speculate=...)`` and the CLI's ``--jobs`` / ``--cold-pool`` /
+``--deadline`` / ``--max-worker-restarts`` / ``--speculate``; this package
 is the seam future serving work (async service, multi-backend dispatch)
 plugs into.
 """

@@ -297,6 +297,10 @@ class BinaryRepairOracle:
         self.shards_poisoned = 0
         self.deadline_expired = 0
         self.restart_backoff_seconds = 0.0
+        # speculative adaptive sharding (PR 8): chunks drawn ahead of the
+        # stopping rule, and results discarded past the merged stopping point
+        self.chunks_speculated = 0
+        self.chunks_discarded = 0
 
         if target_value is None:
             reference_clean = algorithm.repair_table(self.constraints, dirty_table)
@@ -737,6 +741,8 @@ class BinaryRepairOracle:
         self.shards_poisoned += stats.get("shards_poisoned", 0)
         self.deadline_expired += stats.get("deadline_expired", 0)
         self.restart_backoff_seconds += stats.get("restart_backoff_seconds", 0.0)
+        self.chunks_speculated += stats.get("chunks_speculated", 0)
+        self.chunks_discarded += stats.get("chunks_discarded", 0)
         if self._cache is not None:
             self._cache.hits += stats.get("cache_hits", 0)
             self._cache.misses += stats.get("cache_misses", 0)
@@ -782,6 +788,8 @@ class BinaryRepairOracle:
         self.shards_poisoned = 0
         self.deadline_expired = 0
         self.restart_backoff_seconds = 0.0
+        self.chunks_speculated = 0
+        self.chunks_discarded = 0
         if self._cache is not None:
             self._cache.reset_counters()
         if self.stats_engine is not None:
@@ -814,6 +822,8 @@ class BinaryRepairOracle:
             "shards_poisoned": self.shards_poisoned,
             "deadline_expired": self.deadline_expired,
             "restart_backoff_seconds": self.restart_backoff_seconds,
+            "chunks_speculated": self.chunks_speculated,
+            "chunks_discarded": self.chunks_discarded,
         }
         if self.stats_engine is not None:
             stats.update(self.stats_engine.statistics())

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.incremental import (
     RepairWalk,
@@ -79,10 +81,15 @@ class GreedyHolisticRepair(RepairAlgorithm):
 
     def _candidate_values(self, table: Table, cell: CellRef) -> list[Any]:
         """Candidate replacement values: frequent column values first."""
-        stats = table.stats.marginal(cell.attribute)
+        return self._candidate_values_at(table, cell.row, cell.attribute)
+
+    def _candidate_values_at(self, table: Table, row_id: int,
+                             attribute: str) -> list[Any]:
+        """:meth:`_candidate_values` addressed by ``(row, attribute)``."""
+        stats = table.stats.marginal(attribute)
         ranked = sorted(stats.items(), key=lambda item: (-item[1], repr(item[0])))
         candidates = [value for value, _ in ranked[: self.max_candidates]]
-        current = table[cell]
+        current = table.value(row_id, attribute)
         if not is_null(current) and current not in candidates:
             candidates.append(current)
         return candidates
@@ -110,18 +117,23 @@ class GreedyHolisticRepair(RepairAlgorithm):
         the scalar method, so each candidate's score is the identical
         left-to-right float sum.
         """
+        return self._cooccurrence_scores_at(table, cell.row, cell.attribute, values)
+
+    def _cooccurrence_scores_at(self, table: Table, row_id: int, target: str,
+                                values: Sequence[Any]) -> list[float]:
+        """:meth:`_cooccurrence_scores` addressed by ``(row, attribute)``."""
         scores = [0.0] * len(values)
         if not values:
             return scores
         cooccurrence = table.stats.cooccurrence
         for attribute in table.attributes:
-            if attribute == cell.attribute:
+            if attribute == target:
                 continue
-            other_value = table.value(cell.row, attribute)
+            other_value = table.value(row_id, attribute)
             if is_null(other_value):
                 continue
             probabilities = cooccurrence.conditional_probability_many(
-                cell.attribute, values, attribute, other_value
+                target, values, attribute, other_value
             )
             for i, probability in enumerate(probabilities):
                 scores[i] += probability
@@ -220,15 +232,20 @@ class GreedyHolisticRepair(RepairAlgorithm):
         batched = walk is not None and self.vectorized
         for _ in range(self.max_changes):
             if batched:
-                # degrees straight from the walk's class-partition counters:
-                # no Violation objects are materialised on the hot path
-                total_before, degrees = walk.cell_degrees()
+                # degrees straight from the walk's class-partition counters,
+                # as parallel (row, attr_code, count) arrays: no Violation or
+                # CellRef objects are materialised on the hot path — only the
+                # single chosen winner is ever built, at set_value time
+                total_before, rows, attr_codes, counts, attrs = (
+                    walk.cell_degrees_arrays())
                 if not total_before:
                     break
-                cells = sorted(degrees,
-                               key=lambda c: (-degrees[c], c.row, c.attribute))
-                max_degree = degrees[cells[0]]
-                top_cells = [c for c in cells if degrees[c] == max_degree]
+                max_degree = counts.max()
+                top = np.nonzero(counts == max_degree)[0]
+                # the arrays ascend by (row, attr_code), and attr codes are
+                # assigned in attribute-name order, so this *is* the object
+                # path's (row, attribute) tie-break order
+                top_cells = [(int(rows[i]), attrs[attr_codes[i]]) for i in top]
             else:
                 if walk is not None:
                     violations = walk.all_violations()
@@ -248,45 +265,50 @@ class GreedyHolisticRepair(RepairAlgorithm):
                 max_degree = violations.count_for_cell(cells[0])
                 top_cells = [c for c in cells if violations.count_for_cell(c) == max_degree]
 
-            best: tuple | None = None  # (total, -cooccurrence, value repr, cell, value)
-            for cell in top_cells:
-                current_value = current[cell]
-                candidates = self._candidate_values(current, cell)
-                if batched:
+            # best = (total, -cooccurrence, value repr, (row, attr), row, attr, value)
+            best: tuple | None = None
+            if batched:
+                for row_id, attribute in top_cells:
+                    current_value = current.value(row_id, attribute)
+                    candidates = self._candidate_values_at(current, row_id, attribute)
                     pool = [value for value in candidates
                             if not value == current_value]
-                    totals = walk.count_if_many(cell, pool)
-                    coocs = self._cooccurrence_scores(current, cell, pool)
+                    totals = walk.count_if_many_at(row_id, attribute, pool)
+                    coocs = self._cooccurrence_scores_at(
+                        current, row_id, attribute, pool)
                     for candidate, total, cooc in zip(pool, totals, coocs):
                         key = (
                             total,
                             -cooc,
                             repr(candidate),
+                            (row_id, attribute),
+                        )
+                        if best is None or key < best[:4]:
+                            best = (*key, row_id, attribute, candidate)
+            else:
+                for cell in top_cells:
+                    current_value = current[cell]
+                    candidates = self._candidate_values(current, cell)
+                    for candidate in candidates:
+                        if candidate == current_value:
+                            continue
+                        if walk is not None:
+                            total = walk.count_if(cell, candidate)
+                        else:
+                            total = self._total_violations_if(current, constraints, cell, candidate)
+                        key = (
+                            total,
+                            -self._cooccurrence_score(current, cell, candidate),
+                            repr(candidate),
                             (cell.row, cell.attribute),
                         )
                         if best is None or key < best[:4]:
-                            best = (*key, cell, candidate)
-                    continue
-                for candidate in candidates:
-                    if candidate == current_value:
-                        continue
-                    if walk is not None:
-                        total = walk.count_if(cell, candidate)
-                    else:
-                        total = self._total_violations_if(current, constraints, cell, candidate)
-                    key = (
-                        total,
-                        -self._cooccurrence_score(current, cell, candidate),
-                        repr(candidate),
-                        (cell.row, cell.attribute),
-                    )
-                    if best is None or key < best[:4]:
-                        best = (*key, cell, candidate)
+                            best = (*key, cell.row, cell.attribute, candidate)
 
             if best is None or best[0] >= total_before:
                 # No single-cell change from the candidate pool reduces the
                 # violation count: stop to guarantee termination.
                 break
-            _, _, _, _, chosen_cell, chosen_value = best
-            current.set_value(chosen_cell.row, chosen_cell.attribute, chosen_value)
+            _, _, _, _, chosen_row, chosen_attribute, chosen_value = best
+            current.set_value(chosen_row, chosen_attribute, chosen_value)
         return current

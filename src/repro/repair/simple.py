@@ -310,7 +310,10 @@ class SimpleRuleRepair(RepairAlgorithm):
                     continue
                 # Collect the violating tuples first so that a repair applied to
                 # one tuple does not hide the violations of tuples found later
-                # in the same pass.
+                # in the same pass.  On the walk path the ranking consumes the
+                # walk's array-built row list (one vectorised concatenate+sort
+                # over the mixed class-partition groups) — no Violation or
+                # CellRef objects are materialised.
                 if walk is not None:
                     violating_rows = walk.violating_rows_for(constraint)
                 else:

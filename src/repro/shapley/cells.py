@@ -152,6 +152,13 @@ class CellShapleyExplainer:
         on the ``n_jobs`` path.  On expiry the merged partial estimates come
         back with ``ShapleyResult.completed=False`` instead of hanging; the
         sequential path ignores it.
+    speculate:
+        Let adaptive runs on the ``n_jobs`` path issue up to ``n_jobs``
+        sample chunks ahead per unconverged cell each round, discarding any
+        overshoot past the merged stopping point deterministically (see
+        :class:`~repro.parallel.ShardedExplainScheduler`).  Estimates are
+        bit-identical to the default ``False``; only throughput and the
+        ``chunks_speculated`` / ``chunks_discarded`` counters change.
     """
 
     def __init__(
@@ -169,6 +176,7 @@ class CellShapleyExplainer:
         worker_timeout: float | None = None,
         retry_policy=None,
         deadline_seconds: float | None = None,
+        speculate: bool = False,
     ):
         self.oracle = oracle
         self.policy = ReplacementPolicy.from_name(policy)
@@ -184,6 +192,7 @@ class CellShapleyExplainer:
         self.worker_timeout = worker_timeout
         self.retry_policy = retry_policy
         self.deadline_seconds = deadline_seconds
+        self.speculate = bool(speculate)
         #: schedulers by worker count, each owning one (lazily spawned) warm
         #: pool — cached so repeated estimates reuse resident worker state
         self._schedulers: dict[int, "object"] = {}
@@ -240,6 +249,7 @@ class CellShapleyExplainer:
                 warm_pool=self.warm_pool, worker_timeout=self.worker_timeout,
                 retry_policy=self.retry_policy,
                 deadline_seconds=self.deadline_seconds,
+                speculate=self.speculate,
             )
             self._schedulers[n_jobs] = scheduler
         return scheduler

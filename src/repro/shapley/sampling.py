@@ -145,6 +145,12 @@ class CellCoalitionSampler:
         #: precomputed normalised everything-replaced overlay for the
         #: deterministic policies (see :meth:`_replacement_overlay`)
         self._overlay: dict[CellRef, object] | None = None
+        #: the overlay's per-column encoded arrays ``{attr: (rows, codes)}``
+        #: and each overlay cell's position within its column's arrays —
+        #: coalition deltas are born in code space as one masked slice per
+        #: column (see :meth:`_overlay_encoding`)
+        self._overlay_arrays: "dict[str, tuple[np.ndarray, np.ndarray]] | None" = None
+        self._overlay_pos: dict[CellRef, int] = {}
 
     # -- seeding -------------------------------------------------------------------
 
@@ -192,6 +198,38 @@ class CellCoalitionSampler:
             self._overlay = overlay
         return self._overlay
 
+    def _overlay_encoding(self) -> "dict[str, tuple[np.ndarray, np.ndarray]]":
+        """The deterministic overlay encoded column-wise, computed once.
+
+        For each column the full overlay's override set is bulk-encoded into
+        ``(rows, codes)`` arrays
+        (:meth:`~repro.engine.encoding.TableEncoding.encode_delta`) and every
+        overlay cell's position within its column's arrays is recorded.  Per
+        sample a coalition delta's encoded form is then one boolean mask per
+        column over these arrays — the delta is born in code space and the
+        built view never re-encodes it.  Unencodable columns are simply
+        absent (their views fall back to the lazy per-view path).  The
+        encoding is RNG-free and codes stay valid for the sampler's lifetime
+        (dictionaries are append-only).
+        """
+        if self._overlay_arrays is None:
+            by_column: dict[str, dict[int, object]] = {}
+            for cell, value in self._replacement_overlay().items():
+                by_column.setdefault(cell.attribute, {})[cell.row] = value
+            encoding = self.table.store.encoding()
+            arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+            positions: dict[CellRef, int] = {}
+            for name, overrides in by_column.items():
+                encoded = encoding.encode_delta(name, overrides)
+                if encoded is None:
+                    continue
+                arrays[name] = encoded
+                for position, row in enumerate(encoded[0].tolist()):
+                    positions[CellRef(row, name)] = position
+            self._overlay_arrays = arrays
+            self._overlay_pos = positions
+        return self._overlay_arrays
+
     # -- permutation / coalition sampling -----------------------------------------------
 
     def sample_permutation(self) -> np.ndarray:
@@ -233,13 +271,35 @@ class CellCoalitionSampler:
                 # overlay and drop the coalition instead of re-deriving every
                 # replacement per sample
                 delta = dict(overlay)
+                arrays = self._overlay_encoding()
+                positions = self._overlay_pos
+                drops: dict[str, list[int]] = {}
                 delta.pop(target_cell, None)
+                position = positions.get(target_cell)
+                if position is not None:
+                    drops.setdefault(target_cell.attribute, []).append(position)
                 for cell in coalition:
                     delta.pop(cell, None)
+                    position = positions.get(cell)
+                    if position is not None:
+                        drops.setdefault(cell.attribute, []).append(position)
                 with_original = self.table.perturbed(delta, trusted=True,
                                                      prenormalized=True)
                 if self.stats_engine is not None:
                     with_original._stats_engine = self.stats_engine
+                # the delta is born in code space: one masked slice of the
+                # precomputed per-column arrays per overridden column — the
+                # view (and, via cache inheritance, its sub-delta sibling and
+                # the repairers' working snapshots) never re-encodes it
+                store = with_original._store
+                for name, (rows, codes) in arrays.items():
+                    dropped = drops.get(name)
+                    if not dropped:
+                        store.adopt_encoded_delta(name, rows, codes)
+                    else:
+                        keep = np.ones(len(rows), dtype=bool)
+                        keep[dropped] = False
+                        store.adopt_encoded_delta(name, rows[keep], codes[keep])
                 without_original = with_original.perturbed(
                     {target_cell: self.replacement_value(target_cell)}, trusted=True
                 )

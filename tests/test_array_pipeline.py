@@ -1,0 +1,277 @@
+"""The array-native coalition pipeline must be invisible in the numbers.
+
+PR 8's bulk layers each have a per-object reference twin that stays in the
+tree, and the contract is bit-identity, not approximation:
+
+* **bulk delta encoding** (hypothesis) — :meth:`ColumnDictionary.encode_bulk`
+  must translate any random value array exactly like the per-value
+  :meth:`encode_values` loop *and* grow the dictionary identically (novel
+  values appended mid-overlay in first-appearance order, NULL/NaN to code 0);
+  :meth:`TableEncoding.encode_delta` must agree with the per-value
+  :meth:`OverlayStore.encoded_delta` dict on random override sets;
+* **zero-object degree ranking** (hypothesis) — the walk's
+  :meth:`cell_degrees_arrays` parallel arrays must carry exactly the degree
+  map the ``CellRef``-dict :meth:`cell_degrees` builds, on random deltas and
+  post-prime write sequences, in the object path's (row, attribute) order;
+* **speculative adaptive sharding** (property over seeds) — adaptive runs
+  with ``speculate=True`` must be bit-identical to the ``speculate=False``
+  reference across ``n_jobs`` in {None, 1, 2} and warm/cold pools, with the
+  overshoot visible only in the ``chunks_speculated`` / ``chunks_discarded``
+  counters.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CellRef,
+    SimpleRuleRepair,
+    SoccerLeagueGenerator,
+    la_liga_dirty_table,
+)
+from repro.constraints.incremental import repair_walk_for
+from repro.engine.encoding import NULL_CODE, ColumnDictionary
+from repro.engine.storage import NULL, null_mask
+
+# ---------------------------------------------------------------------------
+# bulk delta encoding ≡ per-value encoding (hypothesis)
+# ---------------------------------------------------------------------------
+
+#: hashable, sortable-in-mixed-company candidate values plus both null forms
+_VALUES = st.one_of(
+    st.integers(min_value=-3, max_value=3),
+    st.sampled_from(["a", "b", "c", "ab"]),
+    st.just(NULL),
+    st.just(float("nan")),
+)
+
+
+def _seeded_dictionaries(preseed):
+    """Two dictionaries grown identically through the per-value entry point."""
+    reference, bulk = ColumnDictionary(), ColumnDictionary()
+    for value in preseed:
+        if not (value is None or value != value):
+            reference.code_for(value, is_null=lambda v: False)
+            bulk.code_for(value, is_null=lambda v: False)
+    return reference, bulk
+
+
+@settings(max_examples=100, deadline=None)
+@given(preseed=st.lists(_VALUES, max_size=5), values=st.lists(_VALUES, max_size=12))
+def test_encode_bulk_matches_per_value_loop(preseed, values):
+    reference, bulk = _seeded_dictionaries(preseed)
+    column = np.empty(len(values), dtype=object)
+    column[:] = values
+    mask = null_mask(column)
+    out_reference = np.empty(len(values), dtype=np.int32)
+    out_bulk = np.empty(len(values), dtype=np.int32)
+    reference.encode_values(column, mask, out_reference)
+    bulk.encode_bulk(column, mask, out_bulk)
+    assert out_bulk.tolist() == out_reference.tolist()
+    # identical dictionary growth: same decode table (novel values appended
+    # in first-appearance order) and same value→code map
+    assert bulk._values == reference._values
+    assert bulk._code_of == reference._code_of
+    for value, code in zip(values, out_bulk.tolist()):
+        if value is None or value != value:
+            assert code == NULL_CODE
+
+
+def test_encode_bulk_unsortable_mixed_types_fall_back():
+    # ints and strings do not sort together; the hash loop must take over
+    column = np.empty(4, dtype=object)
+    column[:] = [1, "x", 1, NULL]
+    reference, bulk = _seeded_dictionaries([])
+    out_reference = np.empty(4, dtype=np.int32)
+    out_bulk = np.empty(4, dtype=np.int32)
+    reference.encode_values(column, null_mask(column), out_reference)
+    bulk.encode_bulk(column, null_mask(column), out_bulk)
+    assert out_bulk.tolist() == out_reference.tolist()
+    assert bulk._values == reference._values
+
+
+def test_encode_bulk_unhashable_leaves_dictionary_consistent():
+    column = np.empty(3, dtype=object)
+    column[:] = [[1], [2], [1]]
+    dictionary = ColumnDictionary()
+    out = np.empty(3, dtype=np.int32)
+    with pytest.raises(TypeError):
+        dictionary.encode_bulk(column, null_mask(column), out)
+    # every code handed out before the failure must still decode
+    assert len(dictionary._values) == 1 + len(dictionary._code_of)
+
+
+@st.composite
+def _override_sets(draw, table):
+    overrides = {}
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        row = draw(st.integers(min_value=0, max_value=table.n_rows - 1))
+        attribute = draw(st.sampled_from(table.attributes))
+        overrides[CellRef(row, attribute)] = draw(_VALUES)
+    return overrides
+
+
+_TABLE = la_liga_dirty_table()
+
+
+@settings(max_examples=50, deadline=None)
+@given(overrides=_override_sets(_TABLE))
+def test_encode_delta_matches_per_value_encoded_delta(overrides):
+    # two fresh views over fresh bases: one asks the bulk array entry point,
+    # the other the per-value dict reference — same rows, same codes
+    view_bulk = la_liga_dirty_table().perturbed(overrides)
+    view_reference = la_liga_dirty_table().perturbed(overrides)
+    for attribute in _TABLE.attributes:
+        arrays = view_bulk._store.encoded_delta_arrays(attribute)
+        encoded = view_reference._store.encoded_delta(attribute)
+        assert arrays is not None and encoded is not None
+        rows, codes = arrays
+        assert rows.tolist() == sorted(encoded)
+        assert codes.tolist() == [encoded[row] for row in rows.tolist()]
+        # and both dictionaries grew the same decode tables (lazily created,
+        # so an untouched column is absent from both)
+        bulk_dict = view_bulk._store._base.encoding()._dicts.get(attribute)
+        ref_dict = view_reference._store._base.encoding()._dicts.get(attribute)
+        assert (bulk_dict._values if bulk_dict else None) == \
+            (ref_dict._values if ref_dict else None)
+
+
+# ---------------------------------------------------------------------------
+# zero-object degree ranking ≡ CellRef-dict degrees (hypothesis)
+# ---------------------------------------------------------------------------
+
+_DATASET = SoccerLeagueGenerator(seed=83).generate(30)
+_CONSTRAINTS = _DATASET.constraints()
+_BASE = _DATASET.table
+_ATTRS = _BASE.attributes
+_POOLS = {
+    attribute: sorted(
+        {_BASE.value(row, attribute) for row in range(_BASE.n_rows)}, key=repr
+    )
+    for attribute in _ATTRS
+}
+
+
+@st.composite
+def _cell_writes(draw, max_size: int):
+    writes = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_size))):
+        row = draw(st.integers(min_value=0, max_value=_BASE.n_rows - 1))
+        attribute = draw(st.sampled_from(_ATTRS))
+        source = draw(st.sampled_from(_ATTRS))
+        value = draw(st.one_of(st.just(NULL), st.sampled_from(_POOLS[source])))
+        writes.append((row, attribute, value))
+    return writes
+
+
+def _assert_degrees_agree(walk):
+    total_ref, degrees = walk.cell_degrees()
+    total, rows, attr_codes, counts, attrs = walk.cell_degrees_arrays()
+    assert total == total_ref
+    cells = [CellRef(int(row), attrs[code])
+             for row, code in zip(rows.tolist(), attr_codes.tolist())]
+    assert dict(zip(cells, counts.tolist())) == degrees
+    # the arrays must already ascend in the greedy tie-break order
+    assert cells == sorted(cells, key=lambda c: (c.row, c.attribute))
+
+
+@settings(max_examples=25, deadline=None)
+@given(delta=_cell_writes(max_size=6), writes=_cell_writes(max_size=4))
+def test_degree_arrays_match_cell_dict_on_random_walks(delta, writes):
+    overrides = {CellRef(row, attribute): value for row, attribute, value in delta}
+    view = _BASE.perturbed(overrides).mutable_snapshot()
+    walk = repair_walk_for(view, _CONSTRAINTS, vectorized=True)
+    _assert_degrees_agree(walk)
+    for row, attribute, value in writes:
+        view.set_value(row, attribute, value)
+        _assert_degrees_agree(walk)
+
+
+# ---------------------------------------------------------------------------
+# speculative adaptive sharding ≡ the non-speculative reference
+# ---------------------------------------------------------------------------
+
+_PROBES = [CellRef(4, "City"), CellRef(0, "Country")]
+
+
+def _adaptive_estimates(n_jobs, speculate, warm_pool, seed, tolerance=0.05,
+                        min_samples=8):
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from test_parallel_scheduler import make_explainer
+
+    explainer, oracle = make_explainer(n_jobs or 1, rng=seed,
+                                       warm_pool=warm_pool)
+    explainer.speculate = speculate
+    with explainer:
+        estimates = [
+            explainer.estimate_cell_converged(cell, tolerance=tolerance,
+                                              min_samples=min_samples,
+                                              max_samples=40)
+            for cell in _PROBES
+        ]
+    return estimates, oracle
+
+
+def _assert_estimates_equal(reference, speculative):
+    for a, b in zip(reference, speculative):
+        assert (a.value, a.standard_error, a.n_samples) == \
+            (b.value, b.standard_error, b.n_samples)
+        assert not math.isnan(a.value)
+
+
+@pytest.mark.parametrize("warm_pool", [True, False])
+@pytest.mark.parametrize("n_jobs", [None, 1])
+def test_speculation_is_bit_identical_in_process(n_jobs, warm_pool):
+    reference, _ = _adaptive_estimates(n_jobs, False, warm_pool, seed=23)
+    speculative, oracle = _adaptive_estimates(n_jobs, True, warm_pool, seed=23)
+    _assert_estimates_equal(reference, speculative)
+    # width collapses to 1 in-process: nothing speculated, nothing discarded
+    assert oracle.chunks_speculated == 0
+    assert oracle.chunks_discarded == 0
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("warm_pool", [True, False])
+@settings(max_examples=3, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_speculation_is_bit_identical_across_workers(warm_pool, seed):
+    reference, _ = _adaptive_estimates(2, False, warm_pool, seed=seed)
+    speculative, oracle = _adaptive_estimates(2, True, warm_pool, seed=seed)
+    _assert_estimates_equal(reference, speculative)
+    assert oracle.chunks_speculated > 0
+
+
+@pytest.mark.parallel
+def test_speculation_overshoot_is_discarded_and_counted():
+    # a loose tolerance stops each cell at its first 4-sample chunk, so the
+    # second chunk of the round is pure overshoot: drawn, returned,
+    # deterministically dropped
+    reference, _ = _adaptive_estimates(2, False, True, seed=23, tolerance=10.0,
+                                       min_samples=4)
+    speculative, oracle = _adaptive_estimates(2, True, True, seed=23,
+                                              tolerance=10.0, min_samples=4)
+    _assert_estimates_equal(reference, speculative)
+    assert oracle.chunks_speculated > 0
+    assert oracle.chunks_discarded > 0
+
+
+def test_speculate_flag_reaches_the_scheduler():
+    from repro import CellShapleyExplainer
+    from repro.repair.base import BinaryRepairOracle
+    from repro import la_liga_constraints
+
+    oracle = BinaryRepairOracle(
+        SimpleRuleRepair(), la_liga_constraints(), la_liga_dirty_table(),
+        CellRef(4, "Country"),
+    )
+    with CellShapleyExplainer(oracle, rng=23, n_jobs=1,
+                              speculate=True) as explainer:
+        assert explainer._scheduler(1).speculate is True

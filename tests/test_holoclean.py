@@ -207,3 +207,36 @@ def test_holoclean_reduces_violations_on_hospital_dataset():
     assert len(find_all_violations(repaired, constraints)) <= len(
         find_all_violations(dirty, constraints)
     )
+
+
+# -- pair-fallback warning ---------------------------------------------------------
+
+
+def test_pair_fallback_warns_once_and_matches_independent_repairs(
+    dirty_table, constraints, caplog, monkeypatch
+):
+    """The one-time ``repair_pair`` fallback notice fires exactly once per
+    process, and the fallback's outputs are the paired reference: exactly
+    what two independent ``repair_table`` calls produce."""
+    monkeypatch.setattr(HoloCleanRepair, "_pair_fallback_warned", False)
+    algorithm = HoloCleanRepair()
+    with_table = dirty_table.perturbed({CellRef(4, "Country"): "Spain"})
+    without_table = dirty_table
+
+    import logging
+
+    with caplog.at_level(logging.WARNING, logger="repro.repair.holoclean.model"):
+        first = algorithm.repair_pair(constraints, with_table, without_table,
+                                      [CellRef(4, "Country")])
+        second = algorithm.repair_pair(constraints, with_table, without_table,
+                                       [CellRef(4, "Country")])
+    fallback_records = [record for record in caplog.records
+                        if "falls back" in record.getMessage()]
+    assert len(fallback_records) == 1
+    assert HoloCleanRepair._pair_fallback_warned is True
+
+    clean_with = algorithm.repair_table(list(constraints), with_table)
+    clean_without = algorithm.repair_table(list(constraints), without_table)
+    for pair in (first, second):
+        assert pair[0].equals(clean_with)
+        assert pair[1].equals(clean_without)
