@@ -72,6 +72,7 @@ from repro import (
 from repro.constraints.incremental import repair_walk_for
 from repro.dataset.errors import inject_errors
 from repro.dataset.generators import HospitalGenerator
+from repro.observability import trace as otrace
 from repro.shapley.cells import relevant_cells
 
 #: largest table size exercised by bench_scaling_cells.py
@@ -371,6 +372,30 @@ def _explain_warm_cold(constraints, dirty, cell, warm_pool: bool):
     return outcome, elapsed, oracle
 
 
+def _traced_explain(constraints, dirty, cell):
+    """The sharded greedy loop once more, with span tracing on.
+
+    Returns the result (asserted bit-identical to the untraced run by the
+    caller), the wall time of the ``explain()`` call, the tracer's per-phase
+    summary, the fraction of that wall time the ``explain_job`` span covers,
+    and the worker indexes that shipped spans home.  ``TREX_TRACE_OUT=PATH``
+    additionally writes the full Chrome ``traceEvents`` JSON (the same
+    format the CLI's ``--trace-out`` emits).
+    """
+    with otrace.tracing() as tracer:
+        result, elapsed, _ = _explain_parallel(constraints, dirty, cell,
+                                               PARALLEL_JOBS)
+        summary = tracer.summary()
+        job_seconds = summary.get("explain_job", {}).get("total_seconds", 0.0)
+        coverage = job_seconds / elapsed if elapsed else 0.0
+        workers = sorted({span.worker for span in tracer.spans
+                          if span.worker is not None})
+        trace_out = os.environ.get("TREX_TRACE_OUT")
+        if trace_out:
+            tracer.write_chrome_trace(trace_out)
+    return result, elapsed, summary, coverage, workers
+
+
 def _write_bench_json(payload: dict) -> None:
     payload = dict(payload)
     payload["benchmark"] = "cell_shapley_paired_oracle"
@@ -487,6 +512,21 @@ def test_paths_identical_and_paired_is_faster(benchmark):
     assert (parallel_results[PARALLEL_JOBS].standard_errors
             == parallel_results[1].standard_errors)
     assert parallel_stats["parallel_workers"] == PARALLEL_JOBS
+
+    # -- tracing on the same sharded loop: zero perturbation, ≥95% coverage --------------
+    traced_result, traced_seconds, trace_summary, trace_coverage, trace_workers = \
+        _traced_explain(constraints, dirty, cell)
+    assert traced_result.values == parallel_results[1].values, (
+        "tracing perturbed the sharded estimates — spans must observe, never feed"
+    )
+    assert trace_coverage >= 0.95, (
+        f"the explain_job span covers only {trace_coverage:.1%} of the traced "
+        f"explain wall time (floor: 95%)"
+    )
+    assert trace_workers, (
+        "no worker spans were stitched into the parent trace — the "
+        "WorkerReport span shipping is broken"
+    )
 
     # -- warm pool vs cold pool: 3 adaptive rounds, 2 workers ----------------------------
     warm_pool_outcomes = {}
@@ -612,6 +652,12 @@ def test_paths_identical_and_paired_is_faster(benchmark):
                         "repair_runs", "batches", "pairs_batched",
                         "pairs_deduped", "cache_hits", "cache_misses",
                         "cache_evictions", "stats_leases", "stats_cells_moved")
+        },
+        "trace": {
+            "explain_seconds": round(traced_seconds, 4),
+            "coverage": round(trace_coverage, 4),
+            "workers": trace_workers,
+            "per_phase": trace_summary,
         },
         "warm_pool": {
             mode: {

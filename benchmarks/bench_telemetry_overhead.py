@@ -1,0 +1,103 @@
+"""Disabled-telemetry overhead guard.
+
+The observability layer's contract is *zero cost when off*: with no tracer
+installed every instrumented call site pays exactly one ``otrace.current()``
+read (a module global plus a pid compare) and skips all span work.  This
+fast check guards that contract two ways:
+
+1. **end-to-end** — the same sequential cell-Shapley explain is timed with
+   tracing off and with tracing on.  The traced run does strictly more work
+   (span objects, timestamps, a stitched tree), so the *untraced* run
+   exceeding ``TREX_TELEMETRY_NOISE`` x the traced time can only mean the
+   disabled path grew real overhead — exactly the regression this job
+   exists to catch.  Estimates must stay bit-identical either way.
+2. **guard microcost** — a million ``otrace.current()`` reads must stay
+   under a generous wall-clock bound, pinning the off-path branch to
+   "pointer check" costs.
+
+Kept deliberately small (tens of milliseconds of explain per rep) so CI
+can afford to run it on every push.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import print_table
+from repro import BinaryRepairOracle, CellShapleyExplainer, SimpleRuleRepair
+from repro.dataset.examples import la_liga_constraints, la_liga_dirty_table
+from repro.observability import trace as otrace
+from repro.shapley.cells import relevant_cells
+
+#: the untraced run may be at most this multiple of the traced run — wide
+#: enough for shared-runner noise, tight enough to catch a disabled path
+#: that started building spans or formatting event payloads
+NOISE_BAND = float(os.environ.get("TREX_TELEMETRY_NOISE", "1.3"))
+N_REPS = 5
+N_SAMPLES = 20
+#: one million disabled-path guard reads must finish inside this bound
+GUARD_READS = 1_000_000
+GUARD_SECONDS = 2.0
+
+
+def _explain_once():
+    table = la_liga_dirty_table()
+    constraints = la_liga_constraints()
+    cell = SimpleRuleRepair().repair(constraints, table).delta.cells()[0]
+    oracle = BinaryRepairOracle(SimpleRuleRepair(), constraints, table, cell)
+    explainer = CellShapleyExplainer(oracle, policy="mode", rng=3)
+    probes = relevant_cells(table, constraints, cell)[:4]
+    start = time.perf_counter()
+    result = explainer.explain(cells=probes, n_samples=N_SAMPLES)
+    return result, time.perf_counter() - start
+
+
+def _best_of(reps: int):
+    best_seconds, values = None, None
+    for _ in range(reps):
+        result, elapsed = _explain_once()
+        best_seconds = elapsed if best_seconds is None else min(best_seconds, elapsed)
+        values = result.values
+    return best_seconds, values
+
+
+def test_disabled_telemetry_stays_within_noise():
+    assert otrace.current() is None, "a tracer leaked in from another test"
+    off_seconds, off_values = _best_of(N_REPS)
+    with otrace.tracing():
+        on_seconds, on_values = _best_of(N_REPS)
+    assert otrace.current() is None
+
+    # telemetry observes the run, never feeds it
+    assert on_values == off_values, (
+        "tracing changed the Shapley estimates — spans must be read-only"
+    )
+
+    start = time.perf_counter()
+    for _ in range(GUARD_READS):
+        otrace.current()
+    guard_seconds = time.perf_counter() - start
+
+    print_table(
+        "telemetry overhead (sequential explain, best of "
+        f"{N_REPS}, {N_SAMPLES} samples x 4 cells)",
+        ["path", "seconds", "note"],
+        [
+            ["tracing off", f"{off_seconds:.4f}", "(the guarded default)"],
+            ["tracing on", f"{on_seconds:.4f}",
+             f"{on_seconds / off_seconds:.2f}x of off"],
+            [f"{GUARD_READS} guard reads", f"{guard_seconds:.4f}",
+             f"bound {GUARD_SECONDS}s"],
+        ],
+    )
+
+    assert off_seconds <= on_seconds * NOISE_BAND, (
+        f"the disabled-telemetry explain took {off_seconds:.4f}s vs "
+        f"{on_seconds:.4f}s traced — more than {NOISE_BAND}x the traced run, "
+        f"so the off path is no longer free"
+    )
+    assert guard_seconds < GUARD_SECONDS, (
+        f"{GUARD_READS} otrace.current() reads took {guard_seconds:.2f}s "
+        f"(bound {GUARD_SECONDS}s) — the disabled-path guard got expensive"
+    )

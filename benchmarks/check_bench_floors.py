@@ -11,6 +11,12 @@ perf trajectory:
 
     python benchmarks/check_bench_floors.py [BENCH_shapley.json]
 
+Every failing metric is reported with its recorded value, its floor, and —
+when the previous committed ``BENCH_shapley.json`` is reachable via ``git
+show HEAD:...`` — the delta against the last committed recording, so a CI
+failure log distinguishes "slid a little from last run" from "fell off a
+cliff" without any archaeology.
+
 Machine caveats mirror the bench: the ``parallel_speedup`` and
 ``warm_pool_speedup`` floors need real cores, so they are skipped (with a
 note) when the recording machine had fewer CPUs than the worker count it
@@ -21,10 +27,45 @@ are reported and skipped, never silently passed.
 from __future__ import annotations
 
 import json
+import os
+import subprocess
 import sys
 
 #: floors needing >= ``config.parallel_jobs`` real cores on the recording box
 _MULTICORE_FLOORS = ("parallel_speedup", "warm_pool_speedup")
+
+
+def _previous_speedups(path: str) -> dict:
+    """The ``speedups`` of the last committed version of ``path`` (or ``{}``).
+
+    Resolved with ``git show HEAD:<repo-relative path>`` so the check works
+    from any working directory inside the repo; any git failure (not a repo,
+    file not committed, git missing) degrades to an empty dict — deltas are
+    then simply omitted, never fatal.
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+            cwd=os.path.dirname(os.path.abspath(path)) or None,
+        ).stdout.strip()
+        relative = os.path.relpath(os.path.abspath(path), top)
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{relative}"],
+            capture_output=True, text=True, check=True, cwd=top,
+        ).stdout
+        return json.loads(blob).get("speedups", {})
+    except (OSError, subprocess.CalledProcessError, ValueError):
+        return {}
+
+
+def _delta_note(name: str, recorded: float, previous: dict) -> str:
+    """``delta vs committed`` suffix for one metric (empty when unknown)."""
+    before = previous.get(name)
+    if before is None:
+        return "  (no committed baseline)"
+    delta = recorded - before
+    return f"  (committed {before}x, delta {delta:+.2f}x)"
 
 
 def check(path: str = "BENCH_shapley.json") -> int:
@@ -38,6 +79,7 @@ def check(path: str = "BENCH_shapley.json") -> int:
         return 1
     cpu_count = config.get("cpu_count") or 1
     parallel_jobs = config.get("parallel_jobs") or 2
+    previous = _previous_speedups(path)
     failures = []
     for name, floor in sorted(floors.items()):
         recorded = speedups.get(name)
@@ -48,9 +90,12 @@ def check(path: str = "BENCH_shapley.json") -> int:
             print(f"SKIP  {name}: {recorded}x recorded on a {cpu_count}-CPU "
                   f"box (needs {parallel_jobs} cores to be meaningful)")
             continue
-        verdict = "ok" if recorded >= floor else "REGRESSION"
-        print(f"{verdict:>4}  {name}: {recorded}x (floor {floor}x)")
-        if recorded < floor:
+        if recorded >= floor:
+            print(f"  ok  {name}: {recorded}x (floor {floor}x)")
+        else:
+            print(f"REGRESSION  {name}: recorded {recorded}x, floor {floor}x, "
+                  f"shortfall {floor - recorded:.2f}x"
+                  + _delta_note(name, recorded, previous))
             failures.append(name)
     if failures:
         print(f"\n{path}: {len(failures)} speedup(s) below floor: "

@@ -34,6 +34,8 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+import json as _json
+
 from repro.config import TRexConfig
 from repro.constraints.discovery import discover_fds
 from repro.constraints.fd import fds_to_dcs
@@ -45,6 +47,7 @@ from repro.errors import TRexError
 from repro.explain.explainer import TRExExplainer
 from repro.explain.report import ExplanationReport, repair_summary
 from repro.explain.serialize import save_explanation
+from repro.observability import trace as otrace
 from repro.repair.greedy import GreedyHolisticRepair
 from repro.repair.holoclean import HoloCleanRepair
 from repro.repair.simple import SimpleRuleRepair
@@ -100,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
                                help="evaluate constraint checks on the per-cell object "
                                     "path instead of dictionary-encoded code arrays; "
                                     "results are identical, only slower")
+    repair_parser.add_argument("--stats-json", metavar="PATH",
+                               help="write the repair statistics (cells repaired, "
+                                    "changes, table shape) to this JSON file")
 
     explain_parser = subparsers.add_parser("explain", help="explain the repair of one cell")
     _add_common_arguments(explain_parser)
@@ -155,6 +161,16 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="skip the (slower) cell-level explanation")
     explain_parser.add_argument("--seed", type=int, default=None, help="random seed")
     explain_parser.add_argument("--json", help="write the explanation to this JSON file")
+    explain_parser.add_argument("--stats-json", metavar="PATH",
+                                help="write the merged oracle statistics (the counters "
+                                     "of the report's 'Oracle statistics' section) to "
+                                     "this JSON file")
+    explain_parser.add_argument("--trace-out", metavar="PATH",
+                                help="record spans for the explain run (explain_job → "
+                                     "cell → shard → repair phases) and write them as "
+                                     "Chrome traceEvents JSON; load in chrome://tracing "
+                                     "or Perfetto.  Results are bit-identical with or "
+                                     "without tracing")
     explain_parser.add_argument("--top-cells", type=int, default=10,
                                 help="number of cells shown in the report")
 
@@ -177,6 +193,13 @@ def _command_violations(args) -> int:
     return 0 if not violations else 1
 
 
+def _write_stats_json(path: str, stats: dict) -> None:
+    """Dump a statistics dict as pretty JSON (the ``--stats-json`` sink)."""
+    Path(path).write_text(_json.dumps(stats, indent=2, sort_keys=False) + "\n",
+                          encoding="utf-8")
+    print(f"\nStatistics written to {path}")
+
+
 def _command_repair(args) -> int:
     table = read_csv(args.table)
     constraints = load_constraints(args.constraints)
@@ -187,6 +210,14 @@ def _command_repair(args) -> int:
     if args.output:
         write_csv(result.clean, args.output)
         print(f"\nRepaired table written to {args.output}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, {
+            "algorithm": args.algorithm,
+            "n_rows": table.n_rows,
+            "n_constraints": len(constraints),
+            "cells_repaired": len(result.delta),
+            "changes": [str(change) for change in result.delta],
+        })
     return 0
 
 
@@ -230,15 +261,25 @@ def _command_explain(args) -> int:
         print(f"Cell {cell} was not repaired. Repaired cells: "
               f"{', '.join(str(c) for c in repaired_cells) or '(none)'}")
         return 1
-    if args.constraints_only:
-        explanation = explainer.explain_constraints(cell)
-    else:
-        explanation = explainer.explain(cell)
+    tracer = otrace.enable() if args.trace_out else None
+    try:
+        if args.constraints_only:
+            explanation = explainer.explain_constraints(cell)
+        else:
+            explanation = explainer.explain(cell)
+    finally:
+        if tracer is not None:
+            otrace.disable()
     report = ExplanationReport(explanation, constraints=constraints, dirty_table=table)
     print(report.to_text(top_k_cells=args.top_cells))
     if args.json:
         save_explanation(explanation, args.json)
         print(f"\nExplanation written to {args.json}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, explanation.oracle_statistics)
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace_out)
+        print(f"\nChrome trace ({len(tracer.spans)} span(s)) written to {args.trace_out}")
     return 0
 
 

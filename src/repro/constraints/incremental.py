@@ -47,6 +47,7 @@ from repro.constraints.violations import (
 from repro.dataset.table import CellRef, PerturbationView, Table
 from repro.engine.index import MultiColumnIndex
 from repro.engine.storage import is_null, values_differ
+from repro.observability import trace as otrace
 
 __all__ = [
     "IncrementalViolationDetector",
@@ -1039,8 +1040,14 @@ class RepairWalk:
 
     def prime(self) -> "RepairWalk":
         """Force state construction for every constraint (pre-fork hook)."""
-        for constraint in self.constraints:
-            self._synced_state(constraint)
+        tracer = otrace.current()
+        if tracer is None:
+            for constraint in self.constraints:
+                self._synced_state(constraint)
+            return self
+        with tracer.span("walk_prime", constraints=len(self.constraints)):
+            for constraint in self.constraints:
+                self._synced_state(constraint)
         return self
 
     def _prime_constraint(self, constraint: DenialConstraint) -> _WalkConstraint:

@@ -145,7 +145,7 @@ class TableEncoding:
     """
 
     __slots__ = ("_dicts", "_codes", "encode_seconds", "vectorized_checks",
-                 "fallback_checks")
+                 "fallback_checks", "_absorbed_sizes")
 
     def __init__(self) -> None:
         self._dicts: dict[str, ColumnDictionary] = {}
@@ -157,6 +157,10 @@ class TableEncoding:
         #: checks that fell back to the object path (non-equality DC
         #: predicates, unencodable columns)
         self.fallback_checks = 0
+        #: per-column dictionary-size high-water marks absorbed from worker
+        #: telemetry — a worker may have encoded columns this encoding never
+        #: touched, and dropping them would understate the run
+        self._absorbed_sizes: dict[str, int] = {}
 
     def dictionary(self, name: str) -> ColumnDictionary:
         dictionary = self._dicts.get(name)
@@ -255,8 +259,18 @@ class TableEncoding:
         return rows, codes
 
     def dictionary_sizes(self) -> dict[str, int]:
-        """Distinct non-null values per encoded column (telemetry)."""
-        return {name: len(d) for name, d in sorted(self._dicts.items())}
+        """Distinct non-null values per encoded column (telemetry).
+
+        The union of this encoding's own dictionaries and the per-column
+        high-water marks absorbed from worker telemetry — a column only one
+        worker ever encoded still shows up, at that worker's size.
+        """
+        sizes = dict(self._absorbed_sizes)
+        for name, dictionary in self._dicts.items():
+            size = len(dictionary)
+            if size > sizes.get(name, 0):
+                sizes[name] = size
+        return dict(sorted(sizes.items()))
 
     def telemetry(self) -> dict[str, Any]:
         return {
@@ -267,20 +281,34 @@ class TableEncoding:
         }
 
     def absorb_counters(self, telemetry: dict) -> None:
-        """Fold a worker's shipped telemetry into this encoding's counters."""
+        """Fold a worker's shipped telemetry into this encoding's counters.
+
+        Check counts and encode time are additive; ``dictionary_sizes``
+        merge as per-column high-water marks over the **union** of columns —
+        a worker's dictionary for a column the parent never encoded must not
+        be dropped.
+        """
         self.encode_seconds += telemetry.get("encode_seconds", 0.0)
         self.vectorized_checks += telemetry.get("vectorized_checks", 0)
         self.fallback_checks += telemetry.get("fallback_checks", 0)
+        for name, size in telemetry.get("dictionary_sizes", {}).items():
+            if size > self._absorbed_sizes.get(name, 0):
+                self._absorbed_sizes[name] = size
 
     def reset_counters(self) -> None:
         self.encode_seconds = 0.0
         self.vectorized_checks = 0
         self.fallback_checks = 0
+        self._absorbed_sizes = {}
 
     def __getstate__(self):
         return (self._dicts, self._codes, self.encode_seconds,
-                self.vectorized_checks, self.fallback_checks)
+                self.vectorized_checks, self.fallback_checks,
+                self._absorbed_sizes)
 
     def __setstate__(self, state):
+        if len(state) == 5:  # pickles from before absorbed-size tracking
+            state = state + ({},)
         (self._dicts, self._codes, self.encode_seconds,
-         self.vectorized_checks, self.fallback_checks) = state
+         self.vectorized_checks, self.fallback_checks,
+         self._absorbed_sizes) = state

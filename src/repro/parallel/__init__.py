@@ -63,16 +63,14 @@ deadline expiry      the round stops cleanly at a shard-wave boundary;
                      exception
 ===================  ==========================================================
 
-Counters: ``worker_rebuilds`` (fresh oracle stacks built), ``warm_restarts``
-(rebuilds that were seeded from a snapshot), ``cache_entries_seeded``
-(entries restored from snapshots), ``cache_entries_shipped`` (diff entries
-shipped home), ``workers_restarted`` / ``restart_backoff_seconds``,
-``shards_requeued`` / ``shards_poisoned`` / ``deadline_expired``,
-``chunks_speculated`` (adaptive chunks drawn ahead of the merged stopping
-rule when ``speculate=True`` keeps every worker busy on small jobs) /
-``chunks_discarded`` (speculative results deterministically dropped past a
-cell's merged stopping point — overshoot never changes the estimates).  All
-flow through ``oracle.statistics()`` into the CLI report.
+Telemetry: every counter named above flows through the oracle's
+:class:`~repro.observability.metrics.MetricsRegistry` into
+``oracle.statistics()`` and the CLI report; the scheduler and pool also
+emit structured health events (:class:`~repro.observability.events.EventLog`)
+that reconcile exactly with the counters, and the whole hot path carries
+optional spans (``explain_job → cell → shard → …``) exportable as a Chrome
+trace.  The full counter/span/event glossary lives in
+``docs/OBSERVABILITY.md``.
 
 Entry points for users are ``CellShapleyExplainer(..., n_jobs=...,
 deadline_seconds=..., speculate=...)``, ``TRexConfig(n_jobs=...,

@@ -69,6 +69,11 @@ class ExplainJobSpec:
     explainer_paired: bool = True
     explainer_shared_stats: bool = True
     explainer_batched_pairs: bool = True
+    #: whether workers should record spans for their shards and ship them
+    #: home on the report; set by the scheduler from the parent's tracer
+    #: state at payload time — tracing never changes any value, only what
+    #: the report carries
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -129,6 +134,11 @@ class WorkerReport:
     #: entries the parent's snapshot seeded into this worker's fresh cache
     #: (they never ship back — the first sync mark is taken above them)
     entries_seeded: int = 0
+    #: finished :class:`~repro.observability.trace.Span` records for this
+    #: report's shards (empty unless the job spec asked for tracing); the
+    #: parent adopts them into its tracer, where their coordinate-derived
+    #: ids stitch them under the parent's cell spans
+    spans: list = field(default_factory=list)
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,8 @@ import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.observability.events import EventLog
+
 _POOL_FAILURE_WARNED = False
 
 
@@ -215,6 +217,11 @@ class WorkerPool:
         A :class:`RetryPolicy` bounding restarts (backoff between
         replacements, per-slot cap).  ``None`` keeps the unbounded legacy
         behaviour — restart immediately, forever.
+    events:
+        An :class:`~repro.observability.events.EventLog` receiving the
+        pool's lifecycle records (spawn, restart, abandonment, deadline
+        expiry), emitted at the exact sites the health counters bump so the
+        two surfaces always reconcile.  ``None`` builds a private one.
 
     The pool is a context manager; :meth:`close` shuts the workers down.
     ``workers_restarted`` / ``tasks_requeued`` / ``tasks_expired`` /
@@ -222,7 +229,8 @@ class WorkerPool:
     """
 
     def __init__(self, n_workers: int, timeout: float | None = None, context=None,
-                 retry: "RetryPolicy | None" = None):
+                 retry: "RetryPolicy | None" = None,
+                 events: "EventLog | None" = None):
         # assigned before any validation so close()/__del__ stay safe no
         # matter where construction fails (partially built pools included)
         self._workers: list[_PoolWorker | None] = []
@@ -232,6 +240,7 @@ class WorkerPool:
         self.tasks_requeued = 0
         self.tasks_expired = 0
         self.backoff_seconds_total = 0.0
+        self.events = events if events is not None else EventLog()
         if int(n_workers) < 1:
             raise ValueError(f"n_workers must be a positive integer, got {n_workers}")
         self._context = context if context is not None else process_context()
@@ -242,8 +251,11 @@ class WorkerPool:
         #: can tell "same warm process" from "fresh replacement"
         self.worker_generations = [0] * int(n_workers)
         try:
-            for _ in range(int(n_workers)):
-                self._workers.append(_PoolWorker(self._context))
+            for index in range(int(n_workers)):
+                worker = _PoolWorker(self._context)
+                self._workers.append(worker)
+                self.events.emit("worker_spawn", worker=index, generation=0,
+                                 pid=worker.process.pid)
         except BaseException:
             self.close()
             raise
@@ -332,7 +344,7 @@ class WorkerPool:
                 outcomes[index] = TaskOutcome(payload, worker_index=index)
             elif status == "deadline":
                 self._note_failure(index, status, payload)
-                self.tasks_expired += 1
+                self._expire(index, worker=index)
                 outcomes[index] = TaskOutcome(None, worker_index=-1, expired=True)
             else:
                 self._note_failure(index, status, payload)
@@ -341,7 +353,7 @@ class WorkerPool:
         for index, status in failed:
             if deadline is not None and time.monotonic() >= deadline:
                 # no budget left to re-execute: surface the expiry instead
-                self.tasks_expired += 1
+                self._expire(index)
                 outcomes[index] = TaskOutcome(None, worker_index=-1, expired=True)
                 continue
             outcomes[index] = self._requeue(tasks[index], index, status,
@@ -349,6 +361,11 @@ class WorkerPool:
         return outcomes  # type: ignore[return-value]
 
     # -- plumbing ---------------------------------------------------------------------
+
+    def _expire(self, task_index: int, worker: "int | None" = None) -> None:
+        """Count one dropped-at-deadline task (and record who held it)."""
+        self.tasks_expired += 1
+        self.events.emit("task_deadline_expired", task=task_index, worker=worker)
 
     def _dispatch(self, index: int, task: PoolTask) -> bool:
         worker = self._workers[index]
@@ -358,7 +375,7 @@ class WorkerPool:
             worker.connection.send((task.fn, task.args, task.resident, task.fault))
             return True
         except (OSError, ValueError):
-            self._restart(index)
+            self._restart(index, reason="pipe-closed")
             return False
 
     def _collect(self, index: int, deadline: float | None = None) -> tuple[str, Any]:
@@ -400,7 +417,7 @@ class WorkerPool:
                 RuntimeWarning,
                 stacklevel=4,
             )
-            self._restart(index, backoff=False)
+            self._restart(index, backoff=False, reason="deadline")
             return
         reason = (f"timed out after {self.timeout}s" if status == "timeout"
                   else "died mid-task")
@@ -410,9 +427,10 @@ class WorkerPool:
             RuntimeWarning,
             stacklevel=4,
         )
-        self._restart(index)
+        self._restart(index, reason=status)
 
-    def _restart(self, index: int, backoff: bool = True) -> None:
+    def _restart(self, index: int, backoff: bool = True,
+                 reason: str = "dead") -> None:
         worker = self._workers[index]
         if isinstance(worker, _PoolWorker):
             worker.kill()
@@ -429,6 +447,8 @@ class WorkerPool:
                     stacklevel=5,
                 )
                 self._workers[index] = None
+                self.events.emit("worker_abandoned", worker=index,
+                                 restarts=prior_restarts, reason=reason)
                 return
             if backoff:
                 delay = self.retry.backoff_seconds(prior_restarts)
@@ -436,16 +456,24 @@ class WorkerPool:
                     time.sleep(delay)
                     self.backoff_seconds_total += delay
         try:
-            self._workers[index] = _PoolWorker(self._context)
-            self.workers_restarted += 1
+            replacement = _PoolWorker(self._context)
         except OSError:  # pragma: no cover - sandbox-dependent
             self._workers[index] = None
+            self.events.emit("worker_abandoned", worker=index,
+                             restarts=prior_restarts, reason="spawn-failed")
+            return
+        self._workers[index] = replacement
+        self.workers_restarted += 1
+        self.events.emit("worker_restart", worker=index,
+                         generation=self.worker_generations[index],
+                         reason=reason, pid=replacement.process.pid)
 
     def _requeue(self, task: PoolTask, index: int, status: str,
                  outcomes: Sequence[TaskOutcome | None],
                  fallback: Callable[[PoolTask], Any],
                  deadline: float | None = None) -> TaskOutcome:
         self.tasks_requeued += 1
+        self.events.emit("task_requeued", task=index, reason=status)
         clean = PoolTask(task.fn, task.args, resident=task.resident, fault=None)
         if status != "error":
             # prefer a worker that completed its own task cleanly this round:
@@ -467,12 +495,12 @@ class WorkerPool:
                                        requeued=True)
                 self._note_failure(candidate, candidate_status, payload)
                 if candidate_status == "deadline":
-                    self.tasks_expired += 1
+                    self._expire(index, worker=candidate)
                     return TaskOutcome(None, worker_index=-1,
                                        requeued=True, expired=True)
                 break
         if deadline is not None and time.monotonic() >= deadline:
-            self.tasks_expired += 1
+            self._expire(index)
             return TaskOutcome(None, worker_index=-1, requeued=True, expired=True)
         return TaskOutcome(fallback(clean), worker_index=-1,
                            requeued=True, degraded=True)
@@ -487,7 +515,8 @@ def run_worker_tasks(fn: Callable, tasks: Sequence[tuple], n_jobs: int,
                      timeout: float | None = None,
                      health: dict | None = None,
                      retry: "RetryPolicy | None" = None,
-                     deadline: float | None = None) -> list:
+                     deadline: float | None = None,
+                     events: "EventLog | None" = None) -> list:
     """Run one ``fn(*task)`` call per task, in processes when ``n_jobs > 1``.
 
     The transient-pool entry point (the cold scheduler path and the sharded
@@ -511,7 +540,8 @@ def run_worker_tasks(fn: Callable, tasks: Sequence[tuple], n_jobs: int,
     if n_jobs <= 1 or len(tasks) <= 1:
         return [fn(*task) for task in tasks]
     try:
-        pool = WorkerPool(min(n_jobs, len(tasks)), timeout=timeout, retry=retry)
+        pool = WorkerPool(min(n_jobs, len(tasks)), timeout=timeout, retry=retry,
+                          events=events)
     except OSError as error:  # pragma: no cover - sandbox-dependent
         global _POOL_FAILURE_WARNED
         if not _POOL_FAILURE_WARNED:

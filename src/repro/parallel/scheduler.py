@@ -50,6 +50,9 @@ from typing import Callable, Iterable, Sequence
 
 from repro.config import DEFAULT_CELL_SAMPLES
 from repro.dataset.table import CellRef
+from repro.observability import trace as otrace
+from repro.observability.events import EventLog
+from repro.observability.trace import coordinate_span_id
 from repro.parallel.job import ExplainJobSpec, ExplainShard, ShardResult, WorkerReport
 from repro.parallel.pool import PoolTask, RetryPolicy, WorkerPool, run_worker_tasks
 from repro.parallel.seeding import partition_samples
@@ -216,9 +219,15 @@ class ShardedExplainScheduler:
         self._shard_failures: dict[tuple[int, int], int] = {}
         self._poisoned_shards: set[tuple[int, int]] = set()
         self._round_index = 0
+        self._job_index = 0
         #: one bookkeeping dict per executed round — what the soak test and
         #: the warm-pool benchmark read
         self.round_log: list[dict] = []
+        #: the structured worker-health event log (always on — health events
+        #: are rare); the pool appends its spawn/restart/expiry records here
+        #: and the scheduler its requeue/poison/seed/deadline ones, each at
+        #: the exact site the matching counter bumps
+        self.events = EventLog()
 
     @classmethod
     def from_explainer(cls, explainer, n_jobs: int,
@@ -308,9 +317,20 @@ class ShardedExplainScheduler:
     # -- execution --------------------------------------------------------------------
 
     def _payload(self) -> bytes:
-        """The job spec, pickled once and reused for every worker task."""
-        if self._spec_payload is None:
+        """The job spec, pickled once and reused for every worker task.
+
+        The spec's ``trace`` flag is stamped from the parent's live tracer
+        state at pickling time, so workers know whether to record and ship
+        spans.  Toggling tracing between runs re-pickles (and re-keys) the
+        spec — workers then rebuild their resident stacks under the new key,
+        which costs a warm-up round but never a value.
+        """
+        trace = otrace.current() is not None
+        if self._spec_payload is None or trace != self.spec.trace:
+            self.spec.trace = trace
             self._spec_payload = pickle.dumps(self.spec, protocol=pickle.HIGHEST_PROTOCOL)
+            self._spec_key = None
+            self._resident_generations.clear()
         return self._spec_payload
 
     def _spec_fingerprint(self) -> str:
@@ -338,7 +358,8 @@ class ShardedExplainScheduler:
         if self._pool is None:
             try:
                 self._pool = WorkerPool(self.n_jobs, timeout=self.worker_timeout,
-                                        retry=self.retry_policy)
+                                        retry=self.retry_policy,
+                                        events=self.events)
             except OSError as error:  # pragma: no cover - sandbox-dependent
                 self._pool_broken = True
                 warnings.warn(
@@ -370,6 +391,10 @@ class ShardedExplainScheduler:
                     and coords not in self._poisoned_shards):
                 self._poisoned_shards.add(coords)
                 log["shards_poisoned"] += 1
+                self.events.emit("shard_poisoned",
+                                 cell_position=shard.cell_position,
+                                 chunk_index=shard.chunk_index,
+                                 attempts=attempts)
                 warnings.warn(
                     f"shard (cell {shard.cell_position}, chunk "
                     f"{shard.chunk_index}) failed {attempts} times across "
@@ -443,11 +468,14 @@ class ShardedExplainScheduler:
                                        timeout=self.worker_timeout,
                                        health=health,
                                        retry=self.retry_policy,
-                                       deadline=deadline)
+                                       deadline=deadline,
+                                       events=self.events)
                 log["workers_restarted"] += health.get("workers_restarted", 0)
                 log["restart_backoff_seconds"] += health.get("backoff_seconds", 0.0)
                 for index in health.get("requeued_tasks", ()):
                     log["shards_requeued"] += len(assignments[index])
+                    self.events.emit("shard_requeued", worker=index,
+                                     n_shards=len(assignments[index]))
                     self._note_shard_failures(assignments[index], log)
                 for index in health.get("expired_tasks", ()):
                     log["shards_dropped"] += len(assignments[index])
@@ -458,12 +486,27 @@ class ShardedExplainScheduler:
                     for report in cold_reports:
                         report.entries_shipped = 0
                 reports.extend(cold_reports)
+        tracer = otrace.current()
         for report in reports:
             log["worker_rebuilds"] += report.rebuilt
             log["cache_entries_shipped"] += report.entries_shipped
             log["cache_entries_resident"] += report.resident_cache_size
             log["warm_restarts"] += report.warm_restart
             log["cache_entries_seeded"] += report.entries_seeded
+            # lifecycle events derive from the same report fields the
+            # counters just folded, so the two surfaces reconcile exactly
+            if report.warm_restart:
+                self.events.emit("warm_restart", worker=report.worker_index,
+                                 entries_seeded=report.entries_seeded)
+            if report.entries_seeded:
+                self.events.emit("snapshot_seeded", worker=report.worker_index,
+                                 entries=report.entries_seeded)
+            if report.spans:
+                if tracer is not None:
+                    tracer.adopt(report.spans,
+                                 worker=report.worker_index
+                                 if report.worker_index >= 0 else None)
+                report.spans = []
         if self._seed_cache is not None:
             # keep the scheduler's own merge current *per round* — the next
             # replacement worker is seeded from exactly this state
@@ -544,11 +587,16 @@ class ShardedExplainScheduler:
                     stacklevel=3,
                 )
                 log["shards_requeued"] += len(assignments[worker])
+                self.events.emit("shard_requeued", worker=worker,
+                                 n_shards=len(assignments[worker]),
+                                 reason="corrupt-reply")
                 self._note_shard_failures(assignments[worker], log)
                 reports.append(self._run_local(assignments[worker], worker))
                 continue
             if outcome.requeued:
                 log["shards_requeued"] += len(assignments[worker])
+                self.events.emit("shard_requeued", worker=worker,
+                                 n_shards=len(assignments[worker]))
                 self._note_shard_failures(assignments[worker], log)
             if not outcome.degraded and outcome.worker_index >= 0:
                 self._resident_generations[outcome.worker_index] = \
@@ -572,6 +620,43 @@ class ShardedExplainScheduler:
             return None
         return time.monotonic() + float(self.deadline_seconds)
 
+    # -- tracing ----------------------------------------------------------------------
+
+    def _job_span(self, tracer, kind: str, n_cells: int):
+        """Open the run-level ``explain_job`` span (deterministic id)."""
+        self._job_index += 1
+        return tracer.start(
+            "explain_job",
+            span_id=coordinate_span_id(self.spec.job_seed, "job", kind,
+                                       self._job_index),
+            kind=kind, cells=n_cells, n_jobs=self.n_jobs,
+        )
+
+    def _stitch_cell_spans(self, tracer, cells: Sequence[CellRef],
+                           job_span_id: int, mark: int) -> None:
+        """Synthesise one ``cell`` span per cell from its shard spans.
+
+        Shard spans — the parent's own and the ones adopted from worker
+        reports — already carry ``parent_id = coordinate_span_id(job_seed,
+        "cell", position)``; this derives the same ids independently and
+        files a finished cell span over each group's timeline extent, which
+        is what stitches parent and worker spans into one tree without any
+        cross-process coordination.
+        """
+        by_parent: dict[int, list] = {}
+        for span in tracer.spans[mark:]:
+            if span.name == "shard" and span.parent_id is not None:
+                by_parent.setdefault(span.parent_id, []).append(span)
+        for position, cell in enumerate(cells):
+            cell_id = coordinate_span_id(self.spec.job_seed, "cell", position)
+            shard_spans = by_parent.get(cell_id)
+            if not shard_spans:
+                continue
+            start = min(span.start for span in shard_spans)
+            end = max(span.end for span in shard_spans)
+            tracer.record("cell", cell_id, job_span_id, start, end - start,
+                          cell=str(cell), shards=len(shard_spans))
+
     # -- fixed-sample runs ------------------------------------------------------------
 
     def run(self, cells: Iterable[CellRef], n_samples: int,
@@ -592,6 +677,22 @@ class ShardedExplainScheduler:
         plan order — it only refines the granularity of the round log.
         """
         cells = list(cells)
+        tracer = otrace.current()
+        if tracer is None:
+            return self._run_fixed(cells, n_samples, absorb_into)
+        mark = len(tracer.spans)
+        events_mark = len(self.events)
+        job_span = self._job_span(tracer, "fixed", len(cells))
+        try:
+            result = self._run_fixed(cells, n_samples, absorb_into)
+            self._stitch_cell_spans(tracer, cells, job_span.span_id, mark)
+            return result
+        finally:
+            tracer.finish(job_span)
+            tracer.events.extend(self.events.records[events_mark:])
+
+    def _run_fixed(self, cells: "list[CellRef]", n_samples: int,
+                   absorb_into) -> ParallelExplainResult:
         shards = self.plan(cells, n_samples)
         trackers = [RunningMean() for _ in cells]
         reports: list[WorkerReport] = []
@@ -664,6 +765,25 @@ class ShardedExplainScheduler:
         dropped by a deadline and therefore cannot be merged in order).
         """
         cells = list(cells)
+        tracer = otrace.current()
+        if tracer is None:
+            return self._run_adaptive(cells, tolerance, min_samples,
+                                      max_samples, z, absorb_into)
+        mark = len(tracer.spans)
+        events_mark = len(self.events)
+        job_span = self._job_span(tracer, "adaptive", len(cells))
+        try:
+            result = self._run_adaptive(cells, tolerance, min_samples,
+                                        max_samples, z, absorb_into)
+            self._stitch_cell_spans(tracer, cells, job_span.span_id, mark)
+            return result
+        finally:
+            tracer.finish(job_span)
+            tracer.events.extend(self.events.records[events_mark:])
+
+    def _run_adaptive(self, cells: "list[CellRef]", tolerance: float,
+                      min_samples: int, max_samples: int, z: float,
+                      absorb_into) -> ParallelExplainResult:
         trackers = [
             ConvergenceTracker(tolerance=tolerance, z=z, min_samples=min_samples)
             for _ in cells
@@ -771,6 +891,9 @@ class ShardedExplainScheduler:
             statistics[key] = statistics.get(key, 0) + value
         if not completed:
             statistics["deadline_expired"] = statistics.get("deadline_expired", 0) + 1
+            self.events.emit("deadline_expired",
+                             budget_seconds=self.deadline_seconds,
+                             n_shards=n_shards)
         # cache counters are absorbed from the per-report statistics
         # snapshots (see absorb_statistics); the cache objects contribute
         # entries only — warm reports as per-round diffs, cold reports as a

@@ -30,6 +30,8 @@ import pickle
 import time
 from dataclasses import dataclass
 
+from repro.observability import trace as otrace
+from repro.observability.trace import coordinate_span_id
 from repro.parallel.job import (
     ExplainJobSpec,
     ExplainShard,
@@ -94,6 +96,25 @@ def _load_spec(spec: "ExplainJobSpec | bytes") -> ExplainJobSpec:
     return spec
 
 
+def _worker_tracer(spec: ExplainJobSpec):
+    """``(tracer, ship)`` for one task, honouring the spec's trace flag.
+
+    In-process execution records straight into the caller's live tracer and
+    ships nothing (the spans are already home).  In a worker process —
+    recognised by :func:`~repro.observability.trace.current` returning
+    ``None``, since a fork-inherited parent tracer fails its pid check — a
+    fresh tracer is installed for this task and ``ship=True`` tells the
+    entry point to drain it onto the report (and tear it down, so the next
+    task on a resident worker starts clean).
+    """
+    if not getattr(spec, "trace", False):
+        return otrace.current(), False
+    tracer = otrace.current()
+    if tracer is not None:
+        return tracer, False
+    return otrace.enable(), True
+
+
 def _drain_shards(spec: ExplainJobSpec, explainer, shards: "list[ExplainShard]",
                   fault: WorkerFault | None = None) -> list[ShardResult]:
     """The shared evaluation core: reseed per shard, accumulate, report.
@@ -102,7 +123,13 @@ def _drain_shards(spec: ExplainJobSpec, explainer, shards: "list[ExplainShard]",
     (derived from the job seed and the shard coordinates), so the draws are
     independent of the shard's position in this worker's list — the property
     that makes any shard-to-worker assignment produce identical estimates.
+
+    With tracing active each shard runs under a ``shard`` span whose id —
+    and whose parent ``cell`` span's id — are derived from the same seed
+    coordinates, so spans recorded here stitch under the parent process's
+    cell spans with no communication (see :mod:`repro.observability.trace`).
     """
+    tracer = otrace.current()
     results: list[ShardResult] = []
     for position, shard in enumerate(shards):
         if fault is not None and fault.die_after_shards is not None \
@@ -112,7 +139,21 @@ def _drain_shards(spec: ExplainJobSpec, explainer, shards: "list[ExplainShard]",
             shard_rng(spec.job_seed, shard.cell_position, shard.chunk_index)
         )
         tracker = RunningMean()
-        explainer._accumulate_cell(shard.cell, shard.n_samples, tracker)
+        if tracer is None:
+            explainer._accumulate_cell(shard.cell, shard.n_samples, tracker)
+        else:
+            with tracer.span(
+                "shard",
+                span_id=coordinate_span_id(
+                    spec.job_seed, "shard", shard.cell_position, shard.chunk_index
+                ),
+                parent_id=coordinate_span_id(
+                    spec.job_seed, "cell", shard.cell_position
+                ),
+                shard_id=shard.shard_id,
+                n_samples=shard.n_samples,
+            ):
+                explainer._accumulate_cell(shard.cell, shard.n_samples, tracker)
         results.append(
             ShardResult(shard.shard_id, shard.cell_position, shard.chunk_index, tracker)
         )
@@ -130,25 +171,31 @@ def run_worker(spec: "ExplainJobSpec | bytes", shards: "list[ExplainShard]",
     deterministic black box).
     """
     spec = _load_spec(spec)
-    rebuilt = 0
-    if state is None:
-        state = build_worker_state(spec)
-        rebuilt = 1
-    oracle, explainer = state
-    oracle.reset_counters()
-    results = _drain_shards(spec, explainer, shards)
-    cache_size = len(oracle.cache) if oracle.cache is not None else 0
-    return WorkerReport(
-        worker_index=worker_index,
-        shard_results=results,
-        statistics=oracle.statistics(),
-        cache=oracle.cache,
-        rebuilt=rebuilt,
-        # the whole cache crosses the boundary when this report was computed
-        # in a worker process; an in-process caller (state reuse) ships nothing
-        entries_shipped=cache_size if rebuilt else 0,
-        resident_cache_size=cache_size,
-    )
+    tracer, ship_spans = _worker_tracer(spec)
+    try:
+        rebuilt = 0
+        if state is None:
+            state = build_worker_state(spec)
+            rebuilt = 1
+        oracle, explainer = state
+        oracle.reset_counters()
+        results = _drain_shards(spec, explainer, shards)
+        cache_size = len(oracle.cache) if oracle.cache is not None else 0
+        return WorkerReport(
+            worker_index=worker_index,
+            shard_results=results,
+            statistics=oracle.statistics(),
+            cache=oracle.cache,
+            rebuilt=rebuilt,
+            # the whole cache crosses the boundary when this report was computed
+            # in a worker process; an in-process caller (state reuse) ships nothing
+            entries_shipped=cache_size if rebuilt else 0,
+            resident_cache_size=cache_size,
+            spans=tracer.drain() if ship_spans else [],
+        )
+    finally:
+        if ship_spans:
+            otrace.disable()
 
 
 def run_resident_worker(spec: "ExplainJobSpec | bytes | None", spec_key: str,
@@ -210,34 +257,42 @@ def run_resident_worker(spec: "ExplainJobSpec | bytes | None", spec_key: str,
         state = ResidentState(spec, oracle, explainer, cache_mark=mark)
         resident[spec_key] = state
         rebuilt = 1
-    oracle = state.oracle
-    oracle.reset_counters()
-    results = _drain_shards(state.spec, state.explainer, shards, fault=fault)
-    if oracle.cache is not None:
-        cache_diff = oracle.cache.entries_since(state.cache_mark)
-        state.cache_mark = oracle.cache.high_water_mark()
-        cache_size = len(oracle.cache)
-    else:
-        cache_diff = []
-        cache_size = 0
-    report = WorkerReport(
-        worker_index=worker_index,
-        shard_results=results,
-        statistics=oracle.statistics(),
-        cache=None,
-        cache_diff=cache_diff,
-        rebuilt=rebuilt,
-        entries_shipped=len(cache_diff),
-        resident_cache_size=cache_size,
-        warm_restart=warm_restart,
-        entries_seeded=entries_seeded,
-    )
-    if fault is not None:
-        if fault.slow_seconds is not None:
-            time.sleep(fault.slow_seconds)  # the work is done; the reply is late
-        if fault.unpicklable_report:
-            report.statistics = dict(report.statistics)
-            report.statistics["_poison"] = lambda: None  # defeats pickling
-        if fault.corrupt_reply:
-            return "\x00corrupt worker reply\x00"  # type: ignore[return-value]
-    return report
+    # the resident spec carries the job's trace flag even on payload-free
+    # rounds (the payload ships once per worker process)
+    tracer, ship_spans = _worker_tracer(state.spec)
+    try:
+        oracle = state.oracle
+        oracle.reset_counters()
+        results = _drain_shards(state.spec, state.explainer, shards, fault=fault)
+        if oracle.cache is not None:
+            cache_diff = oracle.cache.entries_since(state.cache_mark)
+            state.cache_mark = oracle.cache.high_water_mark()
+            cache_size = len(oracle.cache)
+        else:
+            cache_diff = []
+            cache_size = 0
+        report = WorkerReport(
+            worker_index=worker_index,
+            shard_results=results,
+            statistics=oracle.statistics(),
+            cache=None,
+            cache_diff=cache_diff,
+            rebuilt=rebuilt,
+            entries_shipped=len(cache_diff),
+            resident_cache_size=cache_size,
+            warm_restart=warm_restart,
+            entries_seeded=entries_seeded,
+            spans=tracer.drain() if ship_spans else [],
+        )
+        if fault is not None:
+            if fault.slow_seconds is not None:
+                time.sleep(fault.slow_seconds)  # the work is done; the reply is late
+            if fault.unpicklable_report:
+                report.statistics = dict(report.statistics)
+                report.statistics["_poison"] = lambda: None  # defeats pickling
+            if fault.corrupt_reply:
+                return "\x00corrupt worker reply\x00"  # type: ignore[return-value]
+        return report
+    finally:
+        if ship_spans:
+            otrace.disable()

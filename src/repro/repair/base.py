@@ -24,6 +24,12 @@ from repro.constraints.incremental import detector_for
 from repro.dataset.table import CellRef, PerturbationView, RepairDelta, Table
 from repro.engine.stats import SharedStatistics
 from repro.engine.storage import NULL
+from repro.observability import trace as otrace
+from repro.observability.metrics import (
+    ORACLE_METRICS,
+    MetricAttribute,
+    MetricsRegistry,
+)
 from repro.repair.cache import OracleCache
 
 
@@ -233,6 +239,45 @@ class BinaryRepairOracle:
         ignored when ``use_cache`` is false.
     """
 
+    # Every counter lives in ``self.metrics`` (one typed MetricsRegistry per
+    # oracle — the single statistics sink); these descriptors keep the public
+    # attribute spellings, including in-place ``+=`` and the scheduler's
+    # ``setattr`` counter folds, proxying straight into the registry.
+    calls = MetricAttribute("oracle_calls")          # oracle queries (cached or not)
+    repair_runs = MetricAttribute("repair_runs")     # actual black-box repair invocations
+    pair_walks = MetricAttribute("pair_walks")       # pairs evaluated in one shared walk
+    batches = MetricAttribute("batches")             # query_pairs scheduled passes
+    pairs_batched = MetricAttribute("pairs_batched")  # pairs submitted through those passes
+    pairs_deduped = MetricAttribute("pairs_deduped")  # batched pairs answered without a repair
+    max_batch_size = MetricAttribute("max_batch_size")
+    # sharded-scheduler bookkeeping (absorbed from worker oracles by
+    # repro.parallel; stays 0 on purely sequential oracles)
+    parallel_workers = MetricAttribute("parallel_workers")  # widest worker fan-out
+    parallel_shards = MetricAttribute("parallel_shards")    # shards absorbed
+    # warm-pool bookkeeping (also absorbed from the scheduler): how often a
+    # worker had to build its oracle stack from the job spec, how many cache
+    # entries actually crossed a process boundary coming home, and the health
+    # events of the pool — shards re-executed after a worker failure and
+    # worker processes the pool had to replace
+    worker_rebuilds = MetricAttribute("worker_rebuilds")
+    cache_entries_shipped = MetricAttribute("cache_entries_shipped")
+    shards_requeued = MetricAttribute("shards_requeued")
+    workers_restarted = MetricAttribute("workers_restarted")
+    # fault-tolerance bookkeeping (PR 7): rebuilds seeded from a parent cache
+    # snapshot, entries those snapshots carried, shards quarantined to
+    # in-process execution after repeated cross-worker failures, runs that hit
+    # their wall-clock deadline, and seconds the pool spent backing off
+    # between worker restarts
+    warm_restarts = MetricAttribute("warm_restarts")
+    cache_entries_seeded = MetricAttribute("cache_entries_seeded")
+    shards_poisoned = MetricAttribute("shards_poisoned")
+    deadline_expired = MetricAttribute("deadline_expired")
+    restart_backoff_seconds = MetricAttribute("restart_backoff_seconds")
+    # speculative adaptive sharding (PR 8): chunks drawn ahead of the
+    # stopping rule, and results discarded past the merged stopping point
+    chunks_speculated = MetricAttribute("chunks_speculated")
+    chunks_discarded = MetricAttribute("chunks_discarded")
+
     def __init__(
         self,
         algorithm: RepairAlgorithm,
@@ -267,40 +312,9 @@ class BinaryRepairOracle:
         else:
             self._cache = None
         self._dirty_view: PerturbationView | None = None
-        self.calls = 0          # number of oracle queries (cached or not)
-        self.repair_runs = 0    # number of actual black-box repair invocations
-        self.pair_walks = 0     # number of pairs evaluated in one shared walk
-        self.batches = 0        # number of query_pairs scheduled passes
-        self.pairs_batched = 0  # pairs submitted through those passes
-        self.pairs_deduped = 0  # batched pairs answered without a repair
-        self.max_batch_size = 0
-        # sharded-scheduler bookkeeping (absorbed from worker oracles by
-        # repro.parallel; stays 0 on purely sequential oracles)
-        self.parallel_workers = 0   # widest worker fan-out absorbed so far
-        self.parallel_shards = 0    # shards whose counters were absorbed
-        # warm-pool bookkeeping (also absorbed from the scheduler): how often
-        # a worker had to build its oracle stack from the job spec, how many
-        # cache entries actually crossed a process boundary coming home, and
-        # the health events of the pool — shards re-executed after a worker
-        # failure and worker processes the pool had to replace
-        self.worker_rebuilds = 0
-        self.cache_entries_shipped = 0
-        self.shards_requeued = 0
-        self.workers_restarted = 0
-        # fault-tolerance bookkeeping (PR 7): rebuilds seeded from a parent
-        # cache snapshot, entries those snapshots carried, shards quarantined
-        # to in-process execution after repeated cross-worker failures,
-        # runs that hit their wall-clock deadline, and seconds the pool spent
-        # backing off between worker restarts
-        self.warm_restarts = 0
-        self.cache_entries_seeded = 0
-        self.shards_poisoned = 0
-        self.deadline_expired = 0
-        self.restart_backoff_seconds = 0.0
-        # speculative adaptive sharding (PR 8): chunks drawn ahead of the
-        # stopping rule, and results discarded past the merged stopping point
-        self.chunks_speculated = 0
-        self.chunks_discarded = 0
+        #: the oracle's single counter sink; the class-level MetricAttribute
+        #: descriptors above read and write through it
+        self.metrics = MetricsRegistry(ORACLE_METRICS)
 
         if target_value is None:
             reference_clean = algorithm.repair_table(self.constraints, dirty_table)
@@ -513,6 +527,16 @@ class BinaryRepairOracle:
         if not self.batched_pairs:
             return [self.query_pair(self.constraints, with_table, without_table)
                     for with_table, without_table in pairs]
+        tracer = otrace.current()
+        if tracer is None:
+            return self._query_pairs_batched(pairs)
+        with tracer.span("pair_eval", pairs=len(pairs)):
+            return self._query_pairs_batched(pairs)
+
+    def _query_pairs_batched(
+        self, pairs: "list[tuple[Table, Table]]"
+    ) -> list[tuple[int, int]]:
+        """One scheduled dedup → group → evaluate pass (query_pairs' body)."""
         constraints = self.constraints
         self.calls += 2 * len(pairs)
         self.batches += 1
@@ -725,24 +749,11 @@ class BinaryRepairOracle:
         :meth:`OracleCache.merge_entries`, never the counter-carrying
         :meth:`OracleCache.merge`.
         """
-        self.calls += stats.get("oracle_calls", 0)
-        self.repair_runs += stats.get("repair_runs", 0)
-        self.pair_walks += stats.get("pair_walks", 0)
-        self.batches += stats.get("batches", 0)
-        self.pairs_batched += stats.get("pairs_batched", 0)
-        self.pairs_deduped += stats.get("pairs_deduped", 0)
-        self.max_batch_size = max(self.max_batch_size, stats.get("max_batch_size", 0))
-        self.worker_rebuilds += stats.get("worker_rebuilds", 0)
-        self.cache_entries_shipped += stats.get("cache_entries_shipped", 0)
-        self.shards_requeued += stats.get("shards_requeued", 0)
-        self.workers_restarted += stats.get("workers_restarted", 0)
-        self.warm_restarts += stats.get("warm_restarts", 0)
-        self.cache_entries_seeded += stats.get("cache_entries_seeded", 0)
-        self.shards_poisoned += stats.get("shards_poisoned", 0)
-        self.deadline_expired += stats.get("deadline_expired", 0)
-        self.restart_backoff_seconds += stats.get("restart_backoff_seconds", 0.0)
-        self.chunks_speculated += stats.get("chunks_speculated", 0)
-        self.chunks_discarded += stats.get("chunks_discarded", 0)
+        # the registry folds every declared absorbable metric by its kind
+        # (sums add, high-water marks take the max); the two topology marks
+        # (parallel_workers / parallel_shards) are declared absorbed=False
+        # because the scheduler's merge maintains them itself
+        self.metrics.absorb(stats)
         if self._cache is not None:
             self._cache.hits += stats.get("cache_hits", 0)
             self._cache.misses += stats.get("cache_misses", 0)
@@ -753,8 +764,8 @@ class BinaryRepairOracle:
         encoding_stats = stats.get("encoding")
         if encoding_stats:
             # a worker oracle's encode time and check counts fold into the
-            # parent table's encoding (dictionary sizes are not additive —
-            # the parent keeps its own)
+            # parent table's encoding; dictionary sizes merge as per-column
+            # high-water marks (union of columns, max per column)
             self.dirty_table.store.encoding().absorb_counters(encoding_stats)
 
     @property
@@ -770,26 +781,7 @@ class BinaryRepairOracle:
         return self._cache.evictions if self._cache is not None else 0
 
     def reset_counters(self) -> None:
-        self.calls = 0
-        self.repair_runs = 0
-        self.pair_walks = 0
-        self.batches = 0
-        self.pairs_batched = 0
-        self.pairs_deduped = 0
-        self.max_batch_size = 0
-        self.parallel_workers = 0
-        self.parallel_shards = 0
-        self.worker_rebuilds = 0
-        self.cache_entries_shipped = 0
-        self.shards_requeued = 0
-        self.workers_restarted = 0
-        self.warm_restarts = 0
-        self.cache_entries_seeded = 0
-        self.shards_poisoned = 0
-        self.deadline_expired = 0
-        self.restart_backoff_seconds = 0.0
-        self.chunks_speculated = 0
-        self.chunks_discarded = 0
+        self.metrics.reset()
         if self._cache is not None:
             self._cache.reset_counters()
         if self.stats_engine is not None:
@@ -800,31 +792,20 @@ class BinaryRepairOracle:
             encoding.reset_counters()
 
     def statistics(self) -> dict[str, int]:
-        stats = {
-            "oracle_calls": self.calls,
-            "repair_runs": self.repair_runs,
-            "pair_walks": self.pair_walks,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_evictions": self.cache_evictions,
-            "batches": self.batches,
-            "pairs_batched": self.pairs_batched,
-            "pairs_deduped": self.pairs_deduped,
-            "max_batch_size": self.max_batch_size,
-            "parallel_workers": self.parallel_workers,
-            "parallel_shards": self.parallel_shards,
-            "worker_rebuilds": self.worker_rebuilds,
-            "cache_entries_shipped": self.cache_entries_shipped,
-            "shards_requeued": self.shards_requeued,
-            "workers_restarted": self.workers_restarted,
-            "warm_restarts": self.warm_restarts,
-            "cache_entries_seeded": self.cache_entries_seeded,
-            "shards_poisoned": self.shards_poisoned,
-            "deadline_expired": self.deadline_expired,
-            "restart_backoff_seconds": self.restart_backoff_seconds,
-            "chunks_speculated": self.chunks_speculated,
-            "chunks_discarded": self.chunks_discarded,
-        }
+        """One flat counter snapshot — a view over the metrics registry.
+
+        The registry emits its metrics in declaration order; the cache's
+        hit/miss/eviction counters (owned by the cache object, not the
+        registry) are spliced in after ``pair_walks``, preserving the
+        historical key order every report and test expects.
+        """
+        metric_values = self.metrics.as_dict()
+        stats = {name: metric_values.pop(name)
+                 for name in ("oracle_calls", "repair_runs", "pair_walks")}
+        stats["cache_hits"] = self.cache_hits
+        stats["cache_misses"] = self.cache_misses
+        stats["cache_evictions"] = self.cache_evictions
+        stats.update(metric_values)
         if self.stats_engine is not None:
             stats.update(self.stats_engine.statistics())
         encoding = self.dirty_table.store._encoding

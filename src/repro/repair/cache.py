@@ -13,6 +13,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable
 
+# the max-merged key sets come from the metric declarations, so the
+# aggregate below can never disagree with the registry about a counter's
+# merge rule
+from repro.observability.metrics import (
+    MAX_COUNTERS as _MAX_COUNTERS,
+    MAX_GROUPS as _MAX_GROUPS,
+)
+
 
 class OracleCache:
     """A bounded LRU cache for binary oracle answers.
@@ -214,16 +222,6 @@ class OracleCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
-
-
-#: counters that aggregate by maximum rather than by sum — they describe a
-#: high-water mark of one run, not an additive workload
-_MAX_COUNTERS = frozenset({"max_batch_size", "parallel_workers"})
-
-#: nested counter groups whose *every* leaf aggregates by maximum — the
-#: encoding telemetry's per-column dictionary sizes describe the largest
-#: dictionary any worker held, not an additive count
-_MAX_GROUPS = frozenset({"dictionary_sizes"})
 
 
 def _merge_counter(merged: dict, key, value, max_all: bool = False) -> None:

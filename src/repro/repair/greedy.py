@@ -32,6 +32,7 @@ from repro.constraints.incremental import (
 from repro.dataset.table import CellRef, Table
 from repro.engine.storage import is_null
 from repro.errors import RepairError
+from repro.observability import trace as otrace
 from repro.repair.base import RepairAlgorithm, _padded_differing_lists
 
 
@@ -229,6 +230,14 @@ class GreedyHolisticRepair(RepairAlgorithm):
 
     def _repair_loop(self, constraints: list[DenialConstraint], current: Table,
                      walk: RepairWalk | None) -> Table:
+        tracer = otrace.current()
+        if tracer is None:
+            return self._repair_passes(constraints, current, walk)
+        with tracer.span("repair_pass", algorithm=self.name):
+            return self._repair_passes(constraints, current, walk)
+
+    def _repair_passes(self, constraints: list[DenialConstraint], current: Table,
+                       walk: RepairWalk | None) -> Table:
         batched = walk is not None and self.vectorized
         for _ in range(self.max_changes):
             if batched:

@@ -24,6 +24,7 @@ from repro.constraints.incremental import RepairWalk, find_violations_auto, repa
 from repro.dataset.table import CellRef, Table
 from repro.engine.storage import is_null
 from repro.errors import RepairError
+from repro.observability import trace as otrace
 from repro.repair.base import RepairAlgorithm, _padded_differing_lists
 
 MOST_COMMON = "most_common"
@@ -292,6 +293,14 @@ class SimpleRuleRepair(RepairAlgorithm):
 
     def _repair_loop(self, constraints: list[DenialConstraint], current: Table,
                      walk: RepairWalk | None) -> Table:
+        tracer = otrace.current()
+        if tracer is None:
+            return self._repair_passes(constraints, current, walk)
+        with tracer.span("repair_pass", algorithm=self.name):
+            return self._repair_passes(constraints, current, walk)
+
+    def _repair_passes(self, constraints: list[DenialConstraint], current: Table,
+                       walk: RepairWalk | None) -> Table:
         # On the walk path, replacement values are memoised per (target,
         # strategy, conditioning attribute and value).  The statistics only
         # change through this loop's own tracked writes, and a write to

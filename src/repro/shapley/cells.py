@@ -23,6 +23,8 @@ import numpy as np
 from repro.config import DEFAULT_CELL_SAMPLES, make_rng
 from repro.constraints.dc import DenialConstraint
 from repro.dataset.table import CellRef, Table
+from repro.observability import trace as otrace
+from repro.observability.trace import coordinate_span_id
 from repro.repair.base import BinaryRepairOracle
 from repro.shapley.convergence import RunningMean
 from repro.shapley.game import ShapleyResult, shapley_weight
@@ -406,11 +408,34 @@ class CellShapleyExplainer:
                 errors[cell] = estimate.standard_error
                 total_samples += estimate.n_samples
         else:
-            for cell in cells:
-                estimate = self.estimate_cell(cell, n_samples=n_samples)
-                values[cell] = estimate.value
-                errors[cell] = estimate.standard_error
-                total_samples += estimate.n_samples
+            # the sequential path records the same explain_job → cell span
+            # shape as the scheduler, with ids from the same coordinates
+            tracer = otrace.current()
+            seed = self.job_seed() if tracer is not None else 0
+            job_span = None
+            if tracer is not None:
+                job_span = tracer.start(
+                    "explain_job",
+                    span_id=coordinate_span_id(seed, "job", "sequential"),
+                    kind="sequential", cells=len(cells),
+                )
+            try:
+                for position, cell in enumerate(cells):
+                    if tracer is None:
+                        estimate = self.estimate_cell(cell, n_samples=n_samples)
+                    else:
+                        with tracer.span(
+                            "cell",
+                            span_id=coordinate_span_id(seed, "cell", position),
+                            cell=str(cell),
+                        ):
+                            estimate = self.estimate_cell(cell, n_samples=n_samples)
+                    values[cell] = estimate.value
+                    errors[cell] = estimate.standard_error
+                    total_samples += estimate.n_samples
+            finally:
+                if job_span is not None:
+                    tracer.finish(job_span)
         return ShapleyResult(
             values=values,
             standard_errors=errors,

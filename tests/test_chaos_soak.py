@@ -13,6 +13,10 @@ grid, and the runs underneath must not budge:
   scheduled kill + hang events (each costs exactly one restart, corrupt and
   slow replies none), warm restarts never exceed restarts, and every warm
   restart seeded at least one cache entry;
+* **reconciled event log** — the scheduler's structured
+  :class:`~repro.observability.events.EventLog` carries one record per
+  health incident, and summing/counting those records reproduces the
+  lifecycle counters exactly (the emission sites sit next to the bumps);
 * **warm-restart acceptance** — after a mid-soak crash the replacement
   worker serves every remaining round from a snapshot-seeded stack: one
   rebuild, diffs-only shipping (never a full resident cache), zero rebuilds
@@ -114,6 +118,20 @@ def test_seeded_chaos_rounds_stay_bit_identical(seed, clean_rounds):
     assert statistics["cache_entries_seeded"] >= statistics["warm_restarts"]
     assert statistics["shards_poisoned"] == 0
     assert statistics["deadline_expired"] == 0
+    # the structured event log reconciles exactly with the same counters:
+    # one worker_restart record per restart, shard_requeued records whose
+    # n_shards sum to the requeue counter, seeded-entry records summing to
+    # the seed counter, and no poison/deadline records at all
+    events = scheduler.events
+    assert events.count("worker_restart") == statistics["workers_restarted"]
+    assert sum(record["n_shards"] for record in events.filter("shard_requeued")) \
+        == statistics["shards_requeued"]
+    assert events.count("warm_restart") == statistics["warm_restarts"]
+    assert sum(record["entries"] for record in events.filter("snapshot_seeded")) \
+        == statistics["cache_entries_seeded"]
+    assert events.count("shard_poisoned") == 0
+    assert events.count("deadline_expired") == 0
+    assert events.count("worker_spawn") == N_JOBS
 
 
 #: golden-grid rows replayed under chaos, each with its own seeded plan;
@@ -221,3 +239,12 @@ def test_warm_restart_soak_replacement_serves_from_snapshot_and_diffs():
     assert statistics["workers_restarted"] == 1
     assert statistics["warm_restarts"] == 1
     assert statistics["cache_entries_seeded"] == post["cache_entries_seeded"]
+    # the event log tells the same story, record by record: the crash, the
+    # requeue it caused, and the snapshot seed the replacement served from
+    events = scheduler.events
+    assert events.count("worker_restart", worker=0) == 1
+    assert sum(record["n_shards"] for record in events.filter("shard_requeued")) \
+        == statistics["shards_requeued"] == 1
+    assert events.count("warm_restart", worker=0) == 1
+    assert sum(record["entries"] for record in events.filter("snapshot_seeded")) \
+        == statistics["cache_entries_seeded"]

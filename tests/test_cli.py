@@ -98,6 +98,52 @@ def test_explain_command_with_cells_and_json(table_csv, constraints_file, tmp_pa
     assert payload["constraint_shapley"]["values"]["name:C3"] == pytest.approx(2 / 3)
 
 
+def test_repair_command_stats_json(table_csv, constraints_file, tmp_path, capsys):
+    stats_path = tmp_path / "repair_stats.json"
+    exit_code = main(
+        ["repair", "--table", table_csv, "--constraints", constraints_file,
+         "--stats-json", str(stats_path)]
+    )
+    assert exit_code == 0
+    assert f"Statistics written to {stats_path}" in capsys.readouterr().out
+    stats = json.loads(stats_path.read_text(encoding="utf-8"))
+    assert stats["algorithm"] == "simple"
+    assert stats["cells_repaired"] == 2
+    assert len(stats["changes"]) == 2
+
+
+def test_explain_command_stats_json(table_csv, constraints_file, tmp_path, capsys):
+    stats_path = tmp_path / "stats.json"
+    exit_code = main(
+        ["explain", "--table", table_csv, "--constraints", constraints_file,
+         "--cell", "t5[Country]", "--samples", "5", "--seed", "3",
+         "--stats-json", str(stats_path)]
+    )
+    assert exit_code == 0
+    stats = json.loads(stats_path.read_text(encoding="utf-8"))
+    # explain() nests one counter scope per phase
+    assert set(stats) == {"constraints", "cells"}
+    assert stats["cells"]["oracle_calls"] > 0
+    assert "dictionary_sizes" in stats["cells"]["encoding"]
+
+
+def test_explain_command_trace_out(table_csv, constraints_file, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    exit_code = main(
+        ["explain", "--table", table_csv, "--constraints", constraints_file,
+         "--cell", "t5[Country]", "--samples", "5", "--seed", "3",
+         "--trace-out", str(trace_path)]
+    )
+    assert exit_code == 0
+    assert "Chrome trace" in capsys.readouterr().out
+    payload = json.loads(trace_path.read_text(encoding="utf-8"))
+    names = {event["name"] for event in payload["traceEvents"]}
+    assert {"explain_job", "cell", "pair_eval"} <= names
+    # tracing must be torn down after the command
+    from repro.observability import trace as otrace
+    assert otrace.current() is None
+
+
 def test_explain_command_unrepaired_cell_fails(table_csv, constraints_file, capsys):
     exit_code = main(
         ["explain", "--table", table_csv, "--constraints", constraints_file,

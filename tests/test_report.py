@@ -120,3 +120,65 @@ def test_report_statistics_include_batch_counters(explainer, cell_of_interest, c
     assert "constraints" in text and "cells" in text
     assert "batches=" in text
     assert "Oracle statistics:" in report.to_markdown()
+
+
+def _explanation_with_statistics(statistics):
+    from repro.explain.explainer import Explanation
+
+    return Explanation(
+        cell=CellRef(4, "Country"), old_value="España", new_value="Spain",
+        oracle_statistics=statistics,
+    )
+
+
+def test_report_renders_nested_counter_groups_flat_scope():
+    # a single-scope statistics dict carrying a nested telemetry group: the
+    # group gets its own indented line with the per-column leaf dict inline
+    explanation = _explanation_with_statistics({
+        "oracle_calls": 7,
+        "repair_runs": 3,
+        "cache_hits": 1,
+        "cache_misses": 2,
+        "encoding": {"codes_built": 4, "dictionary_sizes": {"City": 5, "Team": 3}},
+    })
+    report = ExplanationReport(explanation)
+    text = report.to_text()
+    assert "oracle_calls=7" in text
+    assert "encoding: codes_built=4 dictionary_sizes=[City:5,Team:3]" in text
+    markdown = report.to_markdown()
+    assert "encoding: codes_built=4 dictionary_sizes=[City:5,Team:3]" in markdown
+
+
+def test_report_renders_nested_counter_groups_scoped():
+    # explain() nests one counter dict per scope; a telemetry group inside a
+    # scope renders under the dotted "scope.group" label in both formats
+    explanation = _explanation_with_statistics({
+        "constraints": {"oracle_calls": 7, "repair_runs": 3,
+                        "cache_hits": 0, "cache_misses": 0},
+        "cells": {"oracle_calls": 9, "repair_runs": 4,
+                  "cache_hits": 2, "cache_misses": 2,
+                  "encoding": {"dictionary_sizes": {"Country": 4}}},
+    })
+    report = ExplanationReport(explanation)
+    for rendering in (report.to_text(), report.to_markdown()):
+        assert "cells.encoding: dictionary_sizes=[Country:4]" in rendering
+        assert "oracle_calls=7" in rendering
+        assert "oracle_calls=9" in rendering
+
+
+def test_report_incomplete_notice_precedes_statistics():
+    # the INCOMPLETE banner must come before the statistics block in both
+    # renderings so partial counters are never read without the warning
+    from repro.shapley.game import ShapleyResult
+
+    partial = ShapleyResult(values={CellRef(4, "City"): 0.5},
+                            n_samples=12, completed=False)
+    explanation = _explanation_with_statistics({
+        "oracle_calls": 7, "repair_runs": 3, "cache_hits": 0, "cache_misses": 0,
+    })
+    explanation.cell_shapley = partial
+    report = ExplanationReport(explanation)
+    text = report.to_text()
+    assert text.index("INCOMPLETE: deadline expired after 12") < text.index("Oracle statistics:")
+    markdown = report.to_markdown()
+    assert markdown.index("INCOMPLETE") < markdown.index("Oracle statistics:")
