@@ -66,8 +66,10 @@ from repro import (
     CellShapleyExplainer,
     ConstraintShapleyExplainer,
     GreedyHolisticRepair,
+    RepairSession,
     SimpleRuleRepair,
     SoccerLeagueGenerator,
+    TRexConfig,
 )
 from repro.constraints.incremental import repair_walk_for
 from repro.dataset.errors import inject_errors
@@ -92,7 +94,23 @@ PARALLEL_FLOOR = float(os.environ.get("TREX_BENCH_PARALLEL_FLOOR", "1.5"))
 WARM_POOL_FLOOR = float(os.environ.get("TREX_BENCH_WARM_FLOOR", "1.2"))
 VECTORIZED_FLOOR = float(os.environ.get("TREX_BENCH_VEC_FLOOR", "1.5"))
 BULK_DELTA_FLOOR = float(os.environ.get("TREX_BENCH_BULK_FLOOR", "2.0"))
+UPDATE_REFRESH_FLOOR = float(os.environ.get("TREX_BENCH_UPDATE_FLOOR", "2.0"))
 BENCH_JSON = os.environ.get("TREX_BENCH_JSON", "BENCH_shapley.json")
+
+#: the live-update comparison: a long-lived session absorbs base-table
+#: writes and is read back between them (the dashboard workload the live
+#: subsystem exists for).  Each cycle is one write + ``UPDATE_READS_PER_WRITE``
+#: explains; the delta-maintained session refreshes only the invalidated
+#: estimates once and serves later reads from maintained state, while the
+#: ``incremental_updates=False`` reference rebuilds the stack on the write
+#: and re-samples from scratch on every read.  Both streams are asserted
+#: bit-identical (values and standard errors) on every read before timing
+#: is trusted.  The update cell is chosen mode- and repair-target-stable so
+#: the write invalidates estimates without forcing the full-drop paths.
+UPDATE_ROWS = 20
+UPDATE_SAMPLES = 6
+UPDATE_READS_PER_WRITE = 2
+UPDATE_CYCLES = 3
 
 #: the sharded-scheduler comparison (greedy black box, 2 workers); more
 #: samples/probes than the paired greedy section so the per-worker setup cost
@@ -396,6 +414,86 @@ def _traced_explain(constraints, dirty, cell):
     return result, elapsed, summary, coverage, workers
 
 
+def _pick_stable_update_cell(constraints, dirty, cell, algorithm):
+    """A Country cell + alternate value whose write moves estimates without
+    tripping the conservative full-drop paths.
+
+    The returned write is *mode-stable* (the column's most-common value is
+    unchanged, so the MODE replacement overlay keeps its values) and
+    *target-stable* (the cell of interest stays repaired to the same value,
+    so the oracle cache is rebased instead of dropped).  Both properties are
+    re-verified here rather than hardcoded so the workload survives generator
+    changes.
+    """
+    base_target = algorithm().repair(constraints, dirty).clean[cell]
+    mode = dirty.stats.marginal("Country").most_common()
+    countries = {str(dirty[CellRef(row, "Country")]) for row in range(dirty.n_rows)}
+    for offset in range(1, dirty.n_rows):
+        update_cell = CellRef((cell.row + offset) % dirty.n_rows, "Country")
+        original = dirty[update_cell]
+        if str(original) == str(mode):
+            continue
+        for alternate in sorted(countries - {str(original), str(mode)}):
+            updated = dirty.copy().with_values({update_cell: alternate})
+            if updated.stats.marginal("Country").most_common() != mode:
+                continue
+            repair = algorithm().repair(constraints, updated)
+            if cell in repair.delta and repair.clean[cell] == base_target:
+                return update_cell, original, alternate
+    raise AssertionError("no mode- and target-stable update cell found")
+
+
+def _update_refresh_points():
+    """The live-update cycle on both session paths (see ``UPDATE_ROWS``).
+
+    Returns ``(live_times, rebuild_times, identical, live_stats)`` where each
+    times list holds per-cycle wall-clock for one write plus
+    ``UPDATE_READS_PER_WRITE`` explains, and ``identical`` is the result of
+    comparing every read pairwise across the two sessions (values *and*
+    standard errors).
+    """
+    constraints, dirty, cell = _setup(UPDATE_ROWS)
+    algorithm = lambda: SimpleRuleRepair(second_order=True)  # noqa: E731
+    update_cell, original, alternate = _pick_stable_update_cell(
+        constraints, dirty, cell, algorithm)
+    config = dict(seed=3, cell_samples=UPDATE_SAMPLES,
+                  replacement_policy="mode", n_jobs=None)
+    live = RepairSession(algorithm(), constraints, dirty.copy(),
+                         cell_of_interest=cell, config=TRexConfig(**config))
+    rebuild = RepairSession(algorithm(), constraints, dirty.copy(),
+                            cell_of_interest=cell,
+                            config=TRexConfig(**config,
+                                              incremental_updates=False))
+    # alternate the write back and forth so every cycle is a real change
+    values = [alternate if cycle % 2 == 0 else original
+              for cycle in range(UPDATE_CYCLES)]
+    live_times, rebuild_times, identical = [], [], True
+    with live, rebuild:
+        live.explain()
+        rebuild.explain()
+        for value in values:
+            start = time.perf_counter()
+            live.update(update_cell, value)
+            live_reads = [live.explain()
+                          for _ in range(UPDATE_READS_PER_WRITE)]
+            live_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            rebuild.update(update_cell, value)
+            rebuild_reads = [rebuild.explain()
+                             for _ in range(UPDATE_READS_PER_WRITE)]
+            rebuild_times.append(time.perf_counter() - start)
+            for live_read, rebuild_read in zip(live_reads, rebuild_reads):
+                identical = (
+                    identical
+                    and live_read.cell_shapley.values
+                    == rebuild_read.cell_shapley.values
+                    and live_read.cell_shapley.standard_errors
+                    == rebuild_read.cell_shapley.standard_errors
+                )
+        live_stats = live._live.oracle.statistics()
+    return live_times, rebuild_times, identical, live_stats
+
+
 def _write_bench_json(payload: dict) -> None:
     payload = dict(payload)
     payload["benchmark"] = "cell_shapley_paired_oracle"
@@ -417,6 +515,10 @@ def _write_bench_json(payload: dict) -> None:
         "scaling_rows": SCALING_ROWS,
         "bulk_delta_columns": BULK_DELTA_COLUMNS,
         "bulk_delta_cells_per_column": BULK_DELTA_CELLS_PER_COLUMN,
+        "update_rows": UPDATE_ROWS,
+        "update_samples": UPDATE_SAMPLES,
+        "update_reads_per_write": UPDATE_READS_PER_WRITE,
+        "update_cycles": UPDATE_CYCLES,
         "floors": {
             "incremental_vs_full": SPEEDUP_FLOOR,
             "paired_vs_incremental_greedy": PAIRED_FLOOR_GREEDY,
@@ -425,6 +527,7 @@ def _write_bench_json(payload: dict) -> None:
             "warm_pool_speedup": WARM_POOL_FLOOR,
             "vectorized_speedup": VECTORIZED_FLOOR,
             "bulk_delta_speedup": BULK_DELTA_FLOOR,
+            "update_refresh_speedup": UPDATE_REFRESH_FLOOR,
         },
     }
     payload["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
@@ -550,6 +653,18 @@ def test_paths_identical_and_paired_is_faster(benchmark):
     assert (warm_pool_stats["warm"]["cache_entries_shipped"]
             <= warm_pool_stats["cold"]["cache_entries_shipped"])
 
+    # -- live base updates: delta-maintained session vs rebuild-per-write ---------------
+    update_live_times, update_rebuild_times, update_identical, update_stats = \
+        _update_refresh_points()
+    assert update_identical, (
+        "the delta-maintained session drifted from the rebuild-per-write "
+        "reference — the live update path must be numerically invisible"
+    )
+    assert update_stats["base_updates_applied"] == UPDATE_CYCLES
+    # every cycle's write must land on the selective-invalidation path: the
+    # picked cell is mode- and target-stable, so neither full-drop branch fires
+    assert update_stats["cache_entries_invalidated"] > 0
+
     best = {f"simple_{path}": min(times) for path, times in simple_timings.items()}
     best.update({f"greedy_{path}": min(times) for path, times in greedy_timings.items()})
     best["greedy_paired_novec"] = min(novec_timings)
@@ -557,6 +672,8 @@ def test_paths_identical_and_paired_is_faster(benchmark):
     best[f"greedy_sharded_{PARALLEL_JOBS}jobs"] = min(parallel_timings[PARALLEL_JOBS])
     best["simple_warm_pool"] = min(warm_pool_timings["warm"])
     best["simple_cold_pool"] = min(warm_pool_timings["cold"])
+    best["session_update_live"] = min(update_live_times)
+    best["session_update_rebuild"] = min(update_rebuild_times)
     speedups = {
         "incremental_vs_full": best["simple_full"] / best["simple_incremental"],
         "paired_vs_incremental_simple": best["simple_incremental"] / best["simple_paired"],
@@ -571,6 +688,8 @@ def test_paths_identical_and_paired_is_faster(benchmark):
         "vectorized_walk_scaling": scaling[False][0] / scaling[True][0],
         "bulk_delta_speedup": bulk_per_value_seconds / bulk_seconds,
         "repeat_probe_speedup": cache_probe_timings[0] / cache_probe_timings[1],
+        "update_refresh_speedup": (best["session_update_rebuild"]
+                                   / best["session_update_live"]),
     }
     print_table(
         f"evaluation paths — cell Shapley, {N_ROWS} rows (best-of runs)",
@@ -612,6 +731,13 @@ def test_paths_identical_and_paired_is_faster(benchmark):
             ["simple rules", "repeated probes, 2nd pass",
              f"{cache_probe_timings[1]:.3f}",
              f"{cache_probe_stats['cache_hits']} cache hits"],
+            ["simple rules",
+             f"update cycle, rebuild ({UPDATE_READS_PER_WRITE} reads/write)",
+             f"{best['session_update_rebuild']:.3f}", "(live-update baseline)"],
+            ["simple rules",
+             f"update cycle, live ({UPDATE_READS_PER_WRITE} reads/write)",
+             f"{best['session_update_live']:.3f}",
+             f"{speedups['update_refresh_speedup']:.2f}x vs rebuild"],
         ],
     )
     _write_bench_json({
@@ -668,6 +794,18 @@ def test_paths_identical_and_paired_is_faster(benchmark):
             }
             for mode in ("warm", "cold")
         },
+        "live_updates": {
+            "n_rows": UPDATE_ROWS,
+            "n_samples": UPDATE_SAMPLES,
+            "reads_per_write": UPDATE_READS_PER_WRITE,
+            "cycles": UPDATE_CYCLES,
+            "live_seconds": round(min(update_live_times), 4),
+            "rebuild_seconds": round(min(update_rebuild_times), 4),
+            "base_updates_applied": update_stats["base_updates_applied"],
+            "estimates_invalidated": update_stats["estimates_invalidated"],
+            "cache_entries_invalidated":
+                update_stats["cache_entries_invalidated"],
+        },
     })
     for key, value in speedups.items():
         benchmark.extra_info[key] = round(value, 2)
@@ -695,6 +833,14 @@ def test_paths_identical_and_paired_is_faster(benchmark):
         f"the bulk delta encoder is only {speedups['bulk_delta_speedup']:.2f}x "
         f"faster than the per-value code_for loop on the 10^4-cell coalition "
         f"delta (floor: {BULK_DELTA_FLOOR}x)"
+    )
+    # sequential path (n_jobs=None): no multicore gate — a one-CPU box must
+    # still hold this floor
+    assert speedups["update_refresh_speedup"] >= UPDATE_REFRESH_FLOOR, (
+        f"the delta-maintained session is only "
+        f"{speedups['update_refresh_speedup']:.2f}x faster than rebuilding "
+        f"per write over {UPDATE_CYCLES} update cycles of "
+        f"{UPDATE_READS_PER_WRITE} reads each (floor: {UPDATE_REFRESH_FLOOR}x)"
     )
     # the parallel floor needs real cores: a single-CPU box can only
     # time-slice two workers, so there the ratio is recorded as telemetry

@@ -85,6 +85,9 @@ from repro.repair import (
     paper_algorithm_1,
     GreedyHolisticRepair,
     HoloCleanRepair,
+    BaseCellUpdate,
+    BaseUpdateDelta,
+    BaseUpdateLog,
 )
 from repro.shapley import (
     CooperativeGame,
@@ -179,6 +182,9 @@ __all__ = [
     "paper_algorithm_1",
     "GreedyHolisticRepair",
     "HoloCleanRepair",
+    "BaseCellUpdate",
+    "BaseUpdateDelta",
+    "BaseUpdateLog",
     # shapley
     "CooperativeGame",
     "CallableGame",

@@ -157,6 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
                                      "are identical, only slower")
     explain_parser.add_argument("--policy", default="sample", choices=["sample", "null", "mode"],
                                 help="replacement policy for out-of-coalition cells")
+    explain_parser.add_argument("--update", action="append", default=[],
+                                metavar="CELL=VALUE",
+                                help="apply a base-table write (e.g. 't3[City]=Lyon'; "
+                                     "empty VALUE writes a null) before explaining; "
+                                     "repeatable, applied in order through the live "
+                                     "session update path — the explanation is "
+                                     "identical to running on the updated CSV")
+    explain_parser.add_argument("--no-incremental-updates", action="store_true",
+                                help="with --update: rebuild the session state from "
+                                     "scratch per update instead of delta-maintaining "
+                                     "it (the reference path; results are identical, "
+                                     "only slower)")
     explain_parser.add_argument("--constraints-only", action="store_true",
                                 help="skip the (slower) cell-level explanation")
     explain_parser.add_argument("--seed", type=int, default=None, help="random seed")
@@ -221,6 +233,14 @@ def _command_repair(args) -> int:
     return 0
 
 
+def _parse_update(text: str) -> "tuple[CellRef, object]":
+    """Parse one ``--update`` operand: ``CELL=VALUE`` (empty VALUE = null)."""
+    if "=" not in text:
+        raise TRexError(f"--update expects CELL=VALUE, got {text!r}")
+    cell_text, _, value = text.partition("=")
+    return CellRef.parse(cell_text.strip()), (value if value != "" else None)
+
+
 def _command_explain(args) -> int:
     table = read_csv(args.table)
     constraints = load_constraints(args.constraints)
@@ -254,22 +274,49 @@ def _command_explain(args) -> int:
                                  if args.restart_backoff is None
                                  else max(0.0, args.restart_backoff)),
         speculate=args.speculate,
+        incremental_updates=not args.no_incremental_updates,
     )
-    explainer = TRExExplainer(algorithm, constraints, table, config)
-    repaired_cells = explainer.repaired_cells()
-    if cell not in explainer.delta:
-        print(f"Cell {cell} was not repaired. Repaired cells: "
-              f"{', '.join(str(c) for c in repaired_cells) or '(none)'}")
-        return 1
-    tracer = otrace.enable() if args.trace_out else None
-    try:
-        if args.constraints_only:
-            explanation = explainer.explain_constraints(cell)
-        else:
-            explanation = explainer.explain(cell)
-    finally:
-        if tracer is not None:
-            otrace.disable()
+    if args.update:
+        # replay base-table writes through the live session update path, then
+        # explain the post-update repair — identical to editing the CSV first
+        from repro.explain.session import RepairSession
+
+        updates = [_parse_update(text) for text in args.update]
+        session = RepairSession(algorithm, constraints, table,
+                                cell_of_interest=cell, config=config)
+        with session:
+            for update_cell, value in updates:
+                step = session.update(update_cell, value)
+                print(f"update: {step.detail}")
+            explainer = session.explainer
+            repaired_cells = explainer.repaired_cells()
+            if cell not in explainer.delta:
+                print(f"Cell {cell} was not repaired after the update(s). "
+                      f"Repaired cells: "
+                      f"{', '.join(str(c) for c in repaired_cells) or '(none)'}")
+                return 1
+            tracer = otrace.enable() if args.trace_out else None
+            try:
+                explanation = session.explain(constraints_only=args.constraints_only)
+            finally:
+                if tracer is not None:
+                    otrace.disable()
+    else:
+        explainer = TRExExplainer(algorithm, constraints, table, config)
+        repaired_cells = explainer.repaired_cells()
+        if cell not in explainer.delta:
+            print(f"Cell {cell} was not repaired. Repaired cells: "
+                  f"{', '.join(str(c) for c in repaired_cells) or '(none)'}")
+            return 1
+        tracer = otrace.enable() if args.trace_out else None
+        try:
+            if args.constraints_only:
+                explanation = explainer.explain_constraints(cell)
+            else:
+                explanation = explainer.explain(cell)
+        finally:
+            if tracer is not None:
+                otrace.disable()
     report = ExplanationReport(explanation, constraints=constraints, dirty_table=table)
     print(report.to_text(top_k_cells=args.top_cells))
     if args.json:

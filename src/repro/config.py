@@ -98,6 +98,15 @@ class TRexConfig:
         deterministically discarding overshoot past the merged stopping
         point.  Estimates are bit-identical to the default ``False``; only
         throughput and the speculation counters change.
+    incremental_updates:
+        Whether :meth:`RepairSession.update` delta-maintains the live
+        session state — base violations, indexes, statistics, encoding,
+        oracle cache — and selectively refreshes only the Shapley estimates
+        whose sampled coalitions overlapped the changed cells (the
+        default).  ``False`` forces the rebuild reference path: every
+        update swaps in a fresh table copy and a fresh explainer, exactly
+        like starting a new session on the post-update table.  Explanations
+        are bit-identical either way.
     """
 
     seed: int = DEFAULT_SEED
@@ -113,6 +122,7 @@ class TRexConfig:
     max_shard_attempts: int | None = 3
     restart_backoff_seconds: float = 0.05
     speculate: bool = False
+    incremental_updates: bool = True
     extra: dict = field(default_factory=dict)
 
     def rng(self) -> np.random.Generator:

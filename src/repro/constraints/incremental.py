@@ -443,6 +443,142 @@ class IncrementalViolationDetector:
                 parked += 1
         return parked
 
+    # -- base-table update maintenance --------------------------------------------
+
+    def _live_key(self, eq_attrs: tuple[str, ...], row_id: int) -> tuple | None:
+        """The row's equality key from the live (post-update) base columns."""
+        key = []
+        for attribute in eq_attrs:
+            value = self._column(attribute)[row_id]
+            if is_null(value):
+                return None
+            key.append(value)
+        return tuple(key)
+
+    def apply_base_update(self, changes: "Mapping[CellRef, tuple[Any, Any]]") -> None:
+        """Delta-maintain the base state after an in-place base-table write.
+
+        ``changes`` maps each written cell to its ``(old, new)`` value pair;
+        the table itself has already been mutated (the column views cached in
+        ``_columns`` are views of the same buffers, so they read post-update
+        values).  The maintenance mirrors :meth:`_recheck_equality`, but the
+        moves are *permanent*: equality indexes move the touched rows and the
+        build-time key snapshots are patched in place, base violations are
+        retracted and re-checked for touched rows only, and the packed-key /
+        primed-walk caches derived from old base contents are dropped.
+        Finishing by advancing :attr:`base_version` keeps this detector (and
+        everything sharing it through :func:`detector_for`) live instead of
+        triggering the rebuild path.
+        """
+        if not changes:
+            self.base_version = self.table.version
+            return
+        touched_by_attr: dict[str, set[int]] = {}
+        for cell in changes:
+            touched_by_attr.setdefault(cell.attribute, set()).add(cell.row)
+
+        # 1. move every persistent equality index permanently; the build-time
+        # key snapshot list is shared with forks, so patch it in place (no
+        # repair walk is live across a base update — walks are transient)
+        for eq_attrs, index in self._indexes.items():
+            rows: set[int] = set()
+            for attribute in eq_attrs:
+                rows.update(touched_by_attr.get(attribute, ()))
+            if not rows:
+                continue
+            index_changes: dict[int, tuple[tuple | None, tuple | None]] = {}
+            for row_id in rows:
+                old_key = index.build_key_of(row_id)
+                new_key = self._live_key(eq_attrs, row_id)
+                if old_key != new_key:
+                    index_changes[row_id] = (old_key, new_key)
+            if index_changes:
+                index.apply_delta(index_changes)
+                for row_id, (_, new_key) in index_changes.items():
+                    index._build_keys[row_id] = new_key
+
+        # 2. retract + re-check base violations per constraint
+        for state in self._states.values():
+            plan = state.plan
+            touched: set[int] = set()
+            for attribute in plan.mentioned:
+                touched.update(touched_by_attr.get(attribute, ()))
+            if not touched:
+                continue
+            if plan.kind == "single":
+                check = plan.residual_check
+                out = [v for v in state.base_violations if v.rows[0] not in touched]
+                row_of = lazy_row_reader(self.table)
+                for row_id in sorted(touched):
+                    row = row_of(row_id)
+                    if check(row, row):
+                        out.append(Violation(plan.constraint, (row_id,)))
+                state.base_violations = out
+                continue
+            if plan.kind == "pairs":
+                # no equality partition to maintain: full rescan, same as build
+                state.base_violations = list(
+                    find_violations(self.table, plan.constraint))
+                continue
+            out = [
+                violation
+                for violation in state.base_violations
+                if violation.rows[0] not in touched and violation.rows[1] not in touched
+            ]
+            self._recheck_base_equality(state, touched, out)
+            state.base_violations = out
+
+        # 3. caches derived from the old base contents: the packed-key cache
+        # validates only by dictionary *sizes* (a new value already present in
+        # a dictionary would serve stale codes), and parked prime results are
+        # keyed by fingerprints that no longer occur
+        self._packed_contexts.clear()
+        self._prime_cache.clear()
+        self.base_version = self.table.version
+
+    def _recheck_base_equality(self, state: _ConstraintState, touched: set[int],
+                               out: list[Violation]) -> None:
+        """Re-check touched rows against the (already moved) base index."""
+        plan = state.plan
+        index = state.index
+        constraint = plan.constraint
+        groups = index._groups  # read-only peek, as in _recheck_equality
+        ne_attr = plan.single_ne_attr
+        if ne_attr is not None:
+            ne_column = self._column(ne_attr)
+
+            def class_of(row_id: int):
+                value = ne_column[row_id]
+                return _NULL_CLASS if is_null(value) else value
+
+        row_of = lazy_row_reader(self.table)
+        for row_i in sorted(touched):
+            key = index.build_key_of(row_i)  # patched: the post-update key
+            if key is None:
+                continue
+            partners = groups.get(key)
+            if partners is None or len(partners) <= 1:
+                continue
+            if ne_attr is not None:
+                class_i = class_of(row_i)
+                for row_j in partners:
+                    if row_j == row_i or (row_j in touched and row_j < row_i):
+                        continue
+                    if class_i != class_of(row_j):
+                        out.append(Violation(constraint, (row_i, row_j)))
+                        out.append(Violation(constraint, (row_j, row_i)))
+            else:
+                check = plan.residual_check
+                row_data_i = row_of(row_i)
+                for row_j in partners:
+                    if row_j == row_i or (row_j in touched and row_j < row_i):
+                        continue
+                    row_data_j = row_of(row_j)
+                    if check(row_data_i, row_data_j):
+                        out.append(Violation(constraint, (row_i, row_j)))
+                    if check(row_data_j, row_data_i):
+                        out.append(Violation(constraint, (row_j, row_i)))
+
     # -- public queries ----------------------------------------------------------
 
     def base_violations(self, constraints: Sequence[DenialConstraint]) -> ViolationSet:

@@ -89,9 +89,17 @@ class ColumnStatistics:
         This is exactly the replacement distribution of Example 2.5: "values
         of cells that are not part of the coalition will be replaced with a
         sample value from their column distribution".
+
+        Values are ordered deterministically (by ``repr``, like
+        :meth:`domain` and :meth:`most_common` tie-breaks) rather than by
+        counter insertion order, so two statistics describing the same
+        contents — one built from scratch, one delta-maintained through
+        :meth:`apply_update` — map an RNG draw to the same value.  The live
+        session's "update + explain ≡ fresh session" invariant needs exactly
+        that.
         """
         rng = make_rng(rng)
-        values = list(self._counts.keys())
+        values = sorted(self._counts.keys(), key=repr)
         if not values:
             return None if size is None else [None] * size
         weights = np.array([self._counts[v] for v in values], dtype=float)
@@ -895,6 +903,47 @@ class SharedStatistics:
             self._sync_marginal(attribute)
         for given, target in list(self._stats.cooccurrence._pair_counts):
             self._sync_pair(given, target)
+
+    # -- base-table updates ----------------------------------------------------------
+
+    def begin_base_update(self) -> None:
+        """Pre-mutation hook of an in-place base-table write.
+
+        Brings every built structure onto the *pre-update* base contents
+        while they are still readable: ownership returns to the base and all
+        parked structures are synced (or dropped, the lazy escape hatch).
+        If the engine was already stale against the base it resets — the
+        post-update version check would have done the same, just later.
+        """
+        if self._base.version != self._base_version:
+            self._reset()
+            return
+        self.release()
+        self._sync_all()
+
+    def complete_base_update(self, changes) -> None:
+        """Post-mutation hook: move the bundle onto the new base contents.
+
+        ``changes`` maps each written :class:`CellRef` to its ``(old, new)``
+        pair.  :meth:`begin_base_update` left every built structure synced to
+        the pre-update base, so one :meth:`TableStatistics.apply_delta` pass
+        lands them exactly on the new contents; positions and the clean set
+        are rebuilt around the new base version, keeping the engine live
+        where the version check alone would force a full reset.
+        """
+        delta = {(cell.row, cell.attribute): values
+                 for cell, values in changes.items()}
+        if delta:
+            self._stats.apply_delta(delta, self._base_store)
+            self.cells_moved += len(delta)
+        self._base_version = self._base.version
+        # every built structure now describes the base's current contents
+        self._positions.clear()
+        self._clean.clear()
+        for attribute in self._stats._marginals:
+            self._clean.add(("m", attribute))
+        for pair in self._stats.cooccurrence._pair_counts:
+            self._clean.add(("p", *pair))
 
     # -- write routing -------------------------------------------------------------
 

@@ -96,7 +96,8 @@ class ColumnStore:
     addressing, column scans and cheap whole-table copies.
     """
 
-    __slots__ = ("_columns", "_names", "_n_rows", "_fingerprint", "_encoding")
+    __slots__ = ("_columns", "_names", "_n_rows", "_fingerprint", "_encoding",
+                 "_null_masks")
 
     def __init__(self, columns: Mapping[str, Sequence[Any]]):
         if not columns:
@@ -112,6 +113,7 @@ class ColumnStore:
         }
         self._fingerprint: Fingerprint | None = None
         self._encoding = None
+        self._null_masks: dict[str, np.ndarray] = {}
 
     # -- construction helpers -------------------------------------------------
 
@@ -186,6 +188,11 @@ class ColumnStore:
         self._check_row(row)
         self._columns[name][row] = value
         self._fingerprint = None
+        # every derived per-column cache must drop with the content it
+        # describes: a stale fingerprint would alias two different table
+        # states under one oracle-cache key, and a stale null mask would
+        # mis-classify the touched cell in statistics and detector scans
+        self._null_masks.pop(name, None)
         if self._encoding is not None:
             self._encoding.invalidate(name)
 
@@ -197,7 +204,24 @@ class ColumnStore:
         clone._columns = {name: col.copy() for name, col in self._columns.items()}
         clone._fingerprint = self._fingerprint  # same content, same fingerprint
         clone._encoding = None  # copies diverge; each lazily builds its own
+        clone._null_masks = dict(self._null_masks)  # masks are frozen arrays
         return clone
+
+    def null_mask(self, name: str) -> np.ndarray:
+        """Cached boolean null mask for one column.
+
+        Built lazily with the module-level :func:`null_mask` scan and kept
+        (read-only) until the next :meth:`set_value` on the column, so
+        statistics builds and detector rebuilds that consult the same
+        column repeatedly pay for the two elementwise passes once.
+        """
+        self._check_column(name)
+        mask = self._null_masks.get(name)
+        if mask is None:
+            mask = null_mask(self._columns[name])
+            mask.flags.writeable = False
+            self._null_masks[name] = mask
+        return mask
 
     # -- dictionary encoding ----------------------------------------------------
 

@@ -5,12 +5,23 @@ cell of interest, act on the explanation (remove or change the highest-ranked
 constraint, or fix influential cells), re-repair, and check whether the
 repair of the cell improved.  :class:`RepairSession` scripts that loop —
 every step is recorded so examples and benchmarks can replay and report it.
+
+Sessions are additionally *live* under base-table updates:
+:meth:`RepairSession.update` applies a write to the dirty table and — with
+``config.incremental_updates``, the default — delta-maintains the whole
+session state in place (violation detector, statistics engines, encodings,
+oracle caches, resident worker stacks) and invalidates only the Shapley
+estimates whose sampled coalitions overlapped the changed cells (see
+:mod:`repro.explain.live`).  ``update()`` followed by ``explain()`` is
+bit-identical to a fresh session built on the post-update table;
+``incremental_updates=False`` forces exactly that rebuild as the reference
+path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.config import TRexConfig
 from repro.constraints.dc import DenialConstraint
@@ -18,6 +29,7 @@ from repro.dataset.table import CellRef, Table
 from repro.errors import ExplanationError
 from repro.explain.explainer import Explanation, TRExExplainer
 from repro.repair.base import RepairAlgorithm, RepairResult
+from repro.repair.updates import BaseCellUpdate, BaseUpdateDelta, BaseUpdateLog, collect_changes
 
 
 @dataclass
@@ -71,10 +83,22 @@ class RepairSession:
         self.config = config or TRexConfig()
         self.steps: list[SessionStep] = []
         self._explainer: TRExExplainer | None = None
+        #: applied base-update deltas, in order (see :meth:`update`)
+        self.update_log = BaseUpdateLog()
+        #: persistent cell-Shapley state on the incremental-updates path
+        #: (:class:`~repro.explain.live.LiveExplainState`); ``None`` until the
+        #: first full explain
+        self._live = None
 
     # -- plumbing -------------------------------------------------------------------
 
+    def _drop_live(self) -> None:
+        if self._live is not None:
+            self._live.close()
+            self._live = None
+
     def _fresh_explainer(self) -> TRExExplainer:
+        self._drop_live()
         self._explainer = TRExExplainer(
             self.algorithm, self.state.constraints, self.state.dirty_table, self.config
         )
@@ -138,6 +162,8 @@ class RepairSession:
         explainer = self.explainer
         if constraints_only:
             explanation = explainer.explain_constraints(self.cell_of_interest)
+        elif self.config.incremental_updates:
+            explanation = self._explain_live(n_samples)
         else:
             explanation = explainer.explain(self.cell_of_interest, n_samples=n_samples)
         self._record(
@@ -147,6 +173,99 @@ class RepairSession:
             explanation=explanation,
         )
         return explanation
+
+    def _explain_live(self, n_samples: int | None) -> Explanation:
+        """The incremental-updates explain path: serve from the live state.
+
+        The live state's first run replicates the fresh explainer's sampling
+        stream exactly (same construction, same submission order, same RNG),
+        so without any intervening :meth:`update` the explanation is
+        bit-identical to :meth:`TRExExplainer.explain`; after updates, only
+        the invalidated estimates are re-sampled (see
+        :mod:`repro.explain.live`).
+        """
+        from repro.explain.live import LiveExplainState
+
+        cell = self.cell_of_interest
+        resolved = n_samples or self.config.cell_samples
+        if self._live is not None and not self._live.matches(cell, resolved, self.config):
+            self._drop_live()
+        if self._live is None:
+            self._live = LiveExplainState(self, cell, resolved)
+        live = self._live
+        # same composition as TRExExplainer.explain: exact constraint Shapley
+        # (RNG-free, own throwaway oracle) plus the sampled cell Shapley
+        constraint_part = self.explainer.explain_constraints(cell)
+        cell_result = live.result()
+        return Explanation(
+            cell=cell,
+            old_value=self.state.dirty_table[cell],
+            new_value=self.explainer.clean_table[cell],
+            constraint_shapley=constraint_part.constraint_shapley,
+            cell_shapley=cell_result,
+            oracle_statistics={
+                "constraints": constraint_part.oracle_statistics,
+                "cells": live.oracle.statistics(),
+            },
+        )
+
+    # -- live base updates -----------------------------------------------------------
+
+    def update(self, cell: CellRef, value: Any) -> SessionStep:
+        """Apply one base-table write and keep the session state live.
+
+        Unlike :meth:`edit_cell` — the demo's "act on the explanation" step,
+        which deliberately rebuilds the explainer stack — ``update`` models
+        the base table changing *under* an explanation session: with
+        ``config.incremental_updates`` every derived structure is
+        delta-maintained in place and only the Shapley estimates whose
+        sampled coalitions overlapped the write are re-sampled on the next
+        :meth:`explain`.  The post-update explanation is bit-identical to a
+        fresh session built on the post-update table.
+        """
+        return self.update_many({cell: value})
+
+    def update_many(self, values: Mapping[CellRef, Any]) -> SessionStep:
+        """Apply several base-table writes as one update (see :meth:`update`)."""
+        if not self.config.incremental_updates:
+            return self._update_rebuild(values)
+        from repro.explain.live import apply_session_update
+
+        info = apply_session_update(self, values)
+        self.update_log.append(info["delta"] or BaseUpdateDelta(updates=()))
+        repair = self.explainer.repair()
+        return self._record(
+            "update",
+            f"updated {info['cells_written']} cells, "
+            f"invalidated {info['estimates_invalidated']} estimates",
+            repair,
+        )
+
+    def _update_rebuild(self, values: Mapping[CellRef, Any]) -> SessionStep:
+        """The ``incremental_updates=False`` reference path: swap in a fresh
+        table copy and a fresh explainer stack, exactly like starting a new
+        session on the post-update table."""
+        changes = collect_changes(self.state.dirty_table, values)
+        self.update_log.append(BaseUpdateDelta(updates=tuple(
+            BaseCellUpdate(cell=cell, old_value=old, new_value=new)
+            for cell, (old, new) in changes.items()
+        )))
+        self.state.dirty_table = self.state.dirty_table.with_values(dict(values))
+        explainer = self._fresh_explainer()
+        repair = explainer.repair()
+        return self._record(
+            "update", f"updated {len(changes)} cells (rebuild path)", repair
+        )
+
+    def close(self) -> None:
+        """Release the live state's persistent worker pools (if any)."""
+        self._drop_live()
+
+    def __enter__(self) -> "RepairSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def remove_constraint(self, name: str) -> SessionStep:
         """Remove a constraint (typically the top-ranked one) and re-repair."""

@@ -76,6 +76,9 @@ ORACLE_METRICS: tuple[Metric, ...] = (
     Metric("restart_backoff_seconds", TIMER),
     Metric("chunks_speculated"),
     Metric("chunks_discarded"),
+    Metric("base_updates_applied"),
+    Metric("estimates_invalidated"),
+    Metric("cache_entries_invalidated"),
 )
 
 #: counters that aggregate by maximum rather than by sum — derived from the

@@ -93,12 +93,20 @@ class ExplainShard:
 
 @dataclass
 class ShardResult:
-    """One executed shard: its coordinates plus the chunk's accumulator."""
+    """One executed shard: its coordinates plus the chunk's accumulator.
+
+    ``touched`` is the shard's provenance fingerprint: the base cells whose
+    original values its sampled coalitions exposed (recorded by the
+    sampler's ``touched_sink`` hook, RNG-free).  The live session unions
+    them per cell to decide which estimates a later base-table update
+    invalidates.
+    """
 
     shard_id: int
     cell_position: int
     chunk_index: int
     accumulator: RunningMean
+    touched: frozenset = frozenset()
 
 
 @dataclass

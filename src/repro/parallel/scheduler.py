@@ -56,7 +56,11 @@ from repro.observability.trace import coordinate_span_id
 from repro.parallel.job import ExplainJobSpec, ExplainShard, ShardResult, WorkerReport
 from repro.parallel.pool import PoolTask, RetryPolicy, WorkerPool, run_worker_tasks
 from repro.parallel.seeding import partition_samples
-from repro.parallel.worker import run_resident_worker, run_worker
+from repro.parallel.worker import (
+    run_base_update_worker,
+    run_resident_worker,
+    run_worker,
+)
 from repro.repair.cache import OracleCache, aggregate_oracle_statistics
 from repro.shapley.cells import BATCH_CHUNK_SIZE
 from repro.shapley.convergence import ConvergenceTracker, RunningMean
@@ -103,6 +107,11 @@ class ParallelExplainResult:
     #: ``n_samples`` says how far it got) — never a hang, never a mid-merge
     #: exception
     completed: bool = True
+    #: per-cell provenance: the base cells whose original values each cell's
+    #: sampled coalitions exposed (union of its shards' recorded sets) — the
+    #: live session intersects these with base-table updates to invalidate
+    #: selectively
+    touched: dict = field(default_factory=dict)
 
 
 class ShardedExplainScheduler:
@@ -296,16 +305,22 @@ class ShardedExplainScheduler:
 
     # -- planning ---------------------------------------------------------------------
 
-    def plan(self, cells: Sequence[CellRef], n_samples: int) -> list[ExplainShard]:
+    def plan(self, cells: Sequence[CellRef], n_samples: int,
+             positions: "Sequence[int] | None" = None) -> list[ExplainShard]:
         """The deterministic shard list for a fixed-sample job.
 
         Shards are emitted cell-major, chunk-minor; their seed coordinates
         are the cell's *position in this job* plus the chunk index, so the
         same (cells, n_samples, samples_per_shard, job_seed) quadruple always
-        yields the same draws.
+        yields the same draws.  ``positions`` overrides the default
+        enumeration — the live session's partial refresh passes each
+        surviving cell's position in the *original* job, so a refreshed
+        cell's shards draw from exactly the streams its first run used.
         """
+        if positions is None:
+            positions = range(len(cells))
         shards: list[ExplainShard] = []
-        for position, cell in enumerate(cells):
+        for position, cell in zip(positions, cells):
             for chunk_index, chunk in enumerate(
                 partition_samples(n_samples, self.samples_per_shard)
             ):
@@ -338,6 +353,96 @@ class ShardedExplainScheduler:
         if self._spec_key is None:
             self._spec_key = hashlib.sha256(self._payload()).hexdigest()
         return self._spec_key
+
+    # -- live base updates ------------------------------------------------------------
+
+    @property
+    def local_resident_oracle(self):
+        """The in-process resident stack's oracle (``None`` until built).
+
+        The live session reads it before mutating the shared table so the
+        stack's own :class:`~repro.engine.stats.SharedStatistics` engine can
+        be synced and moved by the same delta (the local stack shares the
+        session's table object but owns its statistics and cache).
+        """
+        state = self._local_resident.get(_LOCAL_KEY)
+        return None if state is None else state.oracle
+
+    def apply_base_update(self, delta, changes, old_fingerprint,
+                          target_changed: bool = False) -> dict:
+        """Patch every resident oracle stack for an already-applied update.
+
+        The caller (the live session) has mutated the shared dirty table and
+        finished its own oracle; this routine brings the scheduler's world in
+        step without a single stack rebuild:
+
+        * the job spec adopts the new target value and is re-pickled lazily
+          (its fingerprint — the resident-state key — changes with the table
+          content);
+        * the in-process resident stack, which shares the session's table
+          object, has its cache rebased, lazy view dropped and sampler
+          overlay invalidated (its statistics engine was moved by the caller
+          around the mutation);
+        * every live resident *worker* receives one
+          :func:`~repro.parallel.worker.run_base_update_worker` task carrying
+          the picklable delta: the worker applies it to its private table
+          copy and re-files its stack under the new key, so
+          ``worker_rebuilds`` stays flat across updates.  Workers that fail
+          to acknowledge simply rebuild from the new payload next round —
+          same state, just slower;
+        * the scheduler's merged seed cache is rebased (or dropped when the
+          target changed), so warm restarts keep seeding post-update answers.
+
+        ``changes`` maps ``(row, attribute)`` to the post-update value and
+        ``old_fingerprint`` is the pre-update table fingerprint.  Returns a
+        bookkeeping dict (``workers_patched``, ``cache_entries_dropped``,
+        ``seed_entries_dropped``).
+        """
+        old_key = self._spec_key
+        # capture residency before the re-pickle clears it — only workers
+        # that acknowledge the patch get re-marked
+        resident_before = dict(self._resident_generations)
+        self.spec.target_value = delta.target_value
+        self._spec_payload = None
+        self._spec_key = None
+        info = {"workers_patched": 0, "cache_entries_dropped": 0,
+                "seed_entries_dropped": 0}
+        local = self._local_resident.get(_LOCAL_KEY)
+        if local is not None:
+            info["cache_entries_dropped"] += local.oracle.finish_base_update(
+                changes, old_fingerprint, delta.target_value, count=False
+            )
+            local.explainer.sampler.invalidate_overlay()
+        if self._seed_cache is not None:
+            if target_changed:
+                info["seed_entries_dropped"] = self._seed_cache.drop_entries()
+            else:
+                info["seed_entries_dropped"] = self._seed_cache.rebase(
+                    changes, old_fingerprint,
+                    self.spec.dirty_table.fingerprint(),
+                )
+        pool = self._pool
+        if (pool is not None and old_key is not None and resident_before
+                and not self._pool_broken):
+            new_key = self._spec_fingerprint()  # re-pickles; clears residency
+            tasks = [PoolTask(run_base_update_worker,
+                              (old_key, new_key, delta, worker),
+                              resident=True)
+                     for worker in range(pool.n_workers)]
+            outcomes = pool.run_tasks(tasks)
+            for worker, outcome in enumerate(outcomes):
+                ack = outcome.result
+                # only the slot's own acknowledgement counts — a requeued ack
+                # describes a different worker's (already patched) state
+                if (outcome.worker_index == worker and not outcome.degraded
+                        and isinstance(ack, dict) and ack.get("patched")):
+                    info["workers_patched"] += 1
+                    self._resident_generations[worker] = \
+                        pool.worker_generations[worker]
+        self.events.emit("base_update", cells=len(changes),
+                         workers_patched=info["workers_patched"],
+                         target_changed=bool(target_changed))
+        return info
 
     def _run_local(self, shards: Sequence[ExplainShard],
                    worker_index: int) -> WorkerReport:
@@ -633,7 +738,8 @@ class ShardedExplainScheduler:
         )
 
     def _stitch_cell_spans(self, tracer, cells: Sequence[CellRef],
-                           job_span_id: int, mark: int) -> None:
+                           job_span_id: int, mark: int,
+                           positions: "Sequence[int] | None" = None) -> None:
         """Synthesise one ``cell`` span per cell from its shard spans.
 
         Shard spans — the parent's own and the ones adopted from worker
@@ -647,7 +753,9 @@ class ShardedExplainScheduler:
         for span in tracer.spans[mark:]:
             if span.name == "shard" and span.parent_id is not None:
                 by_parent.setdefault(span.parent_id, []).append(span)
-        for position, cell in enumerate(cells):
+        if positions is None:
+            positions = range(len(cells))
+        for position, cell in zip(positions, cells):
             cell_id = coordinate_span_id(self.spec.job_seed, "cell", position)
             shard_spans = by_parent.get(cell_id)
             if not shard_spans:
@@ -660,7 +768,8 @@ class ShardedExplainScheduler:
     # -- fixed-sample runs ------------------------------------------------------------
 
     def run(self, cells: Iterable[CellRef], n_samples: int,
-            absorb_into=None) -> ParallelExplainResult:
+            absorb_into=None,
+            positions: "Sequence[int] | None" = None) -> ParallelExplainResult:
         """Execute a fixed ``n_samples``-per-cell plan and merge the results.
 
         ``absorb_into`` names the parent :class:`BinaryRepairOracle` whose
@@ -679,21 +788,27 @@ class ShardedExplainScheduler:
         cells = list(cells)
         tracer = otrace.current()
         if tracer is None:
-            return self._run_fixed(cells, n_samples, absorb_into)
+            return self._run_fixed(cells, n_samples, absorb_into, positions)
         mark = len(tracer.spans)
         events_mark = len(self.events)
         job_span = self._job_span(tracer, "fixed", len(cells))
         try:
-            result = self._run_fixed(cells, n_samples, absorb_into)
-            self._stitch_cell_spans(tracer, cells, job_span.span_id, mark)
+            result = self._run_fixed(cells, n_samples, absorb_into, positions)
+            self._stitch_cell_spans(tracer, cells, job_span.span_id, mark,
+                                    positions)
             return result
         finally:
             tracer.finish(job_span)
             tracer.events.extend(self.events.records[events_mark:])
 
     def _run_fixed(self, cells: "list[CellRef]", n_samples: int,
-                   absorb_into) -> ParallelExplainResult:
-        shards = self.plan(cells, n_samples)
+                   absorb_into,
+                   positions: "Sequence[int] | None" = None
+                   ) -> ParallelExplainResult:
+        positions = (list(positions) if positions is not None
+                     else list(range(len(cells))))
+        index_of = {position: index for index, position in enumerate(positions)}
+        shards = self.plan(cells, n_samples, positions)
         trackers = [RunningMean() for _ in cells]
         reports: list[WorkerReport] = []
         round_start = len(self.round_log)
@@ -721,11 +836,12 @@ class ShardedExplainScheduler:
                     completed = False
                     break
             for result in self._ordered_results(reports):
-                trackers[result.cell_position].merge(result.accumulator)
+                trackers[index_of[result.cell_position]].merge(result.accumulator)
         return self._merge(cells, trackers, reports, absorb_into,
                            n_workers=n_workers,
                            rounds=self.round_log[round_start:],
-                           completed=completed)
+                           completed=completed,
+                           positions=positions)
 
     # -- adaptive runs ----------------------------------------------------------------
 
@@ -862,7 +978,20 @@ class ShardedExplainScheduler:
                reports: Sequence[WorkerReport], absorb_into,
                n_workers: int | None = None,
                rounds: Sequence[dict] = (),
-               completed: bool = True) -> ParallelExplainResult:
+               completed: bool = True,
+               positions: "Sequence[int] | None" = None) -> ParallelExplainResult:
+        # per-cell provenance: union each cell's shard-recorded touched sets
+        # (shard results address cells by plan position)
+        cell_at = dict(zip(positions if positions is not None
+                           else range(len(cells)), cells))
+        touched: dict[CellRef, set] = {}
+        for report in reports:
+            for result in report.shard_results:
+                recorded = getattr(result, "touched", None)
+                if recorded:
+                    cell = cell_at.get(result.cell_position)
+                    if cell is not None:
+                        touched.setdefault(cell, set()).update(recorded)
         # SampledShapleyEstimate normalises the degenerate n < 2 case itself
         estimates = {
             cell: SampledShapleyEstimate(
@@ -939,4 +1068,5 @@ class ShardedExplainScheduler:
             statistics=statistics,
             cache=cache,
             completed=completed,
+            touched=touched,
         )

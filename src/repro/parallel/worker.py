@@ -131,31 +131,41 @@ def _drain_shards(spec: ExplainJobSpec, explainer, shards: "list[ExplainShard]",
     """
     tracer = otrace.current()
     results: list[ShardResult] = []
+    sampler = explainer.sampler
     for position, shard in enumerate(shards):
         if fault is not None and fault.die_after_shards is not None \
                 and position >= fault.die_after_shards:
             os._exit(23)  # a mid-task crash: no reply, EOF on the pipe
-        explainer.sampler.reseed(
+        sampler.reseed(
             shard_rng(spec.job_seed, shard.cell_position, shard.chunk_index)
         )
         tracker = RunningMean()
-        if tracer is None:
-            explainer._accumulate_cell(shard.cell, shard.n_samples, tracker)
-        else:
-            with tracer.span(
-                "shard",
-                span_id=coordinate_span_id(
-                    spec.job_seed, "shard", shard.cell_position, shard.chunk_index
-                ),
-                parent_id=coordinate_span_id(
-                    spec.job_seed, "cell", shard.cell_position
-                ),
-                shard_id=shard.shard_id,
-                n_samples=shard.n_samples,
-            ):
+        # provenance is recorded per shard and shipped on the result — the
+        # parent unions shards per cell into the touched-cell fingerprint
+        # the live session's selective invalidation intersects with updates
+        touched: set = set()
+        sampler.touched_sink = touched
+        try:
+            if tracer is None:
                 explainer._accumulate_cell(shard.cell, shard.n_samples, tracker)
+            else:
+                with tracer.span(
+                    "shard",
+                    span_id=coordinate_span_id(
+                        spec.job_seed, "shard", shard.cell_position, shard.chunk_index
+                    ),
+                    parent_id=coordinate_span_id(
+                        spec.job_seed, "cell", shard.cell_position
+                    ),
+                    shard_id=shard.shard_id,
+                    n_samples=shard.n_samples,
+                ):
+                    explainer._accumulate_cell(shard.cell, shard.n_samples, tracker)
+        finally:
+            sampler.touched_sink = None
         results.append(
-            ShardResult(shard.shard_id, shard.cell_position, shard.chunk_index, tracker)
+            ShardResult(shard.shard_id, shard.cell_position, shard.chunk_index,
+                        tracker, frozenset(touched))
         )
     return results
 
@@ -196,6 +206,36 @@ def run_worker(spec: "ExplainJobSpec | bytes", shards: "list[ExplainShard]",
     finally:
         if ship_spans:
             otrace.disable()
+
+
+def run_base_update_worker(old_key: str, new_key: str, delta,
+                           worker_index: int = 0, *, resident: dict) -> dict:
+    """Patch one worker's resident oracle stack for a base-table update.
+
+    The warm half of ``worker_rebuilds`` staying flat across updates: the
+    resident stack filed under ``old_key`` has the
+    :class:`~repro.repair.updates.BaseUpdateDelta` applied to its own table
+    copy — statistics synced and moved by delta, detector delta-maintained,
+    cache rebased, target value adopted — and is re-filed under ``new_key``
+    (the fingerprint of the post-update job spec), so the next explain round
+    finds it without a payload or a rebuild.  Counters stay silent
+    (``count=False``): the parent accounts the update once on its own
+    oracle, and worker reports only ever carry per-round deltas.
+
+    A worker holding no stack for ``old_key`` (a fresh replacement, or a
+    requeued patch landing on an already-patched worker) acknowledges with
+    ``patched=0`` — it will rebuild from the post-update payload on its next
+    shard assignment, which is the same state either way.
+    """
+    state = resident.pop(old_key, None)
+    if state is None:
+        return {"worker_index": worker_index, "patched": 0, "cells_written": 0}
+    cells_written = state.oracle.apply_base_update(delta, count=False)
+    state.spec.target_value = delta.target_value
+    state.explainer.sampler.invalidate_overlay()
+    resident[new_key] = state
+    return {"worker_index": worker_index, "patched": 1,
+            "cells_written": cells_written}
 
 
 def run_resident_worker(spec: "ExplainJobSpec | bytes | None", spec_key: str,

@@ -22,6 +22,13 @@ from repro.repair.base import (
     FunctionRepairAlgorithm,
 )
 from repro.repair.cache import OracleCache, memoised_oracle_stats
+from repro.repair.updates import (
+    BaseCellUpdate,
+    BaseUpdateDelta,
+    BaseUpdateLog,
+    apply_table_update,
+    collect_changes,
+)
 from repro.repair.simple import (
     SimpleRuleRepair,
     RepairRule,
@@ -38,6 +45,11 @@ __all__ = [
     "FunctionRepairAlgorithm",
     "OracleCache",
     "memoised_oracle_stats",
+    "BaseCellUpdate",
+    "BaseUpdateDelta",
+    "BaseUpdateLog",
+    "apply_table_update",
+    "collect_changes",
     "SimpleRuleRepair",
     "RepairRule",
     "default_rules_for",

@@ -277,6 +277,13 @@ class BinaryRepairOracle:
     # stopping rule, and results discarded past the merged stopping point
     chunks_speculated = MetricAttribute("chunks_speculated")
     chunks_discarded = MetricAttribute("chunks_discarded")
+    # live base updates (PR 10): base-table writes applied through the
+    # session's update path, Shapley estimates whose sampled coalitions
+    # overlapped the changed cells, and memoised oracle answers dropped
+    # because the content they were keyed on no longer exists
+    base_updates_applied = MetricAttribute("base_updates_applied")
+    estimates_invalidated = MetricAttribute("estimates_invalidated")
+    cache_entries_invalidated = MetricAttribute("cache_entries_invalidated")
 
     def __init__(
         self,
@@ -725,6 +732,74 @@ class BinaryRepairOracle:
         else:
             restricted = self.dirty_table.restricted_to_coalition(coalition)
         return self.query(self.constraints, restricted)
+
+    # -- live base updates ------------------------------------------------------------
+
+    def apply_base_update(self, delta, *, count: bool = True) -> int:
+        """Apply one :class:`~repro.repair.updates.BaseUpdateDelta` to this
+        oracle's own table and patch every derived structure in place.
+
+        The single-stack convenience used by resident workers (and any
+        oracle that owns its table): statistics are synced onto the
+        pre-update base, the table is mutated (delta-maintaining a live
+        detector), statistics are moved by the same delta, and
+        :meth:`finish_base_update` rebases the cache and adopts the new
+        target.  Returns the number of cells actually written.  ``count``
+        gates the update counters — worker stacks patch silently so the
+        parent's absorb of their per-round deltas never double-counts.
+        """
+        from repro.repair.updates import apply_table_update, collect_changes
+
+        changes = collect_changes(
+            self.dirty_table,
+            {update.cell: update.new_value for update in delta.updates},
+        )
+        if not changes:
+            self.finish_base_update({}, self.dirty_table.fingerprint(),
+                                    delta.target_value, count=count)
+            return 0
+        if self.stats_engine is not None:
+            self.stats_engine.begin_base_update()
+        old_fingerprint = apply_table_update(self.dirty_table, changes)
+        if self.stats_engine is not None:
+            self.stats_engine.complete_base_update(changes)
+        self.finish_base_update(
+            {(cell.row, cell.attribute): new for cell, (_old, new) in changes.items()},
+            old_fingerprint, delta.target_value, count=count,
+        )
+        return len(changes)
+
+    def finish_base_update(self, changes, old_fingerprint, target_value,
+                           *, count: bool = True) -> int:
+        """Adopt a base update whose table mutation has already happened.
+
+        ``changes`` maps ``(row, attribute)`` to the post-update value;
+        ``old_fingerprint`` is the pre-update table fingerprint (the rebase
+        anchor).  The lazily built empty-delta view is dropped (its
+        fingerprint embeds the old base), the memo cache is **rebased** —
+        overlay-keyed entries that pin every changed cell survive under
+        remapped keys, everything else is dropped — and the reference target
+        value is replaced.  A target change invalidates the whole cache
+        (every memoised 0/1 answer compared against the old target) without
+        resetting its hit/miss counters.  Returns the number of cache
+        entries dropped.
+        """
+        self._dirty_view = None
+        dropped = 0
+        if self._cache is not None and changes:
+            from repro.engine.storage import values_differ
+
+            if values_differ(self.target_value, target_value):
+                dropped = self._cache.drop_entries()
+            else:
+                dropped = self._cache.rebase(
+                    changes, old_fingerprint, self.dirty_table.fingerprint()
+                )
+        self.target_value = target_value
+        if count:
+            self.base_updates_applied += 1
+            self.cache_entries_invalidated += dropped
+        return dropped
 
     # -- bookkeeping ------------------------------------------------------------------
 

@@ -206,6 +206,102 @@ class OracleCache:
         self.evictions += other.evictions
         return self
 
+    def rebase(self, changes, old_base, new_base) -> int:
+        """Re-key entries onto a mutated base table; returns entries dropped.
+
+        A base-table update changes the base fingerprint every cached key is
+        (directly or through an overlay) rooted at.  Entries whose overlay
+        *pinned* every changed cell describe table contents that are
+        unchanged by the update, so they stay valid — their keys are
+        rewritten onto ``new_base``, dropping overlay items that no longer
+        differ from the new base value (the overlay-normalisation rule the
+        live fingerprints follow).  Every other entry — plain base-snapshot
+        keys, overlays rooted elsewhere, overlays not covering a changed
+        cell — is dropped; dropping is always sound here because the cache
+        is pure memoisation of a deterministic oracle.
+
+        ``changes`` maps ``(row, attribute)`` to the post-update value.
+        Surviving entries keep their LRU rank and insertion-sequence
+        numbers, so outstanding high-water marks stay valid cuts.
+        """
+        from repro.engine.storage import Fingerprint, values_differ
+
+        def remap(fingerprint):
+            data = getattr(fingerprint, "data", None)
+            if not (isinstance(data, tuple) and len(data) == 3
+                    and data[0] == "overlay" and data[1] == old_base):
+                return None
+            items = data[2]
+            pinned = {(row, name) for row, name, _ in items}
+            if any(cell not in pinned for cell in changes):
+                return None
+            kept = tuple(
+                item for item in items
+                if (item[0], item[1]) not in changes
+                or values_differ(item[2], changes[(item[0], item[1])])
+            )
+            return Fingerprint(("overlay", new_base, kept))
+
+        def rebase_key(key):
+            if not isinstance(key, tuple):
+                return None
+            if len(key) == 4 and key[0] == "paird":
+                # the without-side is content-addressed (cell, replacement)
+                # triples — base-independent, so only the with-side remaps
+                fp_with = remap(key[2])
+                if fp_with is None:
+                    return None
+                return ("paird", key[1], fp_with, key[3])
+            if len(key) == 4 and key[0] == "pair":
+                fp_with, fp_without = remap(key[2]), remap(key[3])
+                if fp_with is None or fp_without is None:
+                    return None
+                return ("pair", key[1], fp_with, fp_without)
+            if len(key) == 2:
+                fingerprint = remap(key[1])
+                if fingerprint is None:
+                    return None
+                return (key[0], fingerprint)
+            return None
+
+        if not changes:
+            return 0
+        remapped: OrderedDict[Hashable, int] = OrderedDict()
+        sequence: dict[Hashable, int] = {}
+        dropped = 0
+        for key, value in self._entries.items():
+            new_key = rebase_key(key)
+            if new_key is None:
+                dropped += 1
+                continue
+            if new_key in remapped:
+                # two old keys normalising to the same content — the oracle
+                # is deterministic, keep one entry with the newer sequence
+                sequence[new_key] = max(sequence[new_key], self._sequence[key])
+                dropped += 1
+                continue
+            remapped[new_key] = value
+            sequence[new_key] = self._sequence[key]
+        self._entries = remapped
+        # _sequence must iterate in ascending sequence order (entries_since
+        # walks it backwards) — collision handling can disturb it
+        self._sequence = dict(sorted(sequence.items(), key=lambda item: item[1]))
+        return dropped
+
+    def drop_entries(self) -> int:
+        """Drop every entry, keep every counter; returns entries dropped.
+
+        The base-update invalidation path when the reference target value
+        changed: every memoised 0/1 answer compared against the old target,
+        so no entry can survive — but the hit/miss/eviction counters
+        describe work already done and must keep reconciling across the
+        update (:meth:`clear` resets them, which would corrupt the ledger).
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._sequence.clear()
+        return dropped
+
     def clear(self) -> None:
         # _next_sequence is deliberately NOT reset: outstanding high-water
         # marks must keep partitioning correctly across a clear

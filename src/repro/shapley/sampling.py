@@ -151,6 +151,12 @@ class CellCoalitionSampler:
         #: column (see :meth:`_overlay_encoding`)
         self._overlay_arrays: "dict[str, tuple[np.ndarray, np.ndarray]] | None" = None
         self._overlay_pos: dict[CellRef, int] = {}
+        #: optional provenance sink: while set, every drawn sample records
+        #: the base cells whose *original* values the built instances expose
+        #: (the coalition plus the kept target) into this set — the
+        #: touched-cell fingerprint the live session's selective invalidation
+        #: intersects with base updates.  Recording never consumes the RNG.
+        self.touched_sink: "set[CellRef] | None" = None
 
     # -- seeding -------------------------------------------------------------------
 
@@ -330,7 +336,29 @@ class CellCoalitionSampler:
         """Draw one permutation and return the corresponding instance pair."""
         permutation = self.sample_permutation()
         coalition = self.coalition_before(target_cell, permutation)
+        if self.touched_sink is not None:
+            # the with-instance shows the base's own value at every coalition
+            # cell and at the kept target — exactly the cells whose base
+            # content this sample's answer depends on
+            self.touched_sink.update(coalition)
+            self.touched_sink.add(target_cell)
         return self.build_instances(target_cell, coalition)
+
+    # -- base-update maintenance ---------------------------------------------------
+
+    def invalidate_overlay(self) -> None:
+        """Drop policy-precomputed state after a base-table update.
+
+        The deterministic replacement overlay is normalised against base
+        values (``MODE`` additionally reads column modes), so a base write
+        can both stale its entries and change which cells it covers; the
+        encoded arrays and positions are derived from it.  All three are
+        rebuilt lazily on the next sample.  Dictionary codes themselves are
+        append-only and stay valid.
+        """
+        self._overlay = None
+        self._overlay_arrays = None
+        self._overlay_pos = {}
 
     # -- exhaustive enumeration (tiny tables only) ------------------------------------------------
 

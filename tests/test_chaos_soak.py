@@ -248,3 +248,91 @@ def test_warm_restart_soak_replacement_serves_from_snapshot_and_diffs():
     assert events.count("warm_restart", worker=0) == 1
     assert sum(record["entries"] for record in events.filter("snapshot_seeded")) \
         == statistics["cache_entries_seeded"]
+
+
+# -- base updates under fire -----------------------------------------------------------
+
+#: the update cycle the interleaved soak walks: create a violation, resolve
+#: it, write a novel value, restore — every explain between steps must match
+#: a fresh session on the then-current table while the fault plan fires
+UPDATE_SOAK_CYCLE = (
+    (CellRef(0, "Country"), "Portugal"),
+    (CellRef(0, "Country"), "Spain"),
+    (CellRef(0, "City"), "Seville"),
+    (CellRef(0, "City"), "Barcelona"),
+)
+#: seed chosen so rounds 1–4 (the post-attach rounds) schedule 2 kills,
+#: 1 corrupt reply and 1 slow reply — asserted below, not trusted
+UPDATE_CHAOS_SEED = 27
+
+
+def test_update_interleaved_chaos_rounds_stay_bit_identical():
+    """Base updates interleaved with kills/corrupt/slow replies: every
+    post-update explain is bit-identical to a fresh session on the
+    then-current table, replacement workers are re-seeded with post-update
+    state, and the update/health counters reconcile with the event log."""
+    from repro import RepairSession, TRexConfig, paper_algorithm_1
+
+    config = dict(seed=13, cell_samples=8, replacement_policy="sample",
+                  n_jobs=N_JOBS, warm_pool=True)
+
+    def session_key(explanation):
+        cells = explanation.cell_shapley
+        return sorted((str(cell), value, cells.standard_errors[cell])
+                      for cell, value in cells.values.items())
+
+    def fresh_key(table):
+        session = RepairSession(paper_algorithm_1(), la_liga_constraints(),
+                                table, cell_of_interest=CELL_OF_INTEREST,
+                                config=TRexConfig(**config))
+        with session:
+            return session_key(session.explain())
+
+    # the session scheduler has no worker timeout, so no hangs in this plan
+    plan = FaultPlan.seeded(UPDATE_CHAOS_SEED, n_workers=N_JOBS,
+                            n_rounds=len(UPDATE_SOAK_CYCLE) + 1, rate=0.5,
+                            kinds=("kill", "corrupt", "slow"),
+                            slow_seconds=0.02)
+    # the injector attaches after round 0, so only rounds >= 1 can fire
+    fired = [event for event in plan.events() if event.round_index >= 1]
+    kills = sum(1 for event in fired
+                if event.fault.die_after_shards is not None)
+    corrupt = sum(1 for event in fired if event.fault.corrupt_reply)
+    assert kills >= 1 and corrupt >= 1  # the schedule is live, not vacuous
+
+    table = la_liga_dirty_table()
+    session = RepairSession(paper_algorithm_1(), la_liga_constraints(),
+                            table, cell_of_interest=CELL_OF_INTEREST,
+                            config=TRexConfig(**config))
+    with session, warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        session.explain()  # round 0: warm the pool, build the live state
+        live = session._live
+        n_cells = len(live.cells)
+        scheduler = live.explainer._scheduler(N_JOBS)
+        scheduler.fault_injector = plan
+        for cell, value in UPDATE_SOAK_CYCLE:
+            session.update(cell, value)
+            reference = fresh_key(table.copy())  # table mutates in place
+            assert session_key(session.explain()) == reference
+
+        oracle = live.oracle
+        statistics = oracle.statistics()
+        # update counters: one application per cycle step, full invalidation
+        # each time (SAMPLE replacements are drawn from mutated statistics)
+        assert oracle.base_updates_applied == len(UPDATE_SOAK_CYCLE)
+        assert oracle.estimates_invalidated == len(UPDATE_SOAK_CYCLE) * n_cells
+        # health counters: every kill cost exactly one restart; corrupt and
+        # slow replies none — and the event log tells the same story
+        assert statistics["workers_restarted"] == kills
+        assert statistics["warm_restarts"] <= kills
+        events = scheduler.events
+        assert events.count("worker_restart") == kills
+        assert events.count("base_update") == len(UPDATE_SOAK_CYCLE)
+        assert all(record["cells"] == 1
+                   for record in events.filter("base_update"))
+        # the counter surface carries the update metrics end to end
+        assert statistics["base_updates_applied"] == len(UPDATE_SOAK_CYCLE)
+        assert statistics["estimates_invalidated"] == oracle.estimates_invalidated
+        assert statistics["cache_entries_invalidated"] \
+            == oracle.cache_entries_invalidated

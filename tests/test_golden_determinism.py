@@ -37,7 +37,9 @@ from repro import (
     CellRef,
     CellShapleyExplainer,
     GreedyHolisticRepair,
+    RepairSession,
     SimpleRuleRepair,
+    TRexConfig,
     la_liga_constraints,
     la_liga_dirty_table,
 )
@@ -81,6 +83,12 @@ EXECUTION_MODES = {
     "njobs=2/cold": (2, False),
 }
 
+#: the updated-session axis: a live session explains, takes this base-table
+#: write mid-stream, and explains again — the post-update values are pinned
+#: (and must equal a fresh session built on the post-update table)
+UPDATE_CELL = CellRef(0, "City")
+UPDATE_VALUE = "Seville"
+
 
 def run_grid_entry(algorithm_name: str, path_name: str,
                    mode_name: str) -> dict[str, float]:
@@ -105,6 +113,34 @@ def run_grid_entry(algorithm_name: str, path_name: str,
     return {str(cell): value for cell, value in result.values.items()}
 
 
+def run_updated_session_entry(algorithm_name: str, mode_name: str,
+                              fresh: bool = False) -> dict[str, float]:
+    """The updated-session axis: explain → base update → explain again.
+
+    With ``fresh`` the session is built directly on the post-update table
+    and explains once — the rebuild reference the live update path must
+    reproduce bit for bit.
+    """
+    n_jobs, warm_pool = EXECUTION_MODES[mode_name]
+    config = TRexConfig(seed=SEED, cell_samples=N_SAMPLES,
+                        replacement_policy=POLICY,
+                        n_jobs=n_jobs, warm_pool=warm_pool)
+    table = la_liga_dirty_table()
+    if fresh:
+        table = table.with_values({UPDATE_CELL: UPDATE_VALUE})
+    session = RepairSession(
+        ALGORITHMS[algorithm_name](False, True), la_liga_constraints(), table,
+        cell_of_interest=CELL_OF_INTEREST, config=config,
+    )
+    with session:
+        if not fresh:
+            session.explain(n_samples=N_SAMPLES)
+            session.update(UPDATE_CELL, UPDATE_VALUE)
+        explanation = session.explain(n_samples=N_SAMPLES)
+    values = explanation.cell_shapley.values
+    return {str(cell): values[cell] for cell in PROBES}
+
+
 def compute_grid() -> dict[str, dict[str, float]]:
     grid: dict[str, dict[str, float]] = {}
     for algorithm_name in ALGORITHMS:
@@ -112,6 +148,9 @@ def compute_grid() -> dict[str, dict[str, float]]:
             for mode_name in EXECUTION_MODES:
                 key = f"{algorithm_name}/{path_name}/{mode_name}"
                 grid[key] = run_grid_entry(algorithm_name, path_name, mode_name)
+        for mode_name in EXECUTION_MODES:
+            key = f"{algorithm_name}/updated_session/{mode_name}"
+            grid[key] = run_updated_session_entry(algorithm_name, mode_name)
     return grid
 
 
@@ -144,6 +183,32 @@ def test_worker_count_and_pool_lifecycle_are_invisible(grid):
             for mode_name in ("njobs=2/warm", "njobs=2/cold"):
                 assert grid[f"{prefix}/{mode_name}"] == reference, \
                     f"{prefix}/{mode_name} drifted from the in-process plan"
+
+
+def test_updated_session_matches_fresh_rebuild(grid):
+    """update() + explain() ≡ a fresh session on the post-update table.
+
+    The live update path — delta-maintained detector/statistics/encoding,
+    rebased caches, patched resident workers, selectively refreshed
+    estimates — must be numerically invisible on every execution mode.
+    """
+    for algorithm_name in ALGORITHMS:
+        for mode_name in EXECUTION_MODES:
+            reference = run_updated_session_entry(
+                algorithm_name, mode_name, fresh=True)
+            key = f"{algorithm_name}/updated_session/{mode_name}"
+            assert grid[key] == reference, \
+                f"{key} drifted from the fresh post-update session"
+
+
+def test_updated_session_worker_count_is_invisible(grid):
+    """The updated-session axis obeys the njobs=1 ≡ njobs=2 invariant too."""
+    for algorithm_name in ALGORITHMS:
+        prefix = f"{algorithm_name}/updated_session"
+        reference = grid[f"{prefix}/njobs=1"]
+        for mode_name in ("njobs=2/warm", "njobs=2/cold"):
+            assert grid[f"{prefix}/{mode_name}"] == reference, \
+                f"{prefix}/{mode_name} drifted from the in-process plan"
 
 
 def test_engine_paths_agree_per_execution_mode(grid):

@@ -565,3 +565,87 @@ def test_slow_reply_below_the_timeout_is_just_slow(reference):
     statistics = oracle.statistics()
     assert statistics["workers_restarted"] == 0
     assert statistics["shards_requeued"] == 0
+
+
+# -- base updates under fire -----------------------------------------------------------
+
+
+def _session_key(explanation):
+    cells = explanation.cell_shapley
+    return sorted((str(cell), value, cells.standard_errors[cell])
+                  for cell, value in cells.values.items())
+
+
+def test_worker_crash_after_base_update_reseeds_post_update_state():
+    """A worker killed between a base update and the next round: the requeue
+    lands post-update shards on the survivor, and the warm replacement is
+    re-seeded from the *rebased* snapshot — never from pre-update answers."""
+    from repro import RepairSession, TRexConfig, la_liga_constraints, \
+        la_liga_dirty_table, paper_algorithm_1
+
+    updates = [(CellRef(0, "City"), "Seville"),
+               (CellRef(1, "Country"), "Portugal")]
+    config = dict(seed=23, cell_samples=N_SAMPLES, replacement_policy="sample",
+                  n_jobs=2, warm_pool=True)
+
+    def fresh_key(n_updates):
+        table = la_liga_dirty_table().with_values(dict(updates[:n_updates]))
+        session = RepairSession(paper_algorithm_1(), la_liga_constraints(),
+                                table, cell_of_interest=CELL_OF_INTEREST,
+                                config=TRexConfig(**config))
+        with session:
+            return _session_key(session.explain())
+
+    armed = {"fire": False}
+
+    def injector(worker_index, round_index):
+        if armed["fire"] and worker_index == 0:
+            armed["fire"] = False
+            return WorkerFault(die_after_shards=0)
+        return None
+
+    session = RepairSession(paper_algorithm_1(), la_liga_constraints(),
+                            la_liga_dirty_table(),
+                            cell_of_interest=CELL_OF_INTEREST,
+                            config=TRexConfig(**config))
+    with session:
+        session.explain()
+        live = session._live
+        n_cells = len(live.cells)
+        scheduler = live.explainer._scheduler(2)
+        scheduler.fault_injector = injector
+        oracle = live.oracle
+
+        # update #1, then kill worker 0 at the start of the refresh round:
+        # its post-update shards requeue onto the survivor, bit-identically
+        session.update(*updates[0])
+        assert oracle.base_updates_applied == 1
+        assert oracle.estimates_invalidated == n_cells  # SAMPLE: everything
+        armed["fire"] = True
+        with pytest.warns(RuntimeWarning, match="died mid-task"):
+            post = session.explain()
+        assert _session_key(post) == fresh_key(1)
+        statistics = oracle.statistics()
+        assert statistics["workers_restarted"] == 1
+        assert statistics["shards_requeued"] > 0
+
+        # update #2 reaches the replacement worker too: it holds no resident
+        # stack yet, so the next round seeds it from the rebased snapshot —
+        # post-update state, asserted by bit-identity against a fresh session
+        session.update(*updates[1])
+        assert oracle.base_updates_applied == 2
+        assert _session_key(session.explain()) == fresh_key(2)
+        statistics = oracle.statistics()
+        assert statistics["workers_restarted"] == 1  # no further casualties
+        assert statistics["warm_restarts"] == 1
+        assert statistics["cache_entries_seeded"] > 0
+
+        # the event log reconciles with the update counters, record by record
+        events = scheduler.events
+        records = events.filter("base_update")
+        assert len(records) == 2
+        assert all(record["cells"] == 1 for record in records)
+        # update #1 patched both residents; update #2 found the replacement
+        # stackless (it patches nothing there — the seed cache covers it)
+        assert records[0]["workers_patched"] == 2
+        assert events.count("worker_restart") == statistics["workers_restarted"]
